@@ -1,0 +1,114 @@
+//! Grouping and aggregation — the paper's first "future work" item
+//! ("we are working on materialized view design for more complicated
+//! queries such as query with aggregation functions").
+
+use std::fmt;
+
+use mvdesign_catalog::{AttrName, AttrRef};
+use serde::{Deserialize, Serialize};
+
+/// The pseudo-relation qualifying aggregate output attributes.
+///
+/// `SUM(quantity) AS total` produces the attribute `#agg.total`: aggregate
+/// results belong to no base relation, and the reserved `#agg` qualifier
+/// cannot collide with parser-accepted relation names.
+pub const AGG_RELATION: &str = "#agg";
+
+/// An aggregation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(attr)` — number of rows in the group.
+    Count,
+    /// `SUM(attr)` over integer attributes.
+    Sum,
+    /// `MIN(attr)`.
+    Min,
+    /// `MAX(attr)`.
+    Max,
+    /// `AVG(attr)` — integer average (`SUM/COUNT`, truncated), since values
+    /// are integral in this model.
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One aggregate in an [`Expr::Aggregate`](crate::Expr::Aggregate) node,
+/// e.g. `SUM(Order.quantity) AS total_quantity`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AggExpr {
+    /// The function applied.
+    pub func: AggFunc,
+    /// The aggregated attribute; `None` only for `COUNT(*)`.
+    pub input: Option<AttrRef>,
+    /// Output attribute name (qualified as `#agg.alias` downstream).
+    pub alias: AttrName,
+}
+
+impl AggExpr {
+    /// Creates an aggregate over an attribute.
+    pub fn new(func: AggFunc, input: AttrRef, alias: impl Into<AttrName>) -> Self {
+        Self {
+            func,
+            input: Some(input),
+            alias: alias.into(),
+        }
+    }
+
+    /// Creates a `COUNT(*)`.
+    pub fn count_star(alias: impl Into<AttrName>) -> Self {
+        Self {
+            func: AggFunc::Count,
+            input: None,
+            alias: alias.into(),
+        }
+    }
+
+    /// The qualified output attribute (`#agg.alias`).
+    pub fn output_attr(&self) -> AttrRef {
+        AttrRef::new(AGG_RELATION, self.alias.clone())
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.input {
+            Some(a) => write!(f, "{}({a}) AS {}", self.func, self.alias),
+            None => write!(f, "{}(*) AS {}", self.func, self.alias),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_attr_is_agg_qualified() {
+        let a = AggExpr::new(AggFunc::Sum, AttrRef::new("Order", "quantity"), "total");
+        assert_eq!(a.output_attr(), AttrRef::new(AGG_RELATION, "total"));
+        assert_eq!(a.to_string(), "SUM(Order.quantity) AS total");
+    }
+
+    #[test]
+    fn count_star_has_no_input() {
+        let a = AggExpr::count_star("n");
+        assert!(a.input.is_none());
+        assert_eq!(a.to_string(), "COUNT(*) AS n");
+    }
+
+    #[test]
+    fn functions_are_ordered_for_canonicalisation() {
+        assert!(AggFunc::Count < AggFunc::Sum);
+    }
+}

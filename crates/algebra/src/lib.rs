@@ -1,0 +1,49 @@
+//! Relational algebra for the select–project–join (SPJ) dialect the paper
+//! works in, plus a small SQL-ish parser for writing warehouse queries the
+//! way the paper does.
+//!
+//! The central type is [`Expr`], an immutable expression tree over base
+//! relations with `select`, `project` and equi-`join` operators. Expressions
+//! are cheap to share (`Arc` children), support structural equality, and
+//! expose a [*semantic key*](Expr::semantic_key) under which two expressions
+//! that compute the same relation — up to join commutativity/associativity
+//! and predicate normalisation — compare equal. The MVPP merge algorithm uses
+//! semantic keys to find the paper's "common subexpressions".
+//!
+//! # Example
+//!
+//! ```
+//! use mvdesign_algebra::parse_query;
+//!
+//! // Query 1 of the paper.
+//! let q1 = parse_query(
+//!     "SELECT Pd.name FROM Pd, Div WHERE Div.city = 'LA' AND Pd.Did = Div.Did",
+//! )?;
+//! assert_eq!(q1.base_relations().len(), 2);
+//! # Ok::<(), mvdesign_algebra::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod dot;
+mod expr;
+mod predicate;
+mod query;
+mod schema_infer;
+mod sql;
+mod value;
+mod visit;
+
+pub use crate::aggregate::{AggExpr, AggFunc, AGG_RELATION};
+pub use crate::dot::dot_graph;
+pub use crate::expr::{Expr, JoinCondition};
+pub use crate::predicate::{CompareOp, Comparison, Predicate, Rhs};
+pub use crate::query::Query;
+pub use crate::schema_infer::{output_attrs, InferError};
+pub use crate::sql::{parse_query, parse_query_with, ParseError};
+pub use crate::value::Value;
+pub use crate::visit::{collect_subexprs, postorder};
+
+pub use mvdesign_catalog::{AttrName, AttrRef, RelName};

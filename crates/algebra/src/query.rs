@@ -1,0 +1,106 @@
+//! Named warehouse queries with access frequencies.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::Expr;
+
+/// A warehouse query: a name, an access frequency `fq`, and its SPJ
+/// expression.
+///
+/// This is one "root node" of an MVPP in the paper's terminology; the
+/// frequency is the number the paper draws above each query node in
+/// Figure 3 (10 for Query 1, 0.5 for Query 2, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    name: String,
+    frequency: f64,
+    root: Arc<Expr>,
+}
+
+impl Query {
+    /// Creates a query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency` is negative or not finite.
+    pub fn new(name: impl Into<String>, frequency: f64, root: Arc<Expr>) -> Self {
+        assert!(
+            frequency.is_finite() && frequency >= 0.0,
+            "query frequency must be finite and non-negative, got {frequency}"
+        );
+        Self {
+            name: name.into(),
+            frequency,
+            root,
+        }
+    }
+
+    /// The query's name (e.g. `"Q1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Access frequency `fq` per unit period.
+    pub fn frequency(&self) -> f64 {
+        self.frequency
+    }
+
+    /// The query's expression tree.
+    pub fn root(&self) -> &Arc<Expr> {
+        &self.root
+    }
+
+    /// Returns the same query with a different expression tree (used by the
+    /// optimizer to swap in a better plan).
+    #[must_use]
+    pub fn with_root(&self, root: Arc<Expr>) -> Self {
+        Self {
+            name: self.name.clone(),
+            frequency: self.frequency,
+            root,
+        }
+    }
+
+    /// Returns the same query with a different frequency.
+    #[must_use]
+    pub fn with_frequency(&self, frequency: f64) -> Self {
+        Self::new(self.name.clone(), frequency, Arc::clone(&self.root))
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (fq={}): {}", self.name, self.frequency, self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let q = Query::new("Q1", 10.0, Expr::base("Product"));
+        assert_eq!(q.name(), "Q1");
+        assert_eq!(q.frequency(), 10.0);
+        assert!(q.root().is_base());
+    }
+
+    #[test]
+    fn with_root_preserves_identity() {
+        let q = Query::new("Q1", 10.0, Expr::base("Product"));
+        let q2 = q.with_root(Expr::base("Division"));
+        assert_eq!(q2.name(), "Q1");
+        assert_eq!(q2.frequency(), 10.0);
+        assert_eq!(q2.root().to_string(), "Division");
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn negative_frequency_panics() {
+        let _ = Query::new("Q", -1.0, Expr::base("R"));
+    }
+}

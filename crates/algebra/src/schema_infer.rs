@@ -1,0 +1,237 @@
+//! Output-schema inference: which qualified attributes an expression yields.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use mvdesign_catalog::{AttrRef, Catalog, RelName};
+
+use crate::expr::Expr;
+use crate::predicate::{Predicate, Rhs};
+
+/// Errors raised while inferring an expression's output attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InferError {
+    /// A base relation is not in the catalog.
+    UnknownRelation(RelName),
+    /// A predicate, projection or join condition references an attribute the
+    /// input does not produce.
+    MissingAttr {
+        /// The attribute that was referenced.
+        attr: AttrRef,
+        /// The operator that referenced it.
+        within: &'static str,
+    },
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            InferError::MissingAttr { attr, within } => {
+                write!(f, "{within} references `{attr}`, which its input does not produce")
+            }
+        }
+    }
+}
+
+impl Error for InferError {}
+
+/// Computes the qualified attributes produced by `expr`, validating every
+/// attribute reference along the way.
+///
+/// Attributes stay qualified by their *base* relation all the way up the
+/// tree, mirroring the paper's figures (`Pd.name`, `Div.city`, …).
+///
+/// # Errors
+///
+/// Returns [`InferError`] if a base relation is unknown or any operator
+/// references an attribute its input does not produce.
+pub fn output_attrs(expr: &Arc<Expr>, catalog: &Catalog) -> Result<Vec<AttrRef>, InferError> {
+    match &**expr {
+        Expr::Base(name) => {
+            let schema = catalog
+                .schema(name.as_str())
+                .ok_or_else(|| InferError::UnknownRelation(name.clone()))?;
+            Ok(schema
+                .attributes()
+                .iter()
+                .map(|a| AttrRef::new(name.clone(), a.name.clone()))
+                .collect())
+        }
+        Expr::Select { input, predicate } => {
+            let attrs = output_attrs(input, catalog)?;
+            check_predicate(predicate, &attrs)?;
+            Ok(attrs)
+        }
+        Expr::Project { input, attrs } => {
+            let avail = output_attrs(input, catalog)?;
+            for a in attrs {
+                if !avail.contains(a) {
+                    return Err(InferError::MissingAttr {
+                        attr: a.clone(),
+                        within: "projection",
+                    });
+                }
+            }
+            Ok(attrs.clone())
+        }
+        Expr::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let avail = output_attrs(input, catalog)?;
+            for g in group_by {
+                if !avail.contains(g) {
+                    return Err(InferError::MissingAttr {
+                        attr: g.clone(),
+                        within: "group by",
+                    });
+                }
+            }
+            let mut out = group_by.clone();
+            for a in aggs {
+                if let Some(input_attr) = &a.input {
+                    if !avail.contains(input_attr) {
+                        return Err(InferError::MissingAttr {
+                            attr: input_attr.clone(),
+                            within: "aggregate",
+                        });
+                    }
+                }
+                out.push(a.output_attr());
+            }
+            Ok(out)
+        }
+        Expr::Join { left, right, on } => {
+            let mut attrs = output_attrs(left, catalog)?;
+            attrs.extend(output_attrs(right, catalog)?);
+            for (a, b) in on.pairs() {
+                for side in [a, b] {
+                    if !attrs.contains(side) {
+                        return Err(InferError::MissingAttr {
+                            attr: side.clone(),
+                            within: "join condition",
+                        });
+                    }
+                }
+            }
+            Ok(attrs)
+        }
+    }
+}
+
+fn check_predicate(p: &Predicate, avail: &[AttrRef]) -> Result<(), InferError> {
+    match p {
+        Predicate::True => Ok(()),
+        Predicate::Cmp(c) => {
+            if !avail.contains(&c.attr) {
+                return Err(InferError::MissingAttr {
+                    attr: c.attr.clone(),
+                    within: "selection",
+                });
+            }
+            if let Rhs::Attr(a) = &c.rhs {
+                if !avail.contains(a) {
+                    return Err(InferError::MissingAttr {
+                        attr: a.clone(),
+                        within: "selection",
+                    });
+                }
+            }
+            Ok(())
+        }
+        Predicate::And(ps) | Predicate::Or(ps) => ps.iter().try_for_each(|p| check_predicate(p, avail)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::JoinCondition;
+    use crate::predicate::CompareOp;
+    use mvdesign_catalog::AttrType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.relation("Product")
+            .attr("Pid", AttrType::Int)
+            .attr("name", AttrType::Text)
+            .attr("Did", AttrType::Int)
+            .records(30_000.0)
+            .blocks(3_000.0)
+            .finish()
+            .unwrap();
+        c.relation("Division")
+            .attr("Did", AttrType::Int)
+            .attr("name", AttrType::Text)
+            .attr("city", AttrType::Text)
+            .records(5_000.0)
+            .blocks(500.0)
+            .finish()
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn base_attrs_are_qualified() {
+        let c = catalog();
+        let attrs = output_attrs(&Expr::base("Division"), &c).unwrap();
+        assert_eq!(attrs.len(), 3);
+        assert_eq!(attrs[0], AttrRef::new("Division", "Did"));
+    }
+
+    #[test]
+    fn join_concatenates_and_validates() {
+        let c = catalog();
+        let e = Expr::join(
+            Expr::base("Product"),
+            Expr::base("Division"),
+            JoinCondition::on(AttrRef::new("Product", "Did"), AttrRef::new("Division", "Did")),
+        );
+        let attrs = output_attrs(&e, &c).unwrap();
+        assert_eq!(attrs.len(), 6);
+    }
+
+    #[test]
+    fn projection_narrows_output() {
+        let c = catalog();
+        let e = Expr::project(Expr::base("Product"), [AttrRef::new("Product", "name")]);
+        assert_eq!(output_attrs(&e, &c).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn projection_after_projection_cannot_resurrect() {
+        let c = catalog();
+        let narrowed = Expr::project(Expr::base("Product"), [AttrRef::new("Product", "name")]);
+        let e = Expr::project(narrowed, [AttrRef::new("Product", "Pid")]);
+        assert!(matches!(
+            output_attrs(&e, &c),
+            Err(InferError::MissingAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn selection_on_missing_attr_fails() {
+        let c = catalog();
+        let e = Expr::select(
+            Expr::base("Product"),
+            Predicate::cmp(AttrRef::new("Division", "city"), CompareOp::Eq, "LA"),
+        );
+        assert!(matches!(
+            output_attrs(&e, &c),
+            Err(InferError::MissingAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_fails() {
+        let c = catalog();
+        assert_eq!(
+            output_attrs(&Expr::base("Ghost"), &c),
+            Err(InferError::UnknownRelation(RelName::new("Ghost")))
+        );
+    }
+}

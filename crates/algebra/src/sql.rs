@@ -1,0 +1,1134 @@
+//! A hand-written parser for the SQL dialect the paper's queries use:
+//! `SELECT attrs FROM relations WHERE comparisons AND …`.
+//!
+//! The parser produces a *canonical* (unoptimised) [`Expr`]: relations are
+//! joined left-deep in `FROM` order with their equi-join conditions, the
+//! remaining predicates form one selection on top, and the `SELECT` list
+//! becomes a final projection. The optimizer crate then rewrites this into
+//! the "individual optimal plans" of the paper's Figure 5.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use mvdesign_catalog::{AttrRef, Catalog};
+
+use crate::aggregate::{AggExpr, AggFunc};
+use crate::expr::{Expr, JoinCondition};
+use crate::predicate::{CompareOp, Comparison, Predicate, Rhs};
+use crate::value::Value;
+
+/// Errors produced while parsing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// An unrecognised character in the input.
+    Lex {
+        /// Byte offset of the offending character.
+        pos: usize,
+        /// The character itself.
+        found: char,
+    },
+    /// The parser expected something else.
+    Unexpected {
+        /// What was expected.
+        expected: String,
+        /// What was found instead.
+        found: String,
+    },
+    /// An unqualified attribute could not be resolved to a relation.
+    UnresolvedAttribute(String),
+    /// An unqualified attribute matched more than one `FROM` relation.
+    AmbiguousAttribute(String),
+    /// A construct outside the supported SPJ dialect.
+    Unsupported(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex { pos, found } => {
+                write!(f, "unrecognised character `{found}` at byte {pos}")
+            }
+            ParseError::Unexpected { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseError::UnresolvedAttribute(a) => {
+                write!(f, "cannot resolve attribute `{a}` to a FROM relation")
+            }
+            ParseError::AmbiguousAttribute(a) => {
+                write!(f, "attribute `{a}` is ambiguous among the FROM relations")
+            }
+            ParseError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a query without a catalog.
+///
+/// Unqualified attributes can only be resolved when the `FROM` clause names
+/// a single relation; otherwise qualify them (`Div.city`).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or unresolvable attributes.
+pub fn parse_query(sql: &str) -> Result<Arc<Expr>, ParseError> {
+    parse_with_resolver(sql, None)
+}
+
+/// Parses a query, resolving unqualified attributes against catalog schemas
+/// (the paper writes `quantity > 100` without qualification).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input, or when an unqualified
+/// attribute matches zero or several `FROM` relations.
+pub fn parse_query_with(sql: &str, catalog: &Catalog) -> Result<Arc<Expr>, ParseError> {
+    parse_with_resolver(sql, Some(catalog))
+}
+
+fn parse_with_resolver(sql: &str, catalog: Option<&Catalog>) -> Result<Arc<Expr>, ParseError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.expect_end()?;
+    build(stmt, catalog)
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    /// `m/d/yy` date literal, as written in the paper (`date > 7/1/96`).
+    Date(i64, i64, i64),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Op(CompareOp),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "`{i}`"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Date(m, d, y) => write!(f, "`{m}/{d}/{y}`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Op(op) => write!(f, "`{op}`"),
+        }
+    }
+}
+
+fn lex(sql: &str) -> Result<Vec<Tok>, ParseError> {
+    let bytes = sql.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Op(CompareOp::Eq));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Op(CompareOp::Le));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(Tok::Op(CompareOp::Ne));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op(CompareOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Op(CompareOp::Ge));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op(CompareOp::Gt));
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError::Unexpected {
+                        expected: format!("closing {quote}"),
+                        found: "end of input".into(),
+                    });
+                }
+                toks.push(Tok::Str(sql[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let first: i64 = sql[start..i].parse().expect("digits");
+                // Date literal `m/d/yy`?
+                if bytes.get(i) == Some(&b'/') {
+                    let (d, ni) = lex_number(sql, i + 1)?;
+                    if bytes.get(ni) == Some(&b'/') {
+                        let (y, nj) = lex_number(sql, ni + 1)?;
+                        toks.push(Tok::Date(first, d, y));
+                        i = nj;
+                        continue;
+                    }
+                    return Err(ParseError::Unexpected {
+                        expected: "date literal m/d/yy".into(),
+                        found: sql[start..ni].to_string(),
+                    });
+                }
+                toks.push(Tok::Int(first));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && {
+                    let ch = bytes[i] as char;
+                    ch.is_ascii_alphanumeric() || ch == '_'
+                } {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(sql[start..i].to_string()));
+            }
+            other => return Err(ParseError::Lex { pos: i, found: other }),
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_number(sql: &str, mut i: usize) -> Result<(i64, usize), ParseError> {
+    let bytes = sql.as_bytes();
+    let start = i;
+    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+        i += 1;
+    }
+    if start == i {
+        return Err(ParseError::Unexpected {
+            expected: "digits".into(),
+            found: sql[start..].chars().next().map_or("end of input".into(), |c| c.to_string()),
+        });
+    }
+    Ok((sql[start..i].parse().expect("digits"), i))
+}
+
+// --------------------------------------------------------------- parser --
+
+#[derive(Debug, Clone, PartialEq)]
+struct AttrSpec {
+    relation: Option<String>,
+    attr: String,
+}
+
+impl fmt::Display for AttrSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.relation {
+            Some(r) => write!(f, "{r}.{}", self.attr),
+            None => write!(f, "{}", self.attr),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum RawRhs {
+    Value(Value),
+    Attr(AttrSpec),
+}
+
+#[derive(Debug, Clone)]
+enum Cond {
+    Cmp(AttrSpec, CompareOp, RawRhs),
+    And(Vec<Cond>),
+    Or(Vec<Cond>),
+}
+
+#[derive(Debug, Clone)]
+enum SelectItem {
+    Attr(AttrSpec),
+    Agg {
+        func: AggFunc,
+        arg: Option<AttrSpec>, // None = COUNT(*)
+        alias: Option<String>,
+    },
+}
+
+struct Statement {
+    select: Option<Vec<SelectItem>>, // None = `*`
+    from: Vec<String>,
+    where_: Option<Cond>,
+    group_by: Vec<AttrSpec>,
+    having: Option<Cond>,
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn found(&self) -> String {
+        self.peek().map_or("end of input".into(), |t| t.to_string())
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::Unexpected {
+                expected: format!("`{kw}`"),
+                found: self.found(),
+            })
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ParseError::Unexpected {
+                expected: "identifier".into(),
+                found: other.map_or("end of input".into(), |t| t.to_string()),
+            }),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        self.keyword("select")?;
+        let select = if matches!(self.peek(), Some(Tok::Star)) {
+            self.pos += 1;
+            None
+        } else {
+            let mut list = vec![self.select_item()?];
+            while matches!(self.peek(), Some(Tok::Comma)) {
+                self.pos += 1;
+                list.push(self.select_item()?);
+            }
+            Some(list)
+        };
+        self.keyword("from")?;
+        let mut from = vec![self.ident()?];
+        while matches!(self.peek(), Some(Tok::Comma)) {
+            self.pos += 1;
+            from.push(self.ident()?);
+        }
+        let where_ = if self.eat_keyword("where") {
+            Some(self.disjunction()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.keyword("by")?;
+            group_by.push(self.attr_spec()?);
+            while matches!(self.peek(), Some(Tok::Comma)) {
+                self.pos += 1;
+                group_by.push(self.attr_spec()?);
+            }
+        }
+        let having = if self.eat_keyword("having") {
+            Some(self.disjunction()?)
+        } else {
+            None
+        };
+        Ok(Statement {
+            select,
+            from,
+            where_,
+            group_by,
+            having,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        // Aggregate call? An aggregate keyword immediately followed by `(`.
+        if let Some(Tok::Ident(name)) = self.peek() {
+            let func = match name.to_ascii_lowercase().as_str() {
+                "count" => Some(AggFunc::Count),
+                "sum" => Some(AggFunc::Sum),
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                "avg" => Some(AggFunc::Avg),
+                _ => None,
+            };
+            if let Some(func) = func {
+                if matches!(self.tokens.get(self.pos + 1), Some(Tok::LParen)) {
+                    self.pos += 2; // the function name and `(`
+                    let arg = if matches!(self.peek(), Some(Tok::Star)) {
+                        if func != AggFunc::Count {
+                            return Err(ParseError::Unsupported(format!(
+                                "{func}(*) — only COUNT accepts *"
+                            )));
+                        }
+                        self.pos += 1;
+                        None
+                    } else {
+                        Some(self.attr_spec()?)
+                    };
+                    match self.next() {
+                        Some(Tok::RParen) => {}
+                        other => {
+                            return Err(ParseError::Unexpected {
+                                expected: "`)`".into(),
+                                found: other.map_or("end of input".into(), |t| t.to_string()),
+                            })
+                        }
+                    }
+                    let alias = if self.eat_keyword("as") {
+                        Some(self.ident()?)
+                    } else {
+                        None
+                    };
+                    return Ok(SelectItem::Agg { func, arg, alias });
+                }
+            }
+        }
+        let attr = self.attr_spec()?;
+        Ok(SelectItem::Attr(attr))
+    }
+
+    fn attr_spec(&mut self) -> Result<AttrSpec, ParseError> {
+        let first = self.ident()?;
+        if matches!(self.peek(), Some(Tok::Dot)) {
+            self.pos += 1;
+            let attr = self.ident()?;
+            Ok(AttrSpec {
+                relation: Some(first),
+                attr,
+            })
+        } else {
+            Ok(AttrSpec {
+                relation: None,
+                attr: first,
+            })
+        }
+    }
+
+    fn disjunction(&mut self) -> Result<Cond, ParseError> {
+        let mut parts = vec![self.conjunction()?];
+        while self.eat_keyword("or") {
+            parts.push(self.conjunction()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Cond::Or(parts)
+        })
+    }
+
+    fn conjunction(&mut self) -> Result<Cond, ParseError> {
+        let mut parts = vec![self.atom()?];
+        while self.eat_keyword("and") {
+            parts.push(self.atom()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Cond::And(parts)
+        })
+    }
+
+    fn atom(&mut self) -> Result<Cond, ParseError> {
+        if matches!(self.peek(), Some(Tok::LParen)) {
+            self.pos += 1;
+            let inner = self.disjunction()?;
+            match self.next() {
+                Some(Tok::RParen) => return Ok(inner),
+                other => {
+                    return Err(ParseError::Unexpected {
+                        expected: "`)`".into(),
+                        found: other.map_or("end of input".into(), |t| t.to_string()),
+                    })
+                }
+            }
+        }
+        let lhs = self.attr_spec()?;
+        let op = match self.next() {
+            Some(Tok::Op(op)) => op,
+            other => {
+                return Err(ParseError::Unexpected {
+                    expected: "comparison operator".into(),
+                    found: other.map_or("end of input".into(), |t| t.to_string()),
+                })
+            }
+        };
+        let rhs = match self.next() {
+            Some(Tok::Int(i)) => RawRhs::Value(Value::Int(i)),
+            Some(Tok::Str(s)) => RawRhs::Value(Value::text(s)),
+            Some(Tok::Date(m, d, y)) => {
+                let year = if y < 100 { 1900 + y } else { y };
+                RawRhs::Value(Value::date(year, m, d))
+            }
+            Some(Tok::Ident(first)) => {
+                if matches!(self.peek(), Some(Tok::Dot)) {
+                    self.pos += 1;
+                    let attr = self.ident()?;
+                    RawRhs::Attr(AttrSpec {
+                        relation: Some(first),
+                        attr,
+                    })
+                } else {
+                    RawRhs::Attr(AttrSpec {
+                        relation: None,
+                        attr: first,
+                    })
+                }
+            }
+            other => {
+                return Err(ParseError::Unexpected {
+                    expected: "literal or attribute".into(),
+                    found: other.map_or("end of input".into(), |t| t.to_string()),
+                })
+            }
+        };
+        Ok(Cond::Cmp(lhs, op, rhs))
+    }
+
+    fn expect_end(&mut self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(ParseError::Unexpected {
+                expected: "end of input".into(),
+                found: self.found(),
+            })
+        }
+    }
+}
+
+// -------------------------------------------------------------- builder --
+
+fn resolve(
+    spec: &AttrSpec,
+    from: &[String],
+    catalog: Option<&Catalog>,
+) -> Result<AttrRef, ParseError> {
+    if let Some(rel) = &spec.relation {
+        return Ok(AttrRef::new(rel.as_str(), spec.attr.as_str()));
+    }
+    if let Some(catalog) = catalog {
+        let mut owners: Vec<&String> = Vec::new();
+        for rel in from {
+            if let Some(schema) = catalog.schema(rel) {
+                if schema.contains(&spec.attr) {
+                    owners.push(rel);
+                }
+            }
+        }
+        return match owners.len() {
+            0 => Err(ParseError::UnresolvedAttribute(spec.attr.clone())),
+            1 => Ok(AttrRef::new(owners[0].as_str(), spec.attr.as_str())),
+            _ => Err(ParseError::AmbiguousAttribute(spec.attr.clone())),
+        };
+    }
+    if from.len() == 1 {
+        Ok(AttrRef::new(from[0].as_str(), spec.attr.as_str()))
+    } else {
+        Err(ParseError::UnresolvedAttribute(spec.attr.clone()))
+    }
+}
+
+/// A resolved conjunct: either a join condition or a selection predicate.
+enum Conjunct {
+    Join(AttrRef, AttrRef),
+    Filter(Predicate),
+}
+
+fn resolve_cond(
+    cond: &Cond,
+    from: &[String],
+    catalog: Option<&Catalog>,
+    top_level: bool,
+) -> Result<Vec<Conjunct>, ParseError> {
+    match cond {
+        Cond::And(parts) if top_level => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.extend(resolve_cond(p, from, catalog, true)?);
+            }
+            Ok(out)
+        }
+        Cond::Cmp(lhs, op, RawRhs::Attr(rhs_spec)) => {
+            let l = resolve(lhs, from, catalog)?;
+            let r = resolve(rhs_spec, from, catalog)?;
+            if *op == CompareOp::Eq && l.relation != r.relation {
+                Ok(vec![Conjunct::Join(l, r)])
+            } else {
+                // Attribute-vs-attribute comparison within one relation (or
+                // a theta comparison): keep as a filter.
+                Ok(vec![Conjunct::Filter(Predicate::Cmp(Comparison {
+                    attr: l,
+                    op: *op,
+                    rhs: Rhs::Attr(r),
+                }))])
+            }
+        }
+        Cond::Cmp(lhs, op, RawRhs::Value(v)) => {
+            let l = resolve(lhs, from, catalog)?;
+            Ok(vec![Conjunct::Filter(Predicate::Cmp(Comparison {
+                attr: l,
+                op: *op,
+                rhs: Rhs::Literal(v.clone()),
+            }))])
+        }
+        Cond::And(parts) => {
+            // Nested under an OR: must be pure filters.
+            let mut preds = Vec::new();
+            for p in parts {
+                for c in resolve_cond(p, from, catalog, false)? {
+                    match c {
+                        Conjunct::Filter(f) => preds.push(f),
+                        Conjunct::Join(a, b) => {
+                            return Err(ParseError::Unsupported(format!(
+                                "join condition {a}={b} nested under OR"
+                            )))
+                        }
+                    }
+                }
+            }
+            Ok(vec![Conjunct::Filter(Predicate::and(preds))])
+        }
+        Cond::Or(parts) => {
+            let mut preds = Vec::new();
+            for p in parts {
+                for c in resolve_cond(p, from, catalog, false)? {
+                    match c {
+                        Conjunct::Filter(f) => preds.push(f),
+                        Conjunct::Join(a, b) => {
+                            return Err(ParseError::Unsupported(format!(
+                                "join condition {a}={b} nested under OR"
+                            )))
+                        }
+                    }
+                }
+            }
+            Ok(vec![Conjunct::Filter(Predicate::or(preds))])
+        }
+    }
+}
+
+fn build(stmt: Statement, catalog: Option<&Catalog>) -> Result<Arc<Expr>, ParseError> {
+    let from = &stmt.from;
+    let mut joins: Vec<(AttrRef, AttrRef)> = Vec::new();
+    let mut filters: Vec<Predicate> = Vec::new();
+    if let Some(w) = &stmt.where_ {
+        for c in resolve_cond(w, from, catalog, true)? {
+            match c {
+                Conjunct::Join(a, b) => joins.push((a, b)),
+                Conjunct::Filter(f) => filters.push(f),
+            }
+        }
+    }
+
+    // Left-deep join in FROM order, attaching each equi-condition at the
+    // first join where both sides are available.
+    let mut in_tree: Vec<&str> = vec![from[0].as_str()];
+    let mut used = vec![false; joins.len()];
+    let mut expr = Expr::base(from[0].as_str());
+    for rel in &from[1..] {
+        let mut pairs = Vec::new();
+        for (i, (a, b)) in joins.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let a_in = in_tree.contains(&a.relation.as_str());
+            let b_in = in_tree.contains(&b.relation.as_str());
+            let a_new = a.relation == rel.as_str();
+            let b_new = b.relation == rel.as_str();
+            if (a_in && b_new) || (b_in && a_new) {
+                pairs.push((a.clone(), b.clone()));
+                used[i] = true;
+            }
+        }
+        expr = Expr::join(expr, Expr::base(rel.as_str()), JoinCondition::new(pairs));
+        in_tree.push(rel.as_str());
+    }
+
+    // Join conditions whose relations never both appeared become equality
+    // filters (e.g. a self-referential condition, or a condition over
+    // relations missing from FROM — let schema inference report the latter).
+    for (i, (a, b)) in joins.iter().enumerate() {
+        if !used[i] {
+            filters.push(Predicate::Cmp(Comparison {
+                attr: a.clone(),
+                op: CompareOp::Eq,
+                rhs: Rhs::Attr(b.clone()),
+            }));
+        }
+    }
+
+    expr = Expr::select(expr, Predicate::and(filters));
+
+    let has_aggs = stmt
+        .select
+        .as_ref()
+        .is_some_and(|l| l.iter().any(|i| matches!(i, SelectItem::Agg { .. })));
+
+    if !has_aggs && stmt.group_by.is_empty() {
+        if stmt.having.is_some() {
+            return Err(ParseError::Unsupported(
+                "HAVING without GROUP BY or aggregates".into(),
+            ));
+        }
+        if let Some(list) = &stmt.select {
+            let attrs = list
+                .iter()
+                .map(|item| match item {
+                    SelectItem::Attr(a) => resolve(a, from, catalog),
+                    SelectItem::Agg { .. } => unreachable!("has_aggs is false"),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            expr = Expr::project(expr, attrs);
+        }
+        return Ok(expr);
+    }
+
+    // Aggregation query. Group keys: the GROUP BY clause, or — when absent —
+    // the plain attributes of the select list.
+    let list = stmt.select.as_ref().ok_or_else(|| {
+        ParseError::Unsupported("SELECT * together with GROUP BY/aggregates".into())
+    })?;
+    let mut group_by: Vec<AttrRef> = stmt
+        .group_by
+        .iter()
+        .map(|g| resolve(g, from, catalog))
+        .collect::<Result<_, _>>()?;
+    if group_by.is_empty() {
+        for item in list {
+            if let SelectItem::Attr(a) = item {
+                let r = resolve(a, from, catalog)?;
+                if !group_by.contains(&r) {
+                    group_by.push(r);
+                }
+            }
+        }
+    }
+
+    // Build the aggregates, generating aliases where none were given.
+    let mut aggs: Vec<AggExpr> = Vec::new();
+    let mut output: Vec<AttrRef> = Vec::new();
+    for item in list {
+        match item {
+            SelectItem::Attr(a) => {
+                let r = resolve(a, from, catalog)?;
+                if !group_by.contains(&r) {
+                    return Err(ParseError::Unsupported(format!(
+                        "non-aggregated attribute {r} outside GROUP BY"
+                    )));
+                }
+                output.push(r);
+            }
+            SelectItem::Agg { func, arg, alias } => {
+                let input = match arg {
+                    Some(a) => Some(resolve(a, from, catalog)?),
+                    None => None,
+                };
+                let mut name = alias.clone().unwrap_or_else(|| match &input {
+                    Some(a) => format!(
+                        "{}_{}",
+                        func.to_string().to_ascii_lowercase(),
+                        a.attr.as_str()
+                    ),
+                    None => "count_star".to_string(),
+                });
+                while aggs.iter().any(|g| g.alias == name.as_str()) {
+                    name.push('_');
+                }
+                let agg = AggExpr {
+                    func: *func,
+                    input,
+                    alias: name.as_str().into(),
+                };
+                output.push(agg.output_attr());
+                aggs.push(agg);
+            }
+        }
+    }
+
+    expr = Expr::aggregate(expr, group_by.clone(), aggs.clone());
+    if let Some(having) = &stmt.having {
+        let predicate = resolve_having(having, from, catalog, &aggs)?;
+        expr = Arc::new(Expr::Select {
+            input: expr,
+            predicate,
+        });
+    }
+    // Reorder with a projection when the listed order differs from the
+    // aggregate's natural (groups, then aggs) order.
+    let natural: Vec<AttrRef> = group_by
+        .iter()
+        .cloned()
+        .chain(aggs.iter().map(AggExpr::output_attr))
+        .collect();
+    if output != natural {
+        expr = Expr::project(expr, output);
+    }
+    Ok(expr)
+}
+
+/// Resolves a HAVING condition: unqualified attributes naming an aggregate
+/// alias become `#agg.alias`; everything else resolves like a WHERE
+/// condition. Attribute-vs-attribute comparisons stay filters (no join
+/// extraction above an aggregation).
+fn resolve_having(
+    cond: &Cond,
+    from: &[String],
+    catalog: Option<&Catalog>,
+    aggs: &[AggExpr],
+) -> Result<Predicate, ParseError> {
+    let resolve_spec = |spec: &AttrSpec| -> Result<AttrRef, ParseError> {
+        if spec.relation.is_none() {
+            if let Some(agg) = aggs.iter().find(|a| a.alias == spec.attr.as_str()) {
+                return Ok(agg.output_attr());
+            }
+        }
+        resolve(spec, from, catalog)
+    };
+    match cond {
+        Cond::Cmp(lhs, op, rhs) => {
+            let attr = resolve_spec(lhs)?;
+            let rhs = match rhs {
+                RawRhs::Value(v) => Rhs::Literal(v.clone()),
+                RawRhs::Attr(spec) => Rhs::Attr(resolve_spec(spec)?),
+            };
+            Ok(Predicate::Cmp(Comparison { attr, op: *op, rhs }))
+        }
+        Cond::And(parts) => Ok(Predicate::and(
+            parts
+                .iter()
+                .map(|p| resolve_having(p, from, catalog, aggs))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+        Cond::Or(parts) => Ok(Predicate::or(
+            parts
+                .iter()
+                .map(|p| resolve_having(p, from, catalog, aggs))
+                .collect::<Result<Vec<_>, _>>()?,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvdesign_catalog::AttrType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.relation("Ord")
+            .attr("Pid", AttrType::Int)
+            .attr("Cid", AttrType::Int)
+            .attr("quantity", AttrType::Int)
+            .attr("date", AttrType::Date)
+            .records(50_000.0)
+            .blocks(6_000.0)
+            .finish()
+            .unwrap();
+        c.relation("Cust")
+            .attr("Cid", AttrType::Int)
+            .attr("name", AttrType::Text)
+            .attr("city", AttrType::Text)
+            .records(20_000.0)
+            .blocks(2_000.0)
+            .finish()
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn parses_paper_query1() {
+        let e = parse_query(
+            "Select Pd.name From Pd, Div Where Div.city='LA' and Pd.Did=Div.Did",
+        )
+        .unwrap();
+        // π over σ? No: the only filter goes on top of the join, then π.
+        match &*e {
+            Expr::Project { input, attrs } => {
+                assert_eq!(attrs, &[AttrRef::new("Pd", "name")]);
+                match &**input {
+                    Expr::Select { input: j, predicate } => {
+                        assert_eq!(predicate.to_string(), "Div.city='LA'");
+                        assert!(matches!(&**j, Expr::Join { .. }));
+                    }
+                    other => panic!("expected select, got {other}"),
+                }
+            }
+            other => panic!("expected project, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_query4_with_catalog_resolution() {
+        let c = catalog();
+        let e = parse_query_with(
+            "Select Cust.city, date From Ord, Cust Where quantity>100 and Ord.Cid=Cust.Cid",
+            &c,
+        )
+        .unwrap();
+        let s = e.to_string();
+        assert!(s.contains("Ord.quantity>100"), "{s}");
+        assert!(s.contains("Cust.Cid=Ord.Cid"), "{s}");
+        assert!(s.contains("π[Cust.city,Ord.date]"), "{s}");
+    }
+
+    #[test]
+    fn parses_date_literals() {
+        let c = catalog();
+        let e = parse_query_with(
+            "Select Cust.name From Ord, Cust Where Ord.Cid=Cust.Cid and date>7/1/96",
+            &c,
+        )
+        .unwrap();
+        assert!(e.to_string().contains(&format!("{}", Value::date(1996, 7, 1))));
+    }
+
+    #[test]
+    fn ambiguous_unqualified_attribute_is_rejected() {
+        let c = catalog();
+        // `Cid` exists in both Ord and Cust.
+        let err = parse_query_with("Select name From Ord, Cust Where Cid > 3", &c).unwrap_err();
+        assert_eq!(err, ParseError::AmbiguousAttribute("Cid".into()));
+    }
+
+    #[test]
+    fn unresolvable_attribute_without_catalog() {
+        let err = parse_query("Select name From A, B").unwrap_err();
+        assert_eq!(err, ParseError::UnresolvedAttribute("name".into()));
+    }
+
+    #[test]
+    fn single_table_unqualified_resolves_without_catalog() {
+        let e = parse_query("Select name From Cust Where city = 'LA'").unwrap();
+        assert!(e.to_string().contains("Cust.city='LA'"));
+    }
+
+    #[test]
+    fn star_means_no_projection() {
+        let e = parse_query("Select * From Cust").unwrap();
+        assert!(e.is_base());
+    }
+
+    #[test]
+    fn or_of_filters_is_supported() {
+        let e = parse_query(
+            "Select * From Div Where city = 'LA' or city = 'SF'",
+        )
+        .unwrap();
+        match &*e {
+            Expr::Select { predicate, .. } => {
+                assert!(matches!(predicate, Predicate::Or(_)));
+            }
+            other => panic!("expected select, got {other}"),
+        }
+    }
+
+    #[test]
+    fn join_condition_under_or_is_rejected() {
+        let err = parse_query(
+            "Select * From A, B Where A.x = B.y or A.z = 1",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseError::Unsupported(_)));
+    }
+
+    #[test]
+    fn cross_join_when_no_condition() {
+        let e = parse_query("Select * From A, B").unwrap();
+        match &*e {
+            Expr::Join { on, .. } => assert!(on.is_cross()),
+            other => panic!("expected join, got {other}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let err = parse_query("Select * From A extra").unwrap_err();
+        assert!(matches!(err, ParseError::Unexpected { .. }));
+    }
+
+    #[test]
+    fn unclosed_string_is_rejected() {
+        let err = parse_query("Select * From A Where A.x = 'oops").unwrap_err();
+        assert!(matches!(err, ParseError::Unexpected { .. }));
+    }
+
+    #[test]
+    fn lex_rejects_strange_characters() {
+        let err = parse_query("Select # From A").unwrap_err();
+        assert!(matches!(err, ParseError::Lex { .. }));
+    }
+
+    #[test]
+    fn four_way_join_builds_left_deep() {
+        let e = parse_query(
+            "Select Pd.name From Pd, Div, Ord, Cust \
+             Where Pd.Did = Div.Did and Pd.Pid = Ord.Pid and Ord.Cid = Cust.Cid",
+        )
+        .unwrap();
+        // Joins: ((Pd ⋈ Div) ⋈ Ord) ⋈ Cust, each with its condition.
+        let mut joins = 0;
+        crate::visit::postorder(&e, &mut |n| {
+            if let Expr::Join { on, .. } = &**n {
+                assert!(!on.is_cross());
+                joins += 1;
+            }
+        });
+        assert_eq!(joins, 3);
+    }
+}
+#[cfg(test)]
+mod aggregate_sql_tests {
+    use super::*;
+    use crate::aggregate::AggFunc;
+    use mvdesign_catalog::AttrType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.relation("T")
+            .attr("g", AttrType::Text)
+            .attr("v", AttrType::Int)
+            .records(100.0)
+            .blocks(10.0)
+            .finish()
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn count_star_parses_with_default_alias() {
+        let q = parse_query_with("SELECT g, COUNT(*) FROM T GROUP BY T.g", &catalog()).unwrap();
+        match &*q {
+            Expr::Aggregate { aggs, .. } => {
+                assert_eq!(aggs[0].func, AggFunc::Count);
+                assert!(aggs[0].input.is_none());
+                assert_eq!(aggs[0].alias.as_str(), "count_star");
+            }
+            other => panic!("expected aggregate, got {other}"),
+        }
+    }
+
+    #[test]
+    fn star_only_count_is_allowed_nothing_else() {
+        let err = parse_query_with("SELECT g, SUM(*) FROM T GROUP BY T.g", &catalog()).unwrap_err();
+        assert!(matches!(err, ParseError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn duplicate_auto_aliases_are_disambiguated() {
+        let q = parse_query_with(
+            "SELECT SUM(v), SUM(v) FROM T",
+            &catalog(),
+        )
+        .unwrap();
+        match &*q {
+            Expr::Aggregate { aggs, .. } => {
+                assert_eq!(aggs.len(), 2);
+                assert_ne!(aggs[0].alias, aggs[1].alias);
+            }
+            other => panic!("expected aggregate, got {other}"),
+        }
+    }
+
+    #[test]
+    fn select_star_with_group_by_is_rejected() {
+        let err = parse_query_with("SELECT * FROM T GROUP BY T.g", &catalog()).unwrap_err();
+        assert!(matches!(err, ParseError::Unsupported(_)));
+    }
+
+    #[test]
+    fn an_identifier_named_count_without_parens_is_an_attribute() {
+        let mut c = Catalog::new();
+        c.relation("R")
+            .attr("count", AttrType::Int)
+            .records(10.0)
+            .blocks(1.0)
+            .finish()
+            .unwrap();
+        let q = parse_query_with("SELECT count FROM R", &c).unwrap();
+        assert!(matches!(&*q, Expr::Project { .. }));
+    }
+
+    #[test]
+    fn having_binds_aliases_before_columns() {
+        let q = parse_query_with(
+            "SELECT g, SUM(v) AS v FROM T GROUP BY T.g HAVING v > 3",
+            &catalog(),
+        )
+        .unwrap();
+        // The HAVING's `v` must resolve to the aggregate alias #agg.v, not
+        // the base column T.v (which the aggregate output no longer carries).
+        let s = q.to_string();
+        assert!(s.contains("#agg.v>3"), "{s}");
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse_query_with(
+            "select g, sum(v) as total from T group by T.g having total >= 0",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(matches!(&*q, Expr::Select { .. }), "{q}");
+    }
+}

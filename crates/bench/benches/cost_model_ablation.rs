@@ -1,0 +1,73 @@
+//! Ablation bench: how the choice of physical cost model and estimation
+//! mode affects the cost (and the time) of producing a design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvdesign::core::{
+    evaluate, generate_mvpps, AnnotatedMvpp, GenerateConfig, GreedySelection, MaintenanceMode,
+    UpdateWeighting,
+};
+use mvdesign::cost::{
+    CostEstimator, CostModel, EstimationMode, NestedLoopCostModel, PaperCostModel,
+    SortMergeCostModel,
+};
+use mvdesign::optimizer::Planner;
+use mvdesign::workload::{paper_example, Scenario};
+
+fn design_total<M: CostModel>(scenario: &Scenario, mode: EstimationMode, model: M) -> f64 {
+    let est = CostEstimator::new(&scenario.catalog, mode, model);
+    let mvpp = generate_mvpps(
+        &scenario.workload,
+        &est,
+        &Planner::new(),
+        GenerateConfig { max_rotations: 1 },
+    )
+    .remove(0);
+    let a = AnnotatedMvpp::annotate(mvpp, &est, UpdateWeighting::Max);
+    let (m, _) = GreedySelection::new().run(&a);
+    evaluate(&a, &m, MaintenanceMode::SharedRecompute).total
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let scenario = paper_example();
+    let mut group = c.benchmark_group("ablation");
+    group.bench_function("paper_model/calibrated", |b| {
+        b.iter(|| {
+            std::hint::black_box(design_total(
+                &scenario,
+                EstimationMode::Calibrated,
+                PaperCostModel::default(),
+            ))
+        })
+    });
+    group.bench_function("paper_model/analytic", |b| {
+        b.iter(|| {
+            std::hint::black_box(design_total(
+                &scenario,
+                EstimationMode::Analytic,
+                PaperCostModel::default(),
+            ))
+        })
+    });
+    group.bench_function("buffered_nested_loop/calibrated", |b| {
+        b.iter(|| {
+            std::hint::black_box(design_total(
+                &scenario,
+                EstimationMode::Calibrated,
+                NestedLoopCostModel::default(),
+            ))
+        })
+    });
+    group.bench_function("sort_merge/calibrated", |b| {
+        b.iter(|| {
+            std::hint::black_box(design_total(
+                &scenario,
+                EstimationMode::Calibrated,
+                SortMergeCostModel,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Distributed-extension benchmarks: shipping-aware evaluation and the
+//! marginal-benefit selection loop on the paper example across link costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvdesign::distributed::{DistributedEvaluator, FilterShipping, MarginalGreedy, Placement, Topology};
+use mvdesign::core::MaintenanceMode;
+use mvdesign_bench::paper_annotated;
+use std::collections::BTreeSet;
+
+fn setup(link_cost: f64) -> (Topology, Placement) {
+    let topo = Topology::uniform(3, link_cost);
+    let wh = topo.site(0).expect("site 0");
+    let sales = topo.site(1).expect("site 1");
+    let mfg = topo.site(2).expect("site 2");
+    let mut placement = Placement::new(wh);
+    placement.assign("Order", sales);
+    placement.assign("Customer", sales);
+    placement.assign("Product", mfg);
+    placement.assign("Division", mfg);
+    placement.assign("Part", mfg);
+    (topo, placement)
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let a = paper_annotated();
+    let mut group = c.benchmark_group("distributed");
+    for link_cost in [0.0, 3.0, 30.0] {
+        let (topo, placement) = setup(link_cost);
+        let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtSource);
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_empty", link_cost as i64),
+            &link_cost,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        eval.evaluate(&BTreeSet::new(), MaintenanceMode::SharedRecompute)
+                            .total,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("marginal_greedy", link_cost as i64),
+            &link_cost,
+            |b, _| {
+                b.iter(|| std::hint::black_box(MarginalGreedy::default().run(&eval).0.len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! How MVPP generation (Figure 4) scales with workload size: one candidate
+//! set per query count, over synthetic star-schema workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvdesign::core::{generate_mvpps, GenerateConfig};
+use mvdesign::cost::{CostEstimator, EstimationMode, PaperCostModel};
+use mvdesign::optimizer::Planner;
+use mvdesign::workload::{StarSchema, StarSchemaConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvpp_generation");
+    for queries in [2usize, 4, 8, 16] {
+        let scenario = StarSchema::with_config(StarSchemaConfig {
+            queries,
+            dimensions: 5,
+            ..StarSchemaConfig::default()
+        })
+        .scenario();
+        let est = CostEstimator::new(
+            &scenario.catalog,
+            EstimationMode::Analytic,
+            PaperCostModel::default(),
+        );
+        let planner = Planner::new();
+
+        group.bench_with_input(
+            BenchmarkId::new("all_rotations", queries),
+            &queries,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        generate_mvpps(
+                            &scenario.workload,
+                            &est,
+                            &planner,
+                            GenerateConfig::default(),
+                        )
+                        .len(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single_merge", queries),
+            &queries,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        generate_mvpps(
+                            &scenario.workload,
+                            &est,
+                            &planner,
+                            GenerateConfig { max_rotations: 1 },
+                        )
+                        .len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

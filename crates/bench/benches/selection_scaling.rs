@@ -1,0 +1,104 @@
+//! View-selection algorithm scaling: the paper's greedy vs the exact
+//! optimum vs randomized search, as the MVPP grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvdesign::core::{
+    generate_mvpps, AnnotatedMvpp, ExhaustiveSelection, GenerateConfig, GeneticSelection,
+    GreedySelection, MaintenanceMode, RandomSearch, SelectionAlgorithm, SimulatedAnnealing,
+    UpdateWeighting,
+};
+use mvdesign::cost::{CostEstimator, EstimationMode, PaperCostModel};
+use mvdesign::optimizer::Planner;
+use mvdesign::workload::{StarSchema, StarSchemaConfig};
+
+fn annotated_for(queries: usize) -> (mvdesign::catalog::Catalog, AnnotatedMvpp) {
+    let scenario = StarSchema::with_config(StarSchemaConfig {
+        queries,
+        dimensions: 5,
+        ..StarSchemaConfig::default()
+    })
+    .scenario();
+    let est = CostEstimator::new(
+        &scenario.catalog,
+        EstimationMode::Analytic,
+        PaperCostModel::default(),
+    );
+    let mvpp = generate_mvpps(
+        &scenario.workload,
+        &est,
+        &Planner::new(),
+        GenerateConfig { max_rotations: 1 },
+    )
+    .remove(0);
+    let a = AnnotatedMvpp::annotate(mvpp, &est, UpdateWeighting::Max);
+    (scenario.catalog.clone(), a)
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    for queries in [4usize, 8, 12] {
+        let (_catalog, a) = annotated_for(queries);
+        let interior = a.mvpp().interior().len();
+
+        group.bench_with_input(
+            BenchmarkId::new(format!("greedy_n{interior}"), queries),
+            &queries,
+            |b, _| b.iter(|| std::hint::black_box(GreedySelection::new().run(&a).0.len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("annealing_n{interior}"), queries),
+            &queries,
+            |b, _| {
+                let sa = SimulatedAnnealing {
+                    iterations: 300,
+                    ..SimulatedAnnealing::default()
+                };
+                b.iter(|| {
+                    std::hint::black_box(sa.select(&a, MaintenanceMode::SharedRecompute).len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("random_n{interior}"), queries),
+            &queries,
+            |b, _| {
+                let rs = RandomSearch {
+                    iterations: 100,
+                    ..RandomSearch::default()
+                };
+                b.iter(|| {
+                    std::hint::black_box(rs.select(&a, MaintenanceMode::SharedRecompute).len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("genetic_n{interior}"), queries),
+            &queries,
+            |b, _| {
+                let ga = GeneticSelection {
+                    population: 16,
+                    generations: 20,
+                    ..GeneticSelection::default()
+                };
+                b.iter(|| {
+                    std::hint::black_box(ga.select(&a, MaintenanceMode::SharedRecompute).len())
+                })
+            },
+        );
+        // Exhaustive only on the truncated candidate set — still exponential.
+        group.bench_with_input(
+            BenchmarkId::new(format!("exhaustive12_n{interior}"), queries),
+            &queries,
+            |b, _| {
+                let ex = ExhaustiveSelection { max_nodes: 12 };
+                b.iter(|| {
+                    std::hint::black_box(ex.select(&a, MaintenanceMode::SharedRecompute).len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

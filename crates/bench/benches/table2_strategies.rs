@@ -1,0 +1,66 @@
+//! Benchmarks the Table-2 machinery: evaluating each of the paper's five
+//! materialization strategies, running the Figure-9 greedy, and the full
+//! end-to-end design loop on the running example.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mvdesign::core::{evaluate, GreedySelection, MaintenanceMode, NodeId};
+use mvdesign::prelude::Designer;
+use mvdesign::workload::paper_example;
+use mvdesign_bench::{join_node, paper_annotated, table2_rows};
+
+fn bench_table2(c: &mut Criterion) {
+    let a = paper_annotated();
+    let mut group = c.benchmark_group("table2");
+
+    // Evaluate each paper strategy (this is what every cell of Table 2
+    // costs to regenerate).
+    let tmp2 = join_node(&a, &["Division", "Product"]).expect("P⋈D");
+    let tmp4 = join_node(&a, &["Customer", "Order"]).expect("O⋈C");
+    let strategies: Vec<(&str, BTreeSet<NodeId>)> = vec![
+        ("evaluate/all-virtual", BTreeSet::new()),
+        ("evaluate/tmp2-tmp4", [tmp2, tmp4].into()),
+        (
+            "evaluate/all-queries",
+            a.mvpp().roots().iter().map(|r| r.2).collect(),
+        ),
+    ];
+    for (name, m) in &strategies {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                std::hint::black_box(evaluate(&a, m, MaintenanceMode::SharedRecompute).total)
+            })
+        });
+    }
+
+    group.bench_function("all-five-rows", |b| {
+        b.iter(|| std::hint::black_box(table2_rows(&a).len()))
+    });
+
+    group.bench_function("greedy-selection", |b| {
+        b.iter(|| std::hint::black_box(GreedySelection::new().run(&a).0.len()))
+    });
+
+    group.bench_function("designer-end-to-end", |b| {
+        let scenario = paper_example();
+        b.iter_batched(
+            || scenario.clone(),
+            |s| {
+                std::hint::black_box(
+                    Designer::new()
+                        .design(&s.catalog, &s.workload)
+                        .expect("designs")
+                        .cost
+                        .total,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

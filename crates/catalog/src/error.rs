@@ -1,0 +1,66 @@
+//! Error type for catalog operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::names::{AttrName, RelName};
+
+/// Errors reported by [`crate::Catalog`] operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CatalogError {
+    /// A relation with this name is already registered.
+    DuplicateRelation(RelName),
+    /// The relation is not registered.
+    UnknownRelation(RelName),
+    /// The attribute does not exist on the named relation.
+    UnknownAttribute(RelName, AttrName),
+    /// A schema declares the same attribute name twice.
+    DuplicateAttribute(RelName, AttrName),
+    /// A selectivity or frequency was out of its valid range.
+    InvalidValue {
+        /// What was being set (e.g. `"selectivity"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateRelation(r) => {
+                write!(f, "relation `{r}` is already registered")
+            }
+            CatalogError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            CatalogError::UnknownAttribute(r, a) => {
+                write!(f, "relation `{r}` has no attribute `{a}`")
+            }
+            CatalogError::DuplicateAttribute(r, a) => {
+                write!(f, "relation `{r}` declares attribute `{a}` more than once")
+            }
+            CatalogError::InvalidValue { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+        }
+    }
+}
+
+impl Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = CatalogError::UnknownAttribute(RelName::new("Order"), AttrName::new("qty"));
+        assert_eq!(e.to_string(), "relation `Order` has no attribute `qty`");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + Error>() {}
+        assert_bounds::<CatalogError>();
+    }
+}

@@ -1,0 +1,179 @@
+//! Relation schemas: attribute lists and types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::names::{AttrName, RelName};
+
+/// The type of an attribute.
+///
+/// The paper works with the plain relational model; we distinguish only the
+/// types that matter for generating and executing the example workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// 64-bit signed integer (ids, quantities).
+    Int,
+    /// Free text (names, cities, suppliers).
+    Text,
+    /// A calendar date, stored as days since an epoch.
+    Date,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Int => "int",
+            AttrType::Text => "text",
+            AttrType::Date => "date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, unique within its relation.
+    pub name: AttrName,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<AttrName>, ty: AttrType) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.ty)
+    }
+}
+
+/// The schema of a relation: a named, ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationSchema {
+    name: RelName,
+    attributes: Vec<Attribute>,
+}
+
+impl RelationSchema {
+    /// Creates a schema with the given attributes.
+    ///
+    /// Duplicate attribute names are allowed at this level (validated by
+    /// [`crate::Catalog`] on insertion) so partially-built schemas can be
+    /// inspected.
+    pub fn new(name: impl Into<RelName>, attributes: Vec<Attribute>) -> Self {
+        Self {
+            name: name.into(),
+            attributes,
+        }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &RelName {
+        &self.name
+    }
+
+    /// The attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name == *name)
+    }
+
+    /// The positional index of an attribute, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == *name)
+    }
+
+    /// Whether the schema contains an attribute with this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Returns the first duplicated attribute name, if any.
+    pub fn first_duplicate(&self) -> Option<&AttrName> {
+        for (i, a) in self.attributes.iter().enumerate() {
+            if self.attributes[..i].iter().any(|b| b.name == a.name) {
+                return Some(&a.name);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn product() -> RelationSchema {
+        RelationSchema::new(
+            "Product",
+            vec![
+                Attribute::new("Pid", AttrType::Int),
+                Attribute::new("name", AttrType::Text),
+                Attribute::new("Did", AttrType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = product();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.attribute("Did").unwrap().ty, AttrType::Int);
+        assert!(s.attribute("missing").is_none());
+        assert!(s.contains("Pid"));
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let ok = product();
+        assert!(ok.first_duplicate().is_none());
+        let dup = RelationSchema::new(
+            "R",
+            vec![
+                Attribute::new("a", AttrType::Int),
+                Attribute::new("a", AttrType::Text),
+            ],
+        );
+        assert_eq!(dup.first_duplicate().unwrap().as_str(), "a");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            product().to_string(),
+            "Product(Pid: int, name: text, Did: int)"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Physical statistics for relations and derived results.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical statistics of a (base or derived) relation.
+///
+/// All sizes are `f64`: cardinality *estimates* are generally fractional once
+/// selectivities are applied, and the paper itself reports fractional block
+/// counts (e.g. `0.25k`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelationStats {
+    /// Number of records (tuples).
+    pub records: f64,
+    /// Number of disk blocks occupied.
+    pub blocks: f64,
+}
+
+impl RelationStats {
+    /// Creates statistics from record and block counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is negative or not finite — statistics are
+    /// produced from catalog input or estimator arithmetic that must keep
+    /// them non-negative.
+    pub fn new(records: f64, blocks: f64) -> Self {
+        assert!(
+            records.is_finite() && records >= 0.0,
+            "record count must be finite and non-negative, got {records}"
+        );
+        assert!(
+            blocks.is_finite() && blocks >= 0.0,
+            "block count must be finite and non-negative, got {blocks}"
+        );
+        Self { records, blocks }
+    }
+
+    /// Statistics of an empty relation.
+    pub fn empty() -> Self {
+        Self {
+            records: 0.0,
+            blocks: 0.0,
+        }
+    }
+
+    /// Records per block.
+    ///
+    /// Returns `1.0` for degenerate inputs (zero blocks) so downstream
+    /// arithmetic never divides by zero; an empty relation packs "one record
+    /// per block" vacuously.
+    pub fn blocking_factor(&self) -> f64 {
+        if self.blocks <= 0.0 || self.records <= 0.0 {
+            1.0
+        } else {
+            self.records / self.blocks
+        }
+    }
+
+    /// Scales both records and blocks by a selectivity in `[0, 1]`.
+    ///
+    /// The blocking factor is preserved: selecting 2% of the rows is assumed
+    /// to keep 2% of the blocks once the result is written out.
+    #[must_use]
+    pub fn scaled(&self, selectivity: f64) -> Self {
+        let s = selectivity.clamp(0.0, 1.0);
+        Self {
+            records: self.records * s,
+            blocks: self.blocks * s,
+        }
+    }
+
+    /// Statistics with the same number of records repacked at `factor`
+    /// records per block. Used when an operator changes tuple width.
+    #[must_use]
+    pub fn repacked(&self, factor: f64) -> Self {
+        let f = if factor <= 0.0 { 1.0 } else { factor };
+        Self {
+            records: self.records,
+            blocks: self.records / f,
+        }
+    }
+}
+
+impl Default for RelationStats {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_factor_of_table1_division() {
+        let s = RelationStats::new(5_000.0, 500.0);
+        assert_eq!(s.blocking_factor(), 10.0);
+    }
+
+    #[test]
+    fn scaled_preserves_blocking_factor() {
+        let s = RelationStats::new(5_000.0, 500.0).scaled(0.02);
+        assert_eq!(s.records, 100.0);
+        assert_eq!(s.blocks, 10.0);
+        assert_eq!(s.blocking_factor(), 10.0);
+    }
+
+    #[test]
+    fn scaled_clamps_out_of_range_selectivity() {
+        let s = RelationStats::new(100.0, 10.0);
+        assert_eq!(s.scaled(2.0).records, 100.0);
+        assert_eq!(s.scaled(-1.0).records, 0.0);
+    }
+
+    #[test]
+    fn degenerate_blocking_factor_is_one() {
+        assert_eq!(RelationStats::empty().blocking_factor(), 1.0);
+    }
+
+    #[test]
+    fn repacked_changes_blocks_not_records() {
+        let s = RelationStats::new(30_000.0, 3_000.0).repacked(6.0);
+        assert_eq!(s.records, 30_000.0);
+        assert_eq!(s.blocks, 5_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "record count")]
+    fn negative_records_panic() {
+        let _ = RelationStats::new(-1.0, 0.0);
+    }
+}

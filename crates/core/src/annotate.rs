@@ -1,0 +1,457 @@
+//! Cost annotations: turning an [`Mvpp`] into the fully-labelled DAG
+//! `M = (V, A, R, Ca, Cm, fq, fu)` of the paper's §3.1.
+
+use mvdesign_catalog::RelationStats;
+use mvdesign_cost::{CostEstimator, CostModel};
+
+use crate::mvpp::{Mvpp, NodeId};
+
+/// How per-view update weights are derived from base-relation update
+/// frequencies.
+///
+/// The paper's formula sums `fu` over a view's base inputs, but its worked
+/// example (§4.3) charges one recomputation per period for views over
+/// several once-per-period relations — i.e. refreshes are batched, which
+/// corresponds to taking the *maximum*. `Max` therefore reproduces the
+/// paper's trace and is the default; `Sum` implements the formula literally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateWeighting {
+    /// One batched refresh per update period: `U(v) = max_{b∈Iv} fu(b)`.
+    #[default]
+    Max,
+    /// Refresh per base-relation update: `U(v) = Σ_{b∈Iv} fu(b)`.
+    Sum,
+}
+
+/// How a materialized view is refreshed when its base relations change.
+///
+/// The paper assumes recomputation ("we assume that re-computing is used
+/// whenever an update of involved base relation occurs", §2) and lists
+/// incremental maintenance as the standard alternative from the literature
+/// it builds on (Gupta & Mumick's survey, the paper's reference 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaintenancePolicy {
+    /// Rebuild the view from its inputs on every refresh: `Cm(v) = Ca(v)`.
+    Recompute,
+    /// Propagate deltas: each refresh costs the stated fraction of a full
+    /// recomputation (the share of the base data that changed, amplified
+    /// through the joins) plus one scan of the stored view to apply the
+    /// delta: `Cm(v) = f·Ca(v) + scan(v)`.
+    Incremental {
+        /// Fraction of the full recomputation a delta pass costs, in `[0,1]`.
+        update_fraction: f64,
+    },
+}
+
+impl Default for MaintenancePolicy {
+    fn default() -> Self {
+        MaintenancePolicy::Recompute
+    }
+}
+
+impl MaintenancePolicy {
+    /// The multiplier applied to recomputation work under this policy.
+    pub fn work_fraction(&self) -> f64 {
+        match self {
+            MaintenancePolicy::Recompute => 1.0,
+            MaintenancePolicy::Incremental { update_fraction } => {
+                update_fraction.clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+/// Everything the paper labels one MVPP vertex with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeAnnotation {
+    /// Estimated result statistics of `R(v)`.
+    pub stats: RelationStats,
+    /// Cost of this operator alone, inputs available.
+    pub op_cost: f64,
+    /// `Ca(v)`: cost of producing `R(v)` from base relations, sharing common
+    /// subexpressions (zero for leaves).
+    pub ca: f64,
+    /// `Cm(v)`: cost of maintaining `v` if materialized. Recomputation
+    /// maintenance (the paper's assumption) makes `Cm(v) = Ca(v)`.
+    pub cm: f64,
+    /// Cost of scanning a materialized copy of `R(v)`.
+    pub scan: f64,
+    /// `Σ_{q ∈ Ov} fq(q)`: combined frequency of queries using `v`.
+    pub fq_weight: f64,
+    /// `U(v)`: update weight from the base relations below `v`.
+    pub fu_weight: f64,
+    /// `w(v) = fq_weight·Ca(v) − fu_weight·Cm(v)` (paper §4.3).
+    pub weight: f64,
+}
+
+/// An [`Mvpp`] together with per-node annotations computed against a
+/// catalog and cost model.
+#[derive(Debug, Clone)]
+pub struct AnnotatedMvpp {
+    mvpp: Mvpp,
+    annotations: Vec<NodeAnnotation>,
+    policy: MaintenancePolicy,
+}
+
+impl AnnotatedMvpp {
+    /// Annotates every node of `mvpp` under recomputation maintenance.
+    pub fn annotate<M: CostModel>(
+        mvpp: Mvpp,
+        est: &CostEstimator<'_, M>,
+        weighting: UpdateWeighting,
+    ) -> Self {
+        Self::annotate_with(mvpp, est, weighting, MaintenancePolicy::Recompute)
+    }
+
+    /// Annotates every node of `mvpp` under an explicit maintenance policy.
+    pub fn annotate_with<M: CostModel>(
+        mvpp: Mvpp,
+        est: &CostEstimator<'_, M>,
+        weighting: UpdateWeighting,
+        policy: MaintenancePolicy,
+    ) -> Self {
+        let catalog = est.cardinalities().catalog();
+        let mut annotations = Vec::with_capacity(mvpp.len());
+        // Nodes are stored in topological (children-first) order.
+        for node in mvpp.nodes() {
+            let stats = est.stats(node.expr());
+            let op_cost = est.op_cost(node.expr());
+            let ca = if node.is_leaf() {
+                0.0
+            } else {
+                // Ca over the *DAG*: this operator plus each distinct
+                // descendant operator once.
+                let mut total = op_cost;
+                for d in mvpp.descendants(node.id()) {
+                    total += annotations
+                        .get(d.0)
+                        .map_or_else(|| est.op_cost(mvpp.node(d).expr()), |a: &NodeAnnotation| a.op_cost);
+                }
+                total
+            };
+            let scan = est.scan_cost(node.expr());
+            let cm = match policy {
+                MaintenancePolicy::Recompute => ca,
+                MaintenancePolicy::Incremental { .. } if node.is_leaf() => 0.0,
+                MaintenancePolicy::Incremental { .. } => {
+                    policy.work_fraction() * ca + scan
+                }
+            };
+            let fq_weight: f64 = mvpp
+                .queries_using(node.id())
+                .into_iter()
+                .map(|i| mvpp.roots()[i].1)
+                .sum();
+            let fus = mvpp
+                .base_inputs(node.id())
+                .into_iter()
+                .map(|r| catalog.update_frequency(r.as_str()));
+            let fu_weight = match weighting {
+                UpdateWeighting::Max => fus.fold(0.0, f64::max),
+                UpdateWeighting::Sum => fus.sum(),
+            };
+            annotations.push(NodeAnnotation {
+                stats,
+                op_cost,
+                ca,
+                cm,
+                scan,
+                fq_weight,
+                fu_weight,
+                weight: fq_weight * ca - fu_weight * cm,
+            });
+        }
+        Self {
+            mvpp,
+            annotations,
+            policy,
+        }
+    }
+
+    /// The underlying DAG.
+    pub fn mvpp(&self) -> &Mvpp {
+        &self.mvpp
+    }
+
+    /// The maintenance policy the annotations were computed under.
+    pub fn maintenance_policy(&self) -> MaintenancePolicy {
+        self.policy
+    }
+
+    /// Annotation of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this MVPP.
+    pub fn annotation(&self, id: NodeId) -> &NodeAnnotation {
+        &self.annotations[id.0]
+    }
+
+    /// Interior nodes with positive weight, in descending weight order —
+    /// the paper's list `LV` (Figure 9, step 2). Ties break by node id for
+    /// determinism.
+    pub fn weight_ordered_interior(&self) -> Vec<NodeId> {
+        let mut lv: Vec<NodeId> = self
+            .mvpp
+            .interior()
+            .into_iter()
+            .filter(|v| self.annotations[v.0].weight > 0.0)
+            .collect();
+        lv.sort_by(|a, b| {
+            let wa = self.annotations[a.0].weight;
+            let wb = self.annotations[b.0].weight;
+            wb.partial_cmp(&wa)
+                .expect("weights are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        lv
+    }
+
+    /// Renders the DAG as DOT, labelling every interior node with its
+    /// `Ca` — the same annotation the paper draws beside each node in
+    /// Figure 3.
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=BT;");
+        for n in self.mvpp.nodes() {
+            let a = &self.annotations[n.id().0];
+            let shape = if n.is_leaf() { "box" } else { "plaintext" };
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{} Ca={:.4}\", shape={shape}];",
+                n.id(),
+                n.label(),
+                a.ca
+            );
+        }
+        for n in self.mvpp.nodes() {
+            for c in n.children() {
+                let _ = writeln!(out, "  {} -> {};", c, n.id());
+            }
+        }
+        for (i, (qname, fq, root)) in self.mvpp.roots().iter().enumerate() {
+            let _ = writeln!(out, "  q{i} [label=\"{qname} fq={fq}\", shape=ellipse];");
+            let _ = writeln!(out, "  {root} -> q{i};");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvdesign_algebra::{AttrRef, CompareOp, Expr, JoinCondition, Predicate};
+    use mvdesign_catalog::{AttrType, Catalog, RelName};
+    use mvdesign_cost::{EstimationMode, PaperCostModel};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.relation("Pd")
+            .attr("Pid", AttrType::Int)
+            .attr("name", AttrType::Text)
+            .attr("Did", AttrType::Int)
+            .records(30_000.0)
+            .blocks(3_000.0)
+            .update_frequency(1.0)
+            .finish()
+            .unwrap();
+        c.relation("Div")
+            .attr("Did", AttrType::Int)
+            .attr("name", AttrType::Text)
+            .attr("city", AttrType::Text)
+            .records(5_000.0)
+            .blocks(500.0)
+            .update_frequency(1.0)
+            .selectivity("city", 0.02)
+            .finish()
+            .unwrap();
+        c.set_join_selectivity(
+            AttrRef::new("Pd", "Did"),
+            AttrRef::new("Div", "Did"),
+            1.0 / 5_000.0,
+        )
+        .unwrap();
+        c.set_size_override(
+            [RelName::new("Pd"), RelName::new("Div")],
+            RelationStats::new(30_000.0, 5_000.0),
+        )
+        .unwrap();
+        c
+    }
+
+    fn tmp2() -> std::sync::Arc<Expr> {
+        Expr::join(
+            Expr::base("Pd"),
+            Expr::select(
+                Expr::base("Div"),
+                Predicate::cmp(AttrRef::new("Div", "city"), CompareOp::Eq, "LA"),
+            ),
+            JoinCondition::on(AttrRef::new("Pd", "Did"), AttrRef::new("Div", "Did")),
+        )
+    }
+
+    fn annotated() -> AnnotatedMvpp {
+        let mut m = Mvpp::new();
+        m.insert_query("Q1", 10.0, &tmp2());
+        let catalog = catalog();
+        let est = CostEstimator::new(&catalog, EstimationMode::Calibrated, PaperCostModel::default());
+        AnnotatedMvpp::annotate(m, &est, UpdateWeighting::Max)
+    }
+
+    #[test]
+    fn leaves_have_zero_ca() {
+        let a = annotated();
+        for leaf in a.mvpp().leaves() {
+            assert_eq!(a.annotation(leaf).ca, 0.0);
+            assert_eq!(a.annotation(leaf).cm, 0.0);
+        }
+    }
+
+    #[test]
+    fn ca_accumulates_over_the_dag() {
+        let a = annotated();
+        let join = a.mvpp().find(&tmp2()).unwrap();
+        // σ costs 500, join costs 3000·10 + 100 = 30 100.
+        assert_eq!(a.annotation(join).ca, 30_600.0);
+        assert_eq!(a.annotation(join).op_cost, 30_100.0);
+    }
+
+    #[test]
+    fn weights_follow_paper_formula() {
+        let a = annotated();
+        let join = a.mvpp().find(&tmp2()).unwrap();
+        let ann = a.annotation(join);
+        assert_eq!(ann.fq_weight, 10.0);
+        assert_eq!(ann.fu_weight, 1.0);
+        assert_eq!(ann.weight, 10.0 * 30_600.0 - 30_600.0);
+    }
+
+    #[test]
+    fn weight_ordered_interior_is_descending() {
+        let a = annotated();
+        let lv = a.weight_ordered_interior();
+        for pair in lv.windows(2) {
+            assert!(a.annotation(pair[0]).weight >= a.annotation(pair[1]).weight);
+        }
+        // Only positive weights appear.
+        for v in &lv {
+            assert!(a.annotation(*v).weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn sum_weighting_counts_each_base() {
+        let mut m = Mvpp::new();
+        m.insert_query("Q1", 10.0, &tmp2());
+        let catalog = catalog();
+        let est = CostEstimator::new(&catalog, EstimationMode::Calibrated, PaperCostModel::default());
+        let a = AnnotatedMvpp::annotate(m, &est, UpdateWeighting::Sum);
+        let join = a.mvpp().find(&tmp2()).unwrap();
+        assert_eq!(a.annotation(join).fu_weight, 2.0);
+    }
+
+    #[test]
+    fn dot_contains_ca_labels() {
+        let a = annotated();
+        assert!(a.to_dot("fig3").contains("Ca=30600"));
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::mvpp::Mvpp;
+    use mvdesign_algebra::{AttrRef, Expr, JoinCondition};
+    use mvdesign_catalog::{AttrType, Catalog};
+    use mvdesign_cost::{CostEstimator, EstimationMode, PaperCostModel};
+
+    fn setup() -> (Catalog, Mvpp) {
+        let mut c = Catalog::new();
+        for name in ["A", "B"] {
+            c.relation(name)
+                .attr("k", AttrType::Int)
+                .records(10_000.0)
+                .blocks(1_000.0)
+                .update_frequency(2.0)
+                .finish()
+                .unwrap();
+        }
+        let join = Expr::join(
+            Expr::base("A"),
+            Expr::base("B"),
+            JoinCondition::on(AttrRef::new("A", "k"), AttrRef::new("B", "k")),
+        );
+        let mut m = Mvpp::new();
+        m.insert_query("Q", 5.0, &join);
+        (c, m)
+    }
+
+    #[test]
+    fn incremental_policy_shrinks_cm_and_grows_weight() {
+        let (c, m) = setup();
+        let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
+        let rec = AnnotatedMvpp::annotate_with(
+            m.clone(),
+            &est,
+            UpdateWeighting::Max,
+            MaintenancePolicy::Recompute,
+        );
+        let inc = AnnotatedMvpp::annotate_with(
+            m,
+            &est,
+            UpdateWeighting::Max,
+            MaintenancePolicy::Incremental { update_fraction: 0.1 },
+        );
+        let v = rec.mvpp().interior()[0];
+        assert!(inc.annotation(v).cm < rec.annotation(v).cm);
+        assert!(inc.annotation(v).weight > rec.annotation(v).weight);
+        // Ca itself is policy-independent.
+        assert_eq!(inc.annotation(v).ca, rec.annotation(v).ca);
+    }
+
+    #[test]
+    fn incremental_cm_is_fraction_of_ca_plus_scan() {
+        let (c, m) = setup();
+        let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
+        let a = AnnotatedMvpp::annotate_with(
+            m,
+            &est,
+            UpdateWeighting::Max,
+            MaintenancePolicy::Incremental { update_fraction: 0.25 },
+        );
+        let v = a.mvpp().interior()[0];
+        let ann = a.annotation(v);
+        assert!((ann.cm - (0.25 * ann.ca + ann.scan)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_fraction_is_clamped() {
+        assert_eq!(
+            MaintenancePolicy::Incremental { update_fraction: 7.0 }.work_fraction(),
+            1.0
+        );
+        assert_eq!(
+            MaintenancePolicy::Incremental { update_fraction: -1.0 }.work_fraction(),
+            0.0
+        );
+        assert_eq!(MaintenancePolicy::Recompute.work_fraction(), 1.0);
+    }
+
+    #[test]
+    fn leaves_have_zero_cm_under_every_policy() {
+        let (c, m) = setup();
+        let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
+        for policy in [
+            MaintenancePolicy::Recompute,
+            MaintenancePolicy::Incremental { update_fraction: 0.5 },
+        ] {
+            let a = AnnotatedMvpp::annotate_with(m.clone(), &est, UpdateWeighting::Max, policy);
+            for leaf in a.mvpp().leaves() {
+                assert_eq!(a.annotation(leaf).cm, 0.0, "{policy:?}");
+            }
+        }
+    }
+}

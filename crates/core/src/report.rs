@@ -1,0 +1,169 @@
+//! Human-readable reporting of a finished design: the chosen views, the
+//! cost breakdown, and the greedy decision trace, rendered once here so the
+//! CLI, examples and logs all agree.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::annotate::AnnotatedMvpp;
+use crate::designer::DesignResult;
+use crate::evaluate::{evaluate, MaintenanceMode};
+use crate::greedy::{SelectionTrace, TraceVerdict};
+
+/// Renders the §4.3-style decision trace of a greedy run.
+///
+/// Each step shows the node's label, its relations, the computed `Cs` and
+/// the verdict, e.g.:
+///
+/// ```text
+/// LV = ⟨tmp2[Customer⋈Order], tmp7[Division⋈Product], …⟩
+/// tmp2     Cs =     43246800  materialize
+/// tmp4     Cs =     -8987250  reject (prunes 2)
+/// ```
+pub fn render_trace(trace: &SelectionTrace, a: &AnnotatedMvpp) -> String {
+    let mut out = String::new();
+    let label = |id: crate::mvpp::NodeId| -> String {
+        let node = a.mvpp().node(id);
+        let rels: Vec<String> = node
+            .expr()
+            .base_relations()
+            .into_iter()
+            .map(|r| r.as_str().to_string())
+            .collect();
+        format!("{}[{}]", node.label(), rels.join("⋈"))
+    };
+    let lv: Vec<String> = trace.initial_lv.iter().map(|id| label(*id)).collect();
+    let _ = writeln!(out, "LV = ⟨{}⟩", lv.join(", "));
+    for step in &trace.steps {
+        match &step.verdict {
+            TraceVerdict::Materialized => {
+                let _ = writeln!(out, "{:<9} Cs = {:>14.0}  materialize", step.label, step.cs);
+            }
+            TraceVerdict::Rejected { pruned } => {
+                let _ = writeln!(
+                    out,
+                    "{:<9} Cs = {:>14.0}  reject (prunes {})",
+                    step.label,
+                    step.cs,
+                    pruned.len()
+                );
+            }
+            TraceVerdict::SkippedParentsMaterialized => {
+                let _ = writeln!(out, "{:<9} parents already materialized — ignored", step.label);
+            }
+            TraceVerdict::RemovedRedundant => {
+                let _ = writeln!(out, "{:<9} all consumers materialized — dropped", step.label);
+            }
+        }
+    }
+    out
+}
+
+/// Renders a complete design report: chosen views with build/read costs,
+/// the cost breakdown, the comparison against materialize-nothing, and the
+/// decision trace.
+pub fn render_design(design: &DesignResult) -> String {
+    let mut out = String::new();
+    let a = &design.mvpp;
+    let _ = writeln!(
+        out,
+        "design: {} view(s) from candidate MVPP #{} of {}",
+        design.materialized.len(),
+        design.candidate_index,
+        design.candidate_costs.len()
+    );
+    for id in &design.materialized {
+        let node = a.mvpp().node(*id);
+        let ann = a.annotation(*id);
+        let rels: Vec<String> = node
+            .expr()
+            .base_relations()
+            .into_iter()
+            .map(|r| r.as_str().to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {:<8} over {:<32} build {:>14.0}  read {:>12.0}",
+            node.label(),
+            rels.join("⋈"),
+            ann.ca,
+            ann.scan
+        );
+    }
+    let _ = writeln!(out, "cost per period (block accesses):");
+    let _ = writeln!(out, "  query processing {:>16.0}", design.cost.query_processing);
+    let _ = writeln!(out, "  view maintenance {:>16.0}", design.cost.maintenance);
+    let _ = writeln!(out, "  total            {:>16.0}", design.cost.total);
+    let none = evaluate(a, &BTreeSet::new(), MaintenanceMode::SharedRecompute);
+    if none.total > 0.0 {
+        let _ = writeln!(
+            out,
+            "  vs all-virtual   {:>16.0}  ({:.1}% saved)",
+            none.total,
+            100.0 * (none.total - design.cost.total) / none.total
+        );
+    }
+    let _ = writeln!(out, "decision trace:");
+    out.push_str(&render_trace(&design.trace, a));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designer::Designer;
+    use crate::workload::Workload;
+    use mvdesign_algebra::{parse_query_with, Query};
+    use mvdesign_catalog::{AttrType, Catalog};
+
+    fn design() -> DesignResult {
+        let mut c = Catalog::new();
+        c.relation("A")
+            .attr("k", AttrType::Int)
+            .records(10_000.0)
+            .blocks(1_000.0)
+            .update_frequency(1.0)
+            .finish()
+            .unwrap();
+        c.relation("B")
+            .attr("k", AttrType::Int)
+            .records(10_000.0)
+            .blocks(1_000.0)
+            .update_frequency(1.0)
+            .finish()
+            .unwrap();
+        let q = parse_query_with("SELECT A.k FROM A, B WHERE A.k = B.k", &c).unwrap();
+        let w = Workload::new([Query::new("hot", 40.0, q)]).unwrap();
+        Designer::new().design(&c, &w).unwrap()
+    }
+
+    #[test]
+    fn report_names_every_materialized_view() {
+        let d = design();
+        let text = render_design(&d);
+        for id in &d.materialized {
+            let label = d.mvpp.mvpp().node(*id).label().to_string();
+            assert!(text.contains(&label), "missing {label} in:\n{text}");
+        }
+        assert!(text.contains("query processing"));
+        assert!(text.contains("decision trace:"));
+    }
+
+    #[test]
+    fn trace_rendering_shows_lv_and_verdicts() {
+        let d = design();
+        let text = render_trace(&d.trace, &d.mvpp);
+        assert!(text.starts_with("LV = ⟨"), "{text}");
+        assert!(
+            text.contains("materialize") || text.contains("reject"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn report_includes_the_all_virtual_comparison() {
+        let text = render_design(&design());
+        assert!(text.contains("vs all-virtual"), "{text}");
+        assert!(text.contains("% saved"), "{text}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Answering queries *from* the materialized views: rewrite an expression
+//! so every subexpression that matches a registered view becomes a scan of
+//! the stored view.
+//!
+//! This closes the loop the paper's architecture (Figure 1) implies: after
+//! the design phase decides what to materialize, the warehouse must route
+//! incoming queries — including *ad hoc* ones that were not in the design
+//! workload — through the stored views.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mvdesign_algebra::{Expr, RelName};
+
+use crate::designer::DesignResult;
+
+/// A registry of materialized views: a stored name per view definition.
+///
+/// Matching is by [`Expr::semantic_key`], so any expression equivalent up to
+/// join commutativity/associativity and predicate normalisation hits the
+/// view, not just syntactically identical ones.
+#[derive(Debug, Clone, Default)]
+pub struct ViewCatalog {
+    views: Vec<(RelName, Arc<Expr>)>,
+    by_key: HashMap<String, RelName>,
+}
+
+impl ViewCatalog {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a view definition under a stored-table name.
+    ///
+    /// Returns `false` (and keeps the existing entry) when an equivalent
+    /// view is already registered.
+    pub fn register(&mut self, name: impl Into<RelName>, definition: Arc<Expr>) -> bool {
+        let key = definition.semantic_key();
+        if self.by_key.contains_key(&key) {
+            return false;
+        }
+        let name = name.into();
+        self.by_key.insert(key, name.clone());
+        self.views.push((name, definition));
+        true
+    }
+
+    /// Builds a registry from a finished design, naming each view after its
+    /// MVPP node label (`tmp2`, `tmp7`, …).
+    pub fn from_design(design: &DesignResult) -> Self {
+        let mut out = Self::new();
+        for id in &design.materialized {
+            let node = design.mvpp.mvpp().node(*id);
+            out.register(node.label(), Arc::clone(node.expr()));
+        }
+        out
+    }
+
+    /// The registered views, in registration order.
+    pub fn views(&self) -> &[(RelName, Arc<Expr>)] {
+        &self.views
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether no views are registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The stored name answering `expr` exactly, if any.
+    pub fn exact_match(&self, expr: &Arc<Expr>) -> Option<&RelName> {
+        self.by_key.get(&expr.semantic_key())
+    }
+
+    /// Rewrites `expr`, replacing every maximal subexpression that matches a
+    /// registered view with a scan of the stored view.
+    ///
+    /// The replacement is a [`Expr::Base`] leaf named after the view; the
+    /// stored table keeps the original qualified attributes, so operators
+    /// above the replacement still resolve (the engine looks attributes up
+    /// by name, not by table). Returns the input unchanged when nothing
+    /// matches.
+    pub fn rewrite(&self, expr: &Arc<Expr>) -> Arc<Expr> {
+        if let Some(name) = self.exact_match(expr) {
+            return Expr::base(name.clone());
+        }
+        let children = expr.children();
+        if children.is_empty() {
+            return Arc::clone(expr);
+        }
+        let rewritten: Vec<Arc<Expr>> = children.iter().map(|c| self.rewrite(c)).collect();
+        if rewritten
+            .iter()
+            .zip(&children)
+            .all(|(new, old)| Arc::ptr_eq(new, old))
+        {
+            return Arc::clone(expr);
+        }
+        match &**expr {
+            Expr::Select { predicate, .. } => Arc::new(Expr::Select {
+                input: rewritten.into_iter().next().expect("one child"),
+                predicate: predicate.clone(),
+            }),
+            Expr::Project { attrs, .. } => Arc::new(Expr::Project {
+                input: rewritten.into_iter().next().expect("one child"),
+                attrs: attrs.clone(),
+            }),
+            Expr::Aggregate { group_by, aggs, .. } => Arc::new(Expr::Aggregate {
+                input: rewritten.into_iter().next().expect("one child"),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            }),
+            Expr::Join { on, .. } => {
+                let mut it = rewritten.into_iter();
+                let left = it.next().expect("two children");
+                let right = it.next().expect("two children");
+                Expr::join(left, right, on.clone())
+            }
+            Expr::Base(_) => unreachable!("bases have no children"),
+        }
+    }
+
+    /// How many view scans `rewrite` would introduce for this expression.
+    pub fn match_count(&self, expr: &Arc<Expr>) -> usize {
+        if self.exact_match(expr).is_some() {
+            return 1;
+        }
+        expr.children().iter().map(|c| self.match_count(c)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvdesign_algebra::{AttrRef, CompareOp, JoinCondition, Predicate};
+
+    fn tmp2() -> Arc<Expr> {
+        Expr::join(
+            Expr::base("Pd"),
+            Expr::select(
+                Expr::base("Div"),
+                Predicate::cmp(AttrRef::new("Div", "city"), CompareOp::Eq, "LA"),
+            ),
+            JoinCondition::on(AttrRef::new("Pd", "Did"), AttrRef::new("Div", "Did")),
+        )
+    }
+
+    #[test]
+    fn exact_match_replaces_whole_expression() {
+        let mut v = ViewCatalog::new();
+        assert!(v.register("v_tmp2", tmp2()));
+        let rewritten = v.rewrite(&tmp2());
+        assert_eq!(rewritten.to_string(), "v_tmp2");
+    }
+
+    #[test]
+    fn matching_is_semantic_not_syntactic() {
+        let mut v = ViewCatalog::new();
+        v.register("v", tmp2());
+        // Commuted join — different tree, same relation.
+        let commuted = Expr::join(
+            Expr::select(
+                Expr::base("Div"),
+                Predicate::cmp(AttrRef::new("Div", "city"), CompareOp::Eq, "LA"),
+            ),
+            Expr::base("Pd"),
+            JoinCondition::on(AttrRef::new("Pd", "Did"), AttrRef::new("Div", "Did")),
+        );
+        assert!(v.exact_match(&commuted).is_some());
+    }
+
+    #[test]
+    fn subexpression_is_replaced_inside_larger_query() {
+        let mut v = ViewCatalog::new();
+        v.register("v_tmp2", tmp2());
+        let bigger = Expr::project(
+            Expr::join(
+                tmp2(),
+                Expr::base("Pt"),
+                JoinCondition::on(AttrRef::new("Pt", "Pid"), AttrRef::new("Pd", "Pid")),
+            ),
+            [AttrRef::new("Pt", "name")],
+        );
+        assert_eq!(v.match_count(&bigger), 1);
+        let rewritten = v.rewrite(&bigger);
+        assert!(rewritten.to_string().contains("v_tmp2"), "{rewritten}");
+        assert!(!rewritten.to_string().contains("Div"), "{rewritten}");
+    }
+
+    #[test]
+    fn no_match_returns_input_unchanged() {
+        let v = ViewCatalog::new();
+        let e = tmp2();
+        let out = v.rewrite(&e);
+        assert!(Arc::ptr_eq(&out, &e));
+        assert_eq!(v.match_count(&e), 0);
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut v = ViewCatalog::new();
+        assert!(v.register("a", tmp2()));
+        assert!(!v.register("b", tmp2()));
+        assert_eq!(v.len(), 1);
+    }
+}

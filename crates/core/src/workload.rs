@@ -1,0 +1,127 @@
+//! The warehouse workload: named queries with access frequencies.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use mvdesign_algebra::{Query, RelName};
+
+/// Errors raised by [`Workload::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The workload contains no queries.
+    Empty,
+    /// Two queries share a name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Empty => f.write_str("workload contains no queries"),
+            WorkloadError::DuplicateName(n) => write!(f, "duplicate query name `{n}`"),
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+/// A set of warehouse queries — the "global queries and their access
+/// frequencies" half of the paper's problem input (the base relations and
+/// their update frequencies are the catalog's half).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    queries: Vec<Query>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] when the query list is empty or contains
+    /// duplicate names.
+    pub fn new(queries: impl IntoIterator<Item = Query>) -> Result<Self, WorkloadError> {
+        let queries: Vec<Query> = queries.into_iter().collect();
+        if queries.is_empty() {
+            return Err(WorkloadError::Empty);
+        }
+        let mut seen = BTreeSet::new();
+        for q in &queries {
+            if !seen.insert(q.name().to_string()) {
+                return Err(WorkloadError::DuplicateName(q.name().to_string()));
+            }
+        }
+        Ok(Self { queries })
+    }
+
+    /// The queries, in declaration order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// A query by name.
+    pub fn query(&self, name: &str) -> Option<&Query> {
+        self.queries.iter().find(|q| q.name() == name)
+    }
+
+    /// Every base relation referenced by at least one query.
+    pub fn base_relations(&self) -> BTreeSet<RelName> {
+        self.queries
+            .iter()
+            .flat_map(|q| q.root().base_relations())
+            .collect()
+    }
+
+    /// Total access frequency across all queries.
+    pub fn total_frequency(&self) -> f64 {
+        self.queries.iter().map(Query::frequency).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvdesign_algebra::Expr;
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Workload::new([]).unwrap_err(), WorkloadError::Empty);
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Workload::new([
+            Query::new("Q1", 1.0, Expr::base("A")),
+            Query::new("Q1", 2.0, Expr::base("B")),
+        ])
+        .unwrap_err();
+        assert_eq!(err, WorkloadError::DuplicateName("Q1".into()));
+    }
+
+    #[test]
+    fn accessors() {
+        let w = Workload::new([
+            Query::new("Q1", 10.0, Expr::base("A")),
+            Query::new("Q2", 0.5, Expr::base("B")),
+        ])
+        .unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.total_frequency(), 10.5);
+        assert!(w.query("Q2").is_some());
+        assert!(w.query("Q9").is_none());
+        let rels: Vec<_> = w.base_relations().into_iter().collect();
+        assert_eq!(rels.len(), 2);
+    }
+}

@@ -1,0 +1,643 @@
+//! Cost evaluation with inter-site shipping, and a selection loop that
+//! optimizes it.
+
+use std::collections::BTreeSet;
+
+use mvdesign_core::{AnnotatedMvpp, CostBreakdown, MaintenanceMode, NodeId};
+
+use crate::topology::{Placement, Topology};
+
+/// Whether single-relation selections run at the data's home site (shipping
+/// only the filtered blocks) or at the warehouse (shipping the whole base
+/// relation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterShipping {
+    /// Ship whole base relations; filter at the warehouse.
+    #[default]
+    AtWarehouse,
+    /// Evaluate a leaf's selection at its home site and ship the result.
+    AtSource,
+}
+
+/// Re-costs materialization choices with data-transfer charges added to the
+/// paper's block-access costs.
+///
+/// Model: queries execute at the warehouse site. Whenever a query (or a view
+/// refresh) reads a base relation stored remotely, its blocks are shipped at
+/// the topology's per-block link cost. Materialized views are stored at the
+/// warehouse, so queries answered from views incur no transfer.
+#[derive(Debug, Clone)]
+pub struct DistributedEvaluator<'a> {
+    annotated: &'a AnnotatedMvpp,
+    topology: Topology,
+    placement: Placement,
+    filter_shipping: FilterShipping,
+}
+
+impl<'a> DistributedEvaluator<'a> {
+    /// Creates an evaluator over an annotated MVPP.
+    pub fn new(
+        annotated: &'a AnnotatedMvpp,
+        topology: Topology,
+        placement: Placement,
+        filter_shipping: FilterShipping,
+    ) -> Self {
+        Self {
+            annotated,
+            topology,
+            placement,
+            filter_shipping,
+        }
+    }
+
+    /// The underlying annotated MVPP.
+    pub fn annotated(&self) -> &'a AnnotatedMvpp {
+        self.annotated
+    }
+
+    /// Blocks shipped to the warehouse when the leaf node `leaf` is read
+    /// remotely, already multiplied by the link cost. Zero for local data.
+    pub fn leaf_shipping(&self, leaf: NodeId) -> f64 {
+        let mvpp = self.annotated.mvpp();
+        let node = mvpp.node(leaf);
+        debug_assert!(node.is_leaf(), "leaf_shipping called on interior node");
+        let rel = node
+            .expr()
+            .base_relations()
+            .into_iter()
+            .next()
+            .expect("a leaf is a base relation");
+        let home = self.placement.home(rel.as_str());
+        let link = self
+            .topology
+            .link_cost(home, self.placement.warehouse());
+        if link == 0.0 {
+            return 0.0;
+        }
+        let blocks = match self.filter_shipping {
+            FilterShipping::AtWarehouse => self.annotated.annotation(leaf).stats.blocks,
+            FilterShipping::AtSource => {
+                // Ship the smallest single-parent selection over this leaf,
+                // if one exists; otherwise the whole relation.
+                let mut best = self.annotated.annotation(leaf).stats.blocks;
+                for p in node.parents() {
+                    let parent = mvpp.node(*p);
+                    if matches!(
+                        &**parent.expr(),
+                        mvdesign_algebra::Expr::Select { .. }
+                    ) {
+                        best = best.min(self.annotated.annotation(*p).stats.blocks);
+                    }
+                }
+                best
+            }
+        };
+        blocks * link
+    }
+
+    /// Evaluates the total (processing + maintenance + shipping) cost of
+    /// materializing `m`.
+    pub fn evaluate(&self, m: &BTreeSet<NodeId>, mode: MaintenanceMode) -> CostBreakdown {
+        let mvpp = self.annotated.mvpp();
+        let mut per_query = Vec::with_capacity(mvpp.roots().len());
+        let mut query_processing = 0.0;
+        for (name, fq, root) in mvpp.roots() {
+            let mut visited = BTreeSet::new();
+            let one = self.walk(m, *root, *root, &mut visited);
+            let weighted = fq * one;
+            query_processing += weighted;
+            per_query.push((name.clone(), weighted));
+        }
+
+        let maintenance = match mode {
+            MaintenanceMode::Isolated => m
+                .iter()
+                .filter(|v| !mvpp.node(**v).is_leaf())
+                .map(|v| {
+                    let ann = self.annotated.annotation(*v);
+                    let shipping: f64 = mvpp
+                        .descendants(*v)
+                        .into_iter()
+                        .chain([*v])
+                        .filter(|n| mvpp.node(*n).is_leaf())
+                        .map(|leaf| self.leaf_shipping(leaf))
+                        .sum();
+                    ann.fu_weight * (ann.cm + shipping)
+                })
+                .sum(),
+            MaintenanceMode::SharedRecompute => {
+                let mut needed: BTreeSet<NodeId> = BTreeSet::new();
+                for v in m {
+                    if mvpp.node(*v).is_leaf() {
+                        continue;
+                    }
+                    needed.insert(*v);
+                    needed.extend(mvpp.descendants(*v));
+                }
+                needed
+                    .into_iter()
+                    .map(|n| {
+                        let ann = self.annotated.annotation(n);
+                        if mvpp.node(n).is_leaf() {
+                            ann.fu_weight * self.leaf_shipping(n)
+                        } else {
+                            ann.fu_weight * ann.op_cost
+                        }
+                    })
+                    .sum()
+            }
+        };
+
+        CostBreakdown {
+            query_processing,
+            maintenance,
+            total: query_processing + maintenance,
+            per_query,
+        }
+    }
+
+    fn walk(
+        &self,
+        m: &BTreeSet<NodeId>,
+        v: NodeId,
+        root: NodeId,
+        visited: &mut BTreeSet<NodeId>,
+    ) -> f64 {
+        if !visited.insert(v) {
+            return 0.0;
+        }
+        let node = self.annotated.mvpp().node(v);
+        if node.is_leaf() {
+            // Remote base relations must be shipped per query execution.
+            return self.leaf_shipping(v);
+        }
+        if v != root && m.contains(&v) {
+            return self.annotated.annotation(v).scan;
+        }
+        if v == root && m.contains(&v) {
+            return self.annotated.annotation(v).scan;
+        }
+        let mut cost = self.annotated.annotation(v).op_cost;
+        for c in node.children() {
+            cost += self.walk(m, *c, root, visited);
+        }
+        cost
+    }
+}
+
+/// Where each materialized view is stored — the placement extension: a view
+/// over remote data can live at the data's site (cheap refresh, shipped
+/// reads) or at the warehouse (shipped refresh, local reads).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ViewPlacement {
+    sites: std::collections::BTreeMap<NodeId, crate::topology::SiteId>,
+}
+
+impl ViewPlacement {
+    /// Every view at the warehouse.
+    pub fn all_at_warehouse() -> Self {
+        Self::default()
+    }
+
+    /// Assigns one view's site.
+    pub fn assign(&mut self, view: NodeId, site: crate::topology::SiteId) {
+        self.sites.insert(view, site);
+    }
+
+    /// A view's site, defaulting to `warehouse`.
+    pub fn site_of(
+        &self,
+        view: NodeId,
+        warehouse: crate::topology::SiteId,
+    ) -> crate::topology::SiteId {
+        self.sites.get(&view).copied().unwrap_or(warehouse)
+    }
+
+    /// Iterates over explicit assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (&NodeId, &crate::topology::SiteId)> {
+        self.sites.iter()
+    }
+}
+
+impl<'a> DistributedEvaluator<'a> {
+    /// Total cost of materializing `m` with each view stored per
+    /// `placement`: queries pay to ship remote views they read, refreshes
+    /// pay to ship base inputs to each view's site.
+    pub fn evaluate_placed(
+        &self,
+        m: &BTreeSet<NodeId>,
+        placement: &ViewPlacement,
+        mode: MaintenanceMode,
+    ) -> CostBreakdown {
+        let base = self.evaluate(m, mode);
+        let wh = self.placement().warehouse();
+        let mvpp = self.annotated().mvpp();
+        let mut extra_query = 0.0;
+        // Per query: which views does its evaluation read?
+        for (_, fq, root) in mvpp.roots() {
+            for v in self.views_read(m, *root) {
+                let site = placement.site_of(v, wh);
+                let link = self.topology().link_cost(site, wh);
+                extra_query += fq * self.annotated().annotation(v).scan * link;
+            }
+        }
+        // Per view: refresh inputs ship to the view's site instead of the
+        // warehouse; recompute the delta versus the base evaluation.
+        let mut extra_maintenance = 0.0;
+        for v in m {
+            if mvpp.node(*v).is_leaf() {
+                continue;
+            }
+            let site = placement.site_of(*v, wh);
+            if site == wh {
+                continue;
+            }
+            for leaf in mvpp.descendants(*v) {
+                if !mvpp.node(leaf).is_leaf() {
+                    continue;
+                }
+                let ann = self.annotated().annotation(leaf);
+                let rel = mvpp
+                    .node(leaf)
+                    .expr()
+                    .base_relations()
+                    .into_iter()
+                    .next()
+                    .expect("leaf is a base relation");
+                let home = self.placement().home(rel.as_str());
+                let to_site = self.topology().link_cost(home, site);
+                let to_wh = self.topology().link_cost(home, wh);
+                extra_maintenance += ann.fu_weight * ann.stats.blocks * (to_site - to_wh);
+            }
+        }
+        let query_processing = base.query_processing + extra_query;
+        let maintenance = base.maintenance + extra_maintenance;
+        CostBreakdown {
+            query_processing,
+            maintenance,
+            total: query_processing + maintenance,
+            per_query: base.per_query,
+        }
+    }
+
+    /// The materialized nodes the query rooted at `root` actually reads.
+    pub fn views_read(&self, m: &BTreeSet<NodeId>, root: NodeId) -> BTreeSet<NodeId> {
+        let mut reads = BTreeSet::new();
+        let mut visited = BTreeSet::new();
+        self.collect_reads(m, root, root, &mut visited, &mut reads);
+        reads
+    }
+
+    fn collect_reads(
+        &self,
+        m: &BTreeSet<NodeId>,
+        v: NodeId,
+        root: NodeId,
+        visited: &mut BTreeSet<NodeId>,
+        reads: &mut BTreeSet<NodeId>,
+    ) {
+        if !visited.insert(v) {
+            return;
+        }
+        let node = self.annotated().mvpp().node(v);
+        if node.is_leaf() {
+            return;
+        }
+        let _ = root;
+        if m.contains(&v) {
+            reads.insert(v);
+            return;
+        }
+        for c in node.children() {
+            self.collect_reads(m, *c, root, visited, reads);
+        }
+    }
+
+    /// Chooses each view's best site independently: the site minimizing
+    /// `Σ fq·scan·link(site, warehouse) + U·Σ ship(input → site)`. With a
+    /// fixed read pattern this decomposes per view, so the independent
+    /// optimum is the global one.
+    pub fn optimal_view_placement(&self, m: &BTreeSet<NodeId>) -> ViewPlacement {
+        let wh = self.placement().warehouse();
+        let mvpp = self.annotated().mvpp();
+        // Read frequency per view.
+        let mut read_fq: std::collections::BTreeMap<NodeId, f64> = Default::default();
+        for (_, fq, root) in mvpp.roots() {
+            for v in self.views_read(m, *root) {
+                *read_fq.entry(v).or_insert(0.0) += fq;
+            }
+        }
+        let mut placement = ViewPlacement::all_at_warehouse();
+        for v in m {
+            if mvpp.node(*v).is_leaf() {
+                continue;
+            }
+            let ann = self.annotated().annotation(*v);
+            let fq = read_fq.get(v).copied().unwrap_or(0.0);
+            let mut best = (wh, f64::INFINITY);
+            for site in self.topology().sites() {
+                let mut cost = fq * ann.scan * self.topology().link_cost(site, wh);
+                for leaf in mvpp.descendants(*v) {
+                    if !mvpp.node(leaf).is_leaf() {
+                        continue;
+                    }
+                    let leaf_ann = self.annotated().annotation(leaf);
+                    let rel = mvpp
+                        .node(leaf)
+                        .expr()
+                        .base_relations()
+                        .into_iter()
+                        .next()
+                        .expect("leaf is a base relation");
+                    let home = self.placement().home(rel.as_str());
+                    cost += leaf_ann.fu_weight
+                        * leaf_ann.stats.blocks
+                        * self.topology().link_cost(home, site);
+                }
+                if cost < best.1 {
+                    best = (site, cost);
+                }
+            }
+            placement.assign(*v, best.0);
+        }
+        placement
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The base-relation placement in use.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+}
+
+/// Marginal-benefit greedy selection over an arbitrary evaluator: repeatedly
+/// materialize the interior node whose addition reduces the evaluated total
+/// the most, until no addition helps.
+///
+/// Unlike the paper's Figure 9 (whose weights only see block accesses), this
+/// loop optimizes the distributed objective directly, so it notices that
+/// materializing a view of remote data also saves its shipping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MarginalGreedy {
+    /// Maintenance mode used for the objective.
+    pub mode: MaintenanceMode,
+}
+
+impl MarginalGreedy {
+    /// Runs the loop, returning the chosen set and its cost.
+    pub fn run(&self, eval: &DistributedEvaluator<'_>) -> (BTreeSet<NodeId>, CostBreakdown) {
+        let candidates = eval.annotated().mvpp().interior();
+        let mut m = BTreeSet::new();
+        let mut best = eval.evaluate(&m, self.mode);
+        loop {
+            let mut improvement: Option<(NodeId, CostBreakdown)> = None;
+            for v in &candidates {
+                if m.contains(v) {
+                    continue;
+                }
+                let mut trial = m.clone();
+                trial.insert(*v);
+                let cost = eval.evaluate(&trial, self.mode);
+                if cost.total < best.total
+                    && improvement
+                        .as_ref()
+                        .is_none_or(|(_, c)| cost.total < c.total)
+                {
+                    improvement = Some((*v, cost));
+                }
+            }
+            match improvement {
+                Some((v, cost)) => {
+                    m.insert(v);
+                    best = cost;
+                }
+                None => return (m, best),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvdesign_core::{evaluate, AnnotatedMvpp, GreedySelection, Mvpp, UpdateWeighting};
+    use mvdesign_algebra::{AttrRef, CompareOp, Expr, JoinCondition, Predicate};
+    use mvdesign_catalog::{AttrType, Catalog};
+    use mvdesign_cost::{CostEstimator, EstimationMode, PaperCostModel};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.relation("R")
+            .attr("k", AttrType::Int)
+            .attr("x", AttrType::Int)
+            .records(10_000.0)
+            .blocks(1_000.0)
+            .update_frequency(1.0)
+            .selectivity("x", 0.1)
+            .finish()
+            .unwrap();
+        c.relation("S")
+            .attr("k", AttrType::Int)
+            .records(10_000.0)
+            .blocks(1_000.0)
+            .update_frequency(1.0)
+            .finish()
+            .unwrap();
+        c.set_join_selectivity(AttrRef::new("R", "k"), AttrRef::new("S", "k"), 1e-4)
+            .unwrap();
+        c
+    }
+
+    fn annotated(c: &Catalog) -> AnnotatedMvpp {
+        let join = Expr::join(
+            Expr::base("R"),
+            Expr::base("S"),
+            JoinCondition::on(AttrRef::new("R", "k"), AttrRef::new("S", "k")),
+        );
+        let filtered = Expr::select(
+            join.clone(),
+            Predicate::cmp(AttrRef::new("R", "x"), CompareOp::Eq, 5),
+        );
+        let mut m = Mvpp::new();
+        m.insert_query("Q1", 10.0, &join);
+        m.insert_query("Q2", 2.0, &filtered);
+        let est = CostEstimator::new(c, EstimationMode::Analytic, PaperCostModel::default());
+        AnnotatedMvpp::annotate(m, &est, UpdateWeighting::Max)
+    }
+
+    fn remote_setup(t_cost: f64) -> (Topology, Placement) {
+        let topo = Topology::uniform(2, t_cost);
+        let mut placement = Placement::new(topo.site(0).unwrap());
+        placement.assign("R", topo.site(1).unwrap());
+        placement.assign("S", topo.site(1).unwrap());
+        (topo, placement)
+    }
+
+    #[test]
+    fn zero_link_cost_matches_centralized_evaluation() {
+        let c = catalog();
+        let a = annotated(&c);
+        let (topo, placement) = remote_setup(0.0);
+        let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtWarehouse);
+        for m in [BTreeSet::new(), a.mvpp().interior().into_iter().collect()] {
+            let central = evaluate(&a, &m, MaintenanceMode::SharedRecompute);
+            let dist = eval.evaluate(&m, MaintenanceMode::SharedRecompute);
+            assert!((central.total - dist.total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn remote_data_makes_unmaterialized_queries_costlier() {
+        let c = catalog();
+        let a = annotated(&c);
+        let (topo, placement) = remote_setup(4.0);
+        let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtWarehouse);
+        let none = BTreeSet::new();
+        let central = evaluate(&a, &none, MaintenanceMode::SharedRecompute);
+        let dist = eval.evaluate(&none, MaintenanceMode::SharedRecompute);
+        // Q1 and Q2 each ship R and S once per execution: (10+2)·(1000+1000)·4.
+        assert!((dist.total - central.total - 96_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn materialized_views_absorb_shipping() {
+        let c = catalog();
+        let a = annotated(&c);
+        let (topo, placement) = remote_setup(4.0);
+        let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtWarehouse);
+        let join_id = a.mvpp().interior()[0];
+        let m: BTreeSet<_> = [join_id].into();
+        let cost = eval.evaluate(&m, MaintenanceMode::SharedRecompute);
+        // One refresh ships both relations once; queries ship nothing.
+        let central = evaluate(&a, &m, MaintenanceMode::SharedRecompute);
+        assert!((cost.total - central.total - 8_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn marginal_greedy_materializes_more_when_data_is_remote() {
+        let c = catalog();
+        let a = annotated(&c);
+        // Expensive links: materialization pays for itself via shipping.
+        let (topo, placement) = remote_setup(50.0);
+        let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtWarehouse);
+        let (m, cost) = MarginalGreedy::default().run(&eval);
+        assert!(!m.is_empty());
+        let none = eval.evaluate(&BTreeSet::new(), MaintenanceMode::SharedRecompute);
+        assert!(cost.total < none.total);
+    }
+
+    #[test]
+    fn at_source_filtering_ships_no_more_than_at_warehouse() {
+        let c = catalog();
+        // Query selects on R.x, so σ can run at R's home site.
+        let sel = Expr::select(
+            Expr::base("R"),
+            Predicate::cmp(AttrRef::new("R", "x"), CompareOp::Eq, 5),
+        );
+        let mut mv = Mvpp::new();
+        mv.insert_query("Q", 1.0, &sel);
+        let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
+        let a = AnnotatedMvpp::annotate(mv, &est, UpdateWeighting::Max);
+        let (topo, placement) = remote_setup(4.0);
+        let warehouse = DistributedEvaluator::new(
+            &a,
+            topo.clone(),
+            placement.clone(),
+            FilterShipping::AtWarehouse,
+        );
+        let source =
+            DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtSource);
+        let m = BTreeSet::new();
+        let cw = warehouse.evaluate(&m, MaintenanceMode::SharedRecompute).total;
+        let cs = source.evaluate(&m, MaintenanceMode::SharedRecompute).total;
+        assert!(cs < cw, "source {cs} should beat warehouse {cw}");
+    }
+
+    #[test]
+    fn marginal_greedy_never_loses_to_paper_greedy_on_its_own_objective() {
+        let c = catalog();
+        let a = annotated(&c);
+        let (topo, placement) = remote_setup(10.0);
+        let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtWarehouse);
+        let (_, marginal_cost) = MarginalGreedy::default().run(&eval);
+        let (paper_set, _) = GreedySelection::new().run(&a);
+        let paper_cost = eval.evaluate(&paper_set, MaintenanceMode::SharedRecompute);
+        assert!(marginal_cost.total <= paper_cost.total + 1e-9);
+    }
+
+    #[test]
+    fn placement_at_warehouse_matches_unplaced_evaluation() {
+        let c = catalog();
+        let a = annotated(&c);
+        let (topo, placement) = remote_setup(4.0);
+        let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtWarehouse);
+        let m: BTreeSet<_> = [a.mvpp().interior()[0]].into();
+        let base = eval.evaluate(&m, MaintenanceMode::SharedRecompute);
+        let placed = eval.evaluate_placed(
+            &m,
+            &ViewPlacement::all_at_warehouse(),
+            MaintenanceMode::SharedRecompute,
+        );
+        assert!((base.total - placed.total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_placement_never_loses_to_warehouse_only() {
+        let c = catalog();
+        let a = annotated(&c);
+        let (topo, placement) = remote_setup(8.0);
+        let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtWarehouse);
+        let m: BTreeSet<_> = a.mvpp().interior().into_iter().collect();
+        let best = eval.optimal_view_placement(&m);
+        let placed = eval
+            .evaluate_placed(&m, &best, MaintenanceMode::SharedRecompute)
+            .total;
+        let warehouse_only = eval
+            .evaluate_placed(&m, &ViewPlacement::all_at_warehouse(), MaintenanceMode::SharedRecompute)
+            .total;
+        assert!(placed <= warehouse_only + 1e-9);
+    }
+
+    #[test]
+    fn rarely_read_views_move_to_their_data() {
+        // One view over remote data, read rarely but refreshed often: the
+        // optimal placement stores it at the data's site.
+        let c = {
+            let mut c = catalog();
+            c.set_update_frequency("R", 50.0).expect("known relation");
+            c.set_update_frequency("S", 50.0).expect("known relation");
+            c
+        };
+        let join = mvdesign_algebra::Expr::join(
+            mvdesign_algebra::Expr::base("R"),
+            mvdesign_algebra::Expr::base("S"),
+            mvdesign_algebra::JoinCondition::on(
+                mvdesign_algebra::AttrRef::new("R", "k"),
+                mvdesign_algebra::AttrRef::new("S", "k"),
+            ),
+        );
+        let mut mv = mvdesign_core::Mvpp::new();
+        mv.insert_query("Q", 0.1, &join);
+        let est = mvdesign_cost::CostEstimator::new(
+            &c,
+            mvdesign_cost::EstimationMode::Analytic,
+            mvdesign_cost::PaperCostModel::default(),
+        );
+        let a = AnnotatedMvpp::annotate(mv, &est, mvdesign_core::UpdateWeighting::Max);
+        let (topo, placement) = remote_setup(5.0);
+        let data_site = topo.site(1).expect("site 1");
+        let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtWarehouse);
+        let m: BTreeSet<_> = a.mvpp().interior().into_iter().collect();
+        let best = eval.optimal_view_placement(&m);
+        let join_id = a.mvpp().interior()[0];
+        assert_eq!(
+            best.site_of(join_id, eval.placement().warehouse()),
+            data_site,
+            "refresh-heavy view should co-locate with its inputs"
+        );
+    }
+}

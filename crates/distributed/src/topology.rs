@@ -1,0 +1,175 @@
+//! Sites, link costs and relation placement.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mvdesign_catalog::RelName;
+
+/// Identifier of a site within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(usize);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// A set of sites with pairwise per-block transfer costs.
+///
+/// Costs are directed (`cost(a→b)` may differ from `cost(b→a)`) and
+/// `cost(a→a) = 0` always.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    cost: Vec<Vec<f64>>,
+}
+
+impl Topology {
+    /// A topology of `n` sites where every remote transfer costs
+    /// `cost_per_block` per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the cost is negative/not finite.
+    pub fn uniform(n: usize, cost_per_block: f64) -> Self {
+        assert!(n > 0, "a topology needs at least one site");
+        assert!(
+            cost_per_block.is_finite() && cost_per_block >= 0.0,
+            "transfer cost must be finite and non-negative"
+        );
+        let cost = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| if i == j { 0.0 } else { cost_per_block })
+                    .collect()
+            })
+            .collect();
+        Self { cost }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// Whether the topology is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cost.is_empty()
+    }
+
+    /// The `i`-th site, if it exists.
+    pub fn site(&self, i: usize) -> Option<SiteId> {
+        (i < self.len()).then_some(SiteId(i))
+    }
+
+    /// All sites.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.len()).map(SiteId)
+    }
+
+    /// Per-block cost of shipping from `from` to `to`.
+    pub fn link_cost(&self, from: SiteId, to: SiteId) -> f64 {
+        self.cost[from.0][to.0]
+    }
+
+    /// Overrides one directed link cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost is negative/not finite, or when setting a
+    /// non-zero self-link.
+    pub fn set_link_cost(&mut self, from: SiteId, to: SiteId, cost: f64) {
+        assert!(cost.is_finite() && cost >= 0.0, "invalid link cost {cost}");
+        assert!(from != to || cost == 0.0, "self-links must cost zero");
+        self.cost[from.0][to.0] = cost;
+    }
+}
+
+/// Where each base relation lives, and where the warehouse is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    warehouse: SiteId,
+    homes: BTreeMap<RelName, SiteId>,
+}
+
+impl Placement {
+    /// Creates a placement with every relation defaulting to the warehouse
+    /// site (i.e. local until assigned elsewhere).
+    pub fn new(warehouse: SiteId) -> Self {
+        Self {
+            warehouse,
+            homes: BTreeMap::new(),
+        }
+    }
+
+    /// The warehouse site — views are materialized and queries run here.
+    pub fn warehouse(&self) -> SiteId {
+        self.warehouse
+    }
+
+    /// Assigns a relation's home site.
+    pub fn assign(&mut self, relation: impl Into<RelName>, site: SiteId) {
+        self.homes.insert(relation.into(), site);
+    }
+
+    /// A relation's home site (the warehouse when unassigned).
+    pub fn home(&self, relation: &str) -> SiteId {
+        self.homes
+            .get(relation)
+            .copied()
+            .unwrap_or(self.warehouse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_topology_has_zero_diagonal() {
+        let t = Topology::uniform(3, 5.0);
+        for a in t.sites() {
+            for b in t.sites() {
+                let c = t.link_cost(a, b);
+                if a == b {
+                    assert_eq!(c, 0.0);
+                } else {
+                    assert_eq!(c, 5.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_costs_can_be_asymmetric() {
+        let mut t = Topology::uniform(2, 1.0);
+        let (a, b) = (t.site(0).unwrap(), t.site(1).unwrap());
+        t.set_link_cost(a, b, 3.0);
+        assert_eq!(t.link_cost(a, b), 3.0);
+        assert_eq!(t.link_cost(b, a), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn nonzero_self_link_panics() {
+        let mut t = Topology::uniform(2, 1.0);
+        let a = t.site(0).unwrap();
+        t.set_link_cost(a, a, 1.0);
+    }
+
+    #[test]
+    fn placement_defaults_to_warehouse() {
+        let t = Topology::uniform(2, 1.0);
+        let mut p = Placement::new(t.site(0).unwrap());
+        assert_eq!(p.home("Orders"), t.site(0).unwrap());
+        p.assign("Orders", t.site(1).unwrap());
+        assert_eq!(p.home("Orders"), t.site(1).unwrap());
+    }
+
+    #[test]
+    fn site_lookup_bounds() {
+        let t = Topology::uniform(2, 1.0);
+        assert!(t.site(1).is_some());
+        assert!(t.site(2).is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! An in-memory SPJ execution engine.
+//!
+//! The paper evaluates its design against a hypothetical relational DBMS
+//! whose operators are linear-search selection and nested-loop join. This
+//! crate implements that DBMS in miniature so the rest of the workspace can
+//! be *validated*, not just estimated:
+//!
+//! * [`execute`] runs any [`Expr`](mvdesign_algebra::Expr) against a
+//!   [`Database`] with bag semantics — rewrites (push-down, join reordering,
+//!   MVPP merging) are property-tested to preserve results exactly;
+//! * [`Generator`] synthesises databases whose value distributions match a
+//!   catalog's selectivities, so estimated and observed cardinalities can be
+//!   compared;
+//! * [`measure`] executes while counting simulated block accesses with the
+//!   same disciplines the cost model assumes, grounding `Ca(v)` in observed
+//!   behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use mvdesign_algebra::parse_query;
+//! use mvdesign_engine::{Database, Table};
+//! use mvdesign_algebra::{AttrRef, Value};
+//!
+//! let mut db = Database::new();
+//! db.insert_table(Table::new(
+//!     "Cust",
+//!     [AttrRef::new("Cust", "name"), AttrRef::new("Cust", "city")],
+//!     vec![
+//!         vec![Value::text("ann"), Value::text("LA")],
+//!         vec![Value::text("bob"), Value::text("SF")],
+//!     ],
+//! ));
+//! let q = parse_query("SELECT name FROM Cust WHERE city = 'LA'").unwrap();
+//! let result = mvdesign_engine::execute(&q, &db)?;
+//! assert_eq!(result.rows().len(), 1);
+//! # Ok::<(), mvdesign_engine::ExecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod datagen;
+mod exec;
+mod iosim;
+mod profile;
+mod table;
+
+pub use crate::datagen::{Generator, GeneratorConfig};
+pub use crate::exec::{execute, execute_with, materialize_view, ExecError, JoinAlgo};
+pub use crate::iosim::{measure, IoReport};
+pub use crate::profile::{profile_database, ProfileConfig};
+pub use crate::table::{Database, Table};

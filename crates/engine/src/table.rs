@@ -1,0 +1,215 @@
+//! In-memory tables and databases.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mvdesign_algebra::{AttrRef, Value};
+use mvdesign_catalog::RelName;
+
+/// A materialized relation: a header of qualified attributes plus rows of
+/// values (bag semantics — duplicates are kept).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    name: RelName,
+    attrs: Vec<AttrRef>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's arity differs from the header's — tables are
+    /// built by the engine or by test fixtures, where that is a bug.
+    pub fn new(
+        name: impl Into<RelName>,
+        attrs: impl IntoIterator<Item = AttrRef>,
+        rows: Vec<Vec<Value>>,
+    ) -> Self {
+        let attrs: Vec<AttrRef> = attrs.into_iter().collect();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                attrs.len(),
+                "row {i} has arity {} but the header has {}",
+                row.len(),
+                attrs.len()
+            );
+        }
+        Self {
+            name: name.into(),
+            attrs,
+            rows,
+        }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &RelName {
+        &self.name
+    }
+
+    /// The qualified attribute header.
+    pub fn attrs(&self) -> &[AttrRef] {
+        &self.attrs
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of an attribute in the header.
+    pub fn index_of(&self, attr: &AttrRef) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// A copy with rows sorted, for order-insensitive comparison in tests:
+    /// two tables are bag-equal iff their canonicalized forms are equal.
+    #[must_use]
+    pub fn canonicalized(&self) -> Self {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        Self {
+            name: self.name.clone(),
+            attrs: self.attrs.clone(),
+            rows,
+        }
+    }
+
+    /// Consumes the table and returns its rows.
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        self.rows
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self.attrs.iter().map(|a| a.to_string()).collect();
+        writeln!(f, "{} [{} rows]", self.name, self.rows.len())?;
+        writeln!(f, "  {}", headers.join(" | "))?;
+        for row in self.rows.iter().take(20) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        if self.rows.len() > 20 {
+            writeln!(f, "  … {} more", self.rows.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+/// A collection of named tables — the "member database" the warehouse reads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    tables: BTreeMap<RelName, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a table under its own name.
+    pub fn insert_table(&mut self, table: Table) -> Option<Table> {
+        self.tables.insert(table.name().clone(), table)
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Iterates over tables in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelName, &Table)> {
+        self.tables.iter()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the database has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(
+            "R",
+            [AttrRef::new("R", "a"), AttrRef::new("R", "b")],
+            vec![
+                vec![Value::Int(2), Value::text("y")],
+                vec![Value::Int(1), Value::text("x")],
+            ],
+        )
+    }
+
+    #[test]
+    fn header_lookup() {
+        let t = t();
+        assert_eq!(t.index_of(&AttrRef::new("R", "b")), Some(1));
+        assert_eq!(t.index_of(&AttrRef::new("R", "z")), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn canonicalized_sorts_rows() {
+        let c = t().canonicalized();
+        assert_eq!(c.rows()[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn bag_equality_via_canonicalization() {
+        let a = t();
+        let mut rows = a.rows().to_vec();
+        rows.reverse();
+        let b = Table::new("R", a.attrs().to_vec(), rows);
+        assert_ne!(a, b);
+        assert_eq!(a.canonicalized(), b.canonicalized());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn ragged_rows_panic() {
+        let _ = Table::new(
+            "R",
+            [AttrRef::new("R", "a")],
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        );
+    }
+
+    #[test]
+    fn database_round_trip() {
+        let mut db = Database::new();
+        assert!(db.insert_table(t()).is_none());
+        assert!(db.table("R").is_some());
+        assert!(db.table("S").is_none());
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let rows = (0..30).map(|i| vec![Value::Int(i), Value::text("v")]).collect();
+        let t = Table::new("R", [AttrRef::new("R", "a"), AttrRef::new("R", "b")], rows);
+        let s = t.to_string();
+        assert!(s.contains("… 10 more"));
+    }
+}

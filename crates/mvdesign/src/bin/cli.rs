@@ -1,0 +1,284 @@
+//! `mvdesign-cli` — design materialized views from a scenario file.
+//!
+//! ```text
+//! mvdesign-cli design  <scenario.mvd> [--algorithm NAME] [--maintenance shared|isolated]
+//!                      [--incremental FRACTION] [--rotations K] [--dot]
+//! mvdesign-cli explain <scenario.mvd>         # print the annotated MVPP
+//! mvdesign-cli validate <scenario.mvd>        # parse + validate only
+//! mvdesign-cli example                        # print a starter scenario file
+//! ```
+//!
+//! Algorithms: `greedy` (paper Figure 9, default), `exhaustive`, `genetic`,
+//! `annealing`, `random`, `all`, `none`.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use mvdesign::core::{
+    evaluate, generate_mvpps, AnnotatedMvpp, Designer, DesignerConfig, ExhaustiveSelection,
+    GenerateConfig, GeneticSelection, GreedySelection, MaintenanceMode, MaintenancePolicy,
+    MaterializeAll, MaterializeNone, RandomSearch, SelectionAlgorithm, SimulatedAnnealing,
+    UpdateWeighting,
+};
+use mvdesign::cost::{CostEstimator, EstimationMode, PaperCostModel};
+use mvdesign::optimizer::Planner;
+use mvdesign::workload::{parse_scenario, render_catalog, Scenario};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "design" => design(&args[1..]),
+        "explain" => explain(&args[1..]),
+        "validate" => validate(&args[1..]),
+        "example" => {
+            print!("{}", example_file());
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: mvdesign-cli <design|explain|validate|example> [scenario.mvd] [options]\n\
+     options for `design`:\n\
+       --algorithm greedy|exhaustive|genetic|annealing|random|all|none\n\
+       --maintenance shared|isolated\n\
+       --incremental FRACTION      (delta maintenance instead of recompute)\n\
+       --rotations K               (candidate MVPPs to try, default 8)\n\
+       --trace                     (print the greedy decision trace)\n\
+       --dot                       (also print the chosen MVPP as Graphviz)"
+        .to_string()
+}
+
+fn load(args: &[String]) -> Result<Scenario, String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !is_option_value(args, a))
+        .ok_or_else(|| format!("missing scenario file\n{}", usage()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_scenario(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn is_option_value(args: &[String], candidate: &String) -> bool {
+    // A bare word directly after a value-taking option is that option's value.
+    let value_options = ["--algorithm", "--maintenance", "--incremental", "--rotations"];
+    args.iter()
+        .zip(args.iter().skip(1))
+        .any(|(opt, val)| value_options.contains(&opt.as_str()) && val == candidate)
+}
+
+fn option<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn maintenance_mode(args: &[String]) -> Result<MaintenanceMode, String> {
+    match option(args, "--maintenance") {
+        None | Some("shared") => Ok(MaintenanceMode::SharedRecompute),
+        Some("isolated") => Ok(MaintenanceMode::Isolated),
+        Some(other) => Err(format!("unknown maintenance mode `{other}`")),
+    }
+}
+
+fn validate(args: &[String]) -> Result<(), String> {
+    let scenario = load(args)?;
+    println!(
+        "ok: {} relations, {} queries",
+        scenario.catalog.len(),
+        scenario.workload.len()
+    );
+    Ok(())
+}
+
+fn design(args: &[String]) -> Result<(), String> {
+    let scenario = load(args)?;
+    let mode = maintenance_mode(args)?;
+    let rotations: usize = match option(args, "--rotations") {
+        Some(k) => k.parse().map_err(|_| format!("`{k}` is not a number"))?,
+        None => 8,
+    };
+    let policy = match option(args, "--incremental") {
+        Some(f) => MaintenancePolicy::Incremental {
+            update_fraction: f.parse().map_err(|_| format!("`{f}` is not a number"))?,
+        },
+        None => MaintenancePolicy::Recompute,
+    };
+
+    let algorithm: Box<dyn SelectionAlgorithm> = match option(args, "--algorithm") {
+        None | Some("greedy") => Box::new(GreedySelection::new()),
+        Some("exhaustive") => Box::new(ExhaustiveSelection::default()),
+        Some("genetic") => Box::new(GeneticSelection::default()),
+        Some("annealing") => Box::new(SimulatedAnnealing::default()),
+        Some("random") => Box::new(RandomSearch::default()),
+        Some("all") => Box::new(MaterializeAll),
+        Some("none") => Box::new(MaterializeNone),
+        Some(other) => return Err(format!("unknown algorithm `{other}`")),
+    };
+
+    // Generate candidates once; run the chosen algorithm on each.
+    let est = CostEstimator::new(
+        &scenario.catalog,
+        EstimationMode::Calibrated,
+        PaperCostModel::default(),
+    );
+    let candidates = generate_mvpps(
+        &scenario.workload,
+        &est,
+        &Planner::new(),
+        GenerateConfig {
+            max_rotations: rotations,
+        },
+    );
+    let mut best: Option<(AnnotatedMvpp, BTreeSet<_>, f64)> = None;
+    for mvpp in candidates {
+        let a = AnnotatedMvpp::annotate_with(mvpp, &est, UpdateWeighting::Max, policy);
+        let m = algorithm.select(&a, mode);
+        let total = evaluate(&a, &m, mode).total;
+        if best.as_ref().is_none_or(|(_, _, t)| total < *t) {
+            best = Some((a, m, total));
+        }
+    }
+    let (annotated, materialized, _) = best.ok_or("no candidates generated")?;
+    let cost = evaluate(&annotated, &materialized, mode);
+
+    println!("algorithm: {}", algorithm.name());
+    println!("materialize {} view(s):", materialized.len());
+    for id in &materialized {
+        let node = annotated.mvpp().node(*id);
+        let ann = annotated.annotation(*id);
+        println!(
+            "  {:<8} build {:>14.0}  read {:>10.0}  {}",
+            node.label(),
+            ann.ca,
+            ann.scan,
+            node.expr()
+        );
+    }
+    println!("\ncost per period (block accesses):");
+    println!("  query processing {:>16.0}", cost.query_processing);
+    println!("  view maintenance {:>16.0}", cost.maintenance);
+    println!("  total            {:>16.0}", cost.total);
+    println!("\nper query:");
+    for (name, c) in &cost.per_query {
+        println!("  {name:<16} {c:>16.0}");
+    }
+    let none = evaluate(&annotated, &BTreeSet::new(), mode);
+    if none.total > 0.0 {
+        println!(
+            "\nvs. no materialization: {:.0} ({:.1}% saved)",
+            none.total,
+            100.0 * (none.total - cost.total) / none.total
+        );
+    }
+    if flag(args, "--trace") {
+        let (_, trace) = GreedySelection::new().run(&annotated);
+        println!("\ndecision trace (paper greedy):");
+        print!("{}", mvdesign::core::render_trace(&trace, &annotated));
+    }
+    if flag(args, "--dot") {
+        println!("\n{}", annotated.to_dot("design"));
+    }
+    Ok(())
+}
+
+fn explain(args: &[String]) -> Result<(), String> {
+    let scenario = load(args)?;
+    let design = Designer::with_config(DesignerConfig::default())
+        .design(&scenario.catalog, &scenario.workload)
+        .map_err(|e| e.to_string())?;
+    println!("catalog:\n{}", render_catalog(&scenario.catalog));
+    let est = CostEstimator::new(
+        &scenario.catalog,
+        EstimationMode::Calibrated,
+        PaperCostModel::default(),
+    );
+    let planner = Planner::new();
+    for q in scenario.workload.queries() {
+        println!("plan for {} (fq={}):", q.name(), q.frequency());
+        let optimal = planner.optimize(q.root(), &est);
+        print!("{}", mvdesign::cost::explain(&optimal, &est));
+        println!();
+    }
+    println!("chosen MVPP (rotation {}):", design.candidate_index);
+    for node in design.mvpp.mvpp().nodes() {
+        let ann = design.mvpp.annotation(node.id());
+        let marker = if design.materialized.contains(&node.id()) {
+            "▣"
+        } else if node.is_leaf() {
+            "□"
+        } else {
+            " "
+        };
+        println!(
+            "  {marker} {:<8} Ca={:>14.0} w={:>14.0}  {}",
+            node.label(),
+            ann.ca,
+            ann.weight,
+            node.expr().op_label()
+        );
+    }
+    Ok(())
+}
+
+fn example_file() -> String {
+    format!(
+        "# mvdesign scenario — edit and run `mvdesign-cli design this_file`\n\n{}\n\
+         query by_city 25 {{\n    SELECT city, SUM(amount) AS total\n    FROM Sales, Stores\n    \
+         WHERE Sales.store = Stores.store\n    GROUP BY Stores.city\n}}\n\n\
+         query raw_sales 2 {{\n    SELECT city, amount FROM Sales, Stores\n    \
+         WHERE Sales.store = Stores.store\n}}\n",
+        render_catalog(&example_catalog())
+    )
+}
+
+fn example_catalog() -> mvdesign::catalog::Catalog {
+    use mvdesign::catalog::AttrType;
+    let mut c = mvdesign::catalog::Catalog::new();
+    c.relation("Stores")
+        .attr("store", AttrType::Int)
+        .attr("city", AttrType::Text)
+        .records(1_000.0)
+        .blocks(100.0)
+        .update_frequency(0.5)
+        .selectivity("city", 0.05)
+        .finish()
+        .expect("static catalog");
+    c.relation("Sales")
+        .attr("store", AttrType::Int)
+        .attr("amount", AttrType::Int)
+        .records(100_000.0)
+        .blocks(10_000.0)
+        .update_frequency(2.0)
+        .finish()
+        .expect("static catalog");
+    c.set_join_selectivity(
+        mvdesign::algebra::AttrRef::new("Sales", "store"),
+        mvdesign::algebra::AttrRef::new("Stores", "store"),
+        1.0 / 1_000.0,
+    )
+    .expect("static catalog");
+    c
+}

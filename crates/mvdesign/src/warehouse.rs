@@ -1,0 +1,364 @@
+//! A small warehouse runtime tying the design together — the operational
+//! side of the paper's Figure-1 architecture: base data arrives from the
+//! member databases, materialized views are refreshed per period, and
+//! queries (designed-for or ad hoc) are answered through the views.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use mvdesign_algebra::{parse_query_with, Expr, ParseError, Value};
+use mvdesign_catalog::{Catalog, RelName};
+use mvdesign_core::{DesignResult, ViewCatalog};
+use mvdesign_engine::{execute, materialize_view, Database, ExecError, Table};
+
+/// Errors raised by [`Warehouse`] operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WarehouseError {
+    /// SQL failed to parse.
+    Parse(ParseError),
+    /// Plan execution failed.
+    Exec(ExecError),
+    /// Rows were appended to a relation the database does not hold.
+    UnknownRelation(RelName),
+}
+
+impl fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarehouseError::Parse(e) => write!(f, "parse error: {e}"),
+            WarehouseError::Exec(e) => write!(f, "execution error: {e}"),
+            WarehouseError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+        }
+    }
+}
+
+impl Error for WarehouseError {}
+
+impl From<ParseError> for WarehouseError {
+    fn from(e: ParseError) -> Self {
+        WarehouseError::Parse(e)
+    }
+}
+
+impl From<ExecError> for WarehouseError {
+    fn from(e: ExecError) -> Self {
+        WarehouseError::Exec(e)
+    }
+}
+
+/// An operational warehouse: base tables, the materialized views a
+/// [`DesignResult`] chose, and query answering through them.
+///
+/// ```
+/// use mvdesign::prelude::*;
+/// use mvdesign::warehouse::Warehouse;
+///
+/// let scenario = mvdesign::workload::paper_example();
+/// let design = Designer::new().design(&scenario.catalog, &scenario.workload)?;
+/// let db = Generator::new().database(&scenario.catalog);
+/// let mut warehouse = Warehouse::new(scenario.catalog, db, &design)
+///     .expect("views materialize");
+/// let answer = warehouse
+///     .query("SELECT name FROM Customer WHERE city = 'v0'")
+///     .expect("query answers");
+/// # let _ = answer;
+/// # Ok::<(), mvdesign::core::DesignError>(())
+/// ```
+#[derive(Debug)]
+pub struct Warehouse {
+    catalog: Catalog,
+    db: Database,
+    views: ViewCatalog,
+    stale: bool,
+    refreshes: u64,
+}
+
+impl Warehouse {
+    /// Builds a warehouse from base data and a finished design,
+    /// materializing every chosen view immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WarehouseError::Exec`] when a view definition cannot be
+    /// evaluated over `db`.
+    pub fn new(catalog: Catalog, db: Database, design: &DesignResult) -> Result<Self, WarehouseError> {
+        let views = ViewCatalog::from_design(design);
+        let mut warehouse = Self {
+            catalog,
+            db,
+            views,
+            stale: true,
+            refreshes: 0,
+        };
+        warehouse.refresh()?;
+        Ok(warehouse)
+    }
+
+    /// The base-plus-views database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The view registry.
+    pub fn views(&self) -> &ViewCatalog {
+        &self.views
+    }
+
+    /// Whether base updates have arrived since the last refresh.
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// How many refresh passes have run.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Appends rows to a base relation (a member-database load). Views go
+    /// stale until [`Warehouse::refresh`] runs — the paper's once-per-period
+    /// update model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WarehouseError::UnknownRelation`] when the relation has no
+    /// table, and panics via [`Table::new`] if row arity mismatches.
+    pub fn append(
+        &mut self,
+        relation: impl Into<RelName>,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<(), WarehouseError> {
+        let relation = relation.into();
+        let existing = self
+            .db
+            .table(relation.as_str())
+            .ok_or_else(|| WarehouseError::UnknownRelation(relation.clone()))?;
+        let mut all = existing.rows().to_vec();
+        all.extend(rows);
+        let table = Table::new(relation, existing.attrs().to_vec(), all);
+        self.db.insert_table(table);
+        self.stale = true;
+        Ok(())
+    }
+
+    /// Recomputes every materialized view (the paper's recomputation
+    /// maintenance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WarehouseError::Exec`] when a view definition fails.
+    pub fn refresh(&mut self) -> Result<(), WarehouseError> {
+        for (name, definition) in self.views.views().to_vec() {
+            materialize_view(name, &definition, &mut self.db)?;
+        }
+        self.stale = false;
+        self.refreshes += 1;
+        Ok(())
+    }
+
+    /// Answers a SQL query, routing it through the materialized views when
+    /// a subexpression matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WarehouseError::Parse`] for bad SQL and
+    /// [`WarehouseError::Exec`] for execution failures.
+    pub fn query(&self, sql: &str) -> Result<Table, WarehouseError> {
+        let expr = parse_query_with(sql, &self.catalog)?;
+        self.query_expr(&expr)
+    }
+
+    /// Answers an already-built expression through the views.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WarehouseError::Exec`] for execution failures.
+    pub fn query_expr(&self, expr: &Arc<Expr>) -> Result<Table, WarehouseError> {
+        let routed = self.views.rewrite(expr);
+        Ok(execute(&routed, &self.db)?)
+    }
+}
+
+/// Measured cost of one operating period: every workload query executed
+/// through the views (weighted by its frequency) plus one refresh of every
+/// view, all counted in *observed* simulated block I/O rather than estimates.
+///
+/// This is the end-to-end validation of the paper's objective function: run
+/// the same period under different view sets and compare what the engine
+/// actually reads and writes.
+///
+/// # Errors
+///
+/// Returns [`WarehouseError`] when a query or view fails to execute.
+pub fn measured_period_cost(
+    workload: &mvdesign_core::Workload,
+    views: &ViewCatalog,
+    db: &Database,
+    records_per_block: f64,
+) -> Result<MeasuredPeriod, WarehouseError> {
+    use mvdesign_engine::measure;
+
+    // Materialize the views into a working copy so queries can read them.
+    let mut working = db.clone();
+    let mut maintenance_io = 0.0;
+    for (name, definition) in views.views() {
+        let (result, io) = measure(definition, &working, records_per_block)?;
+        maintenance_io += io.total();
+        let table = Table::new(name.clone(), result.attrs().to_vec(), result.into_rows());
+        working.insert_table(table);
+    }
+
+    let mut query_io = 0.0;
+    for q in workload.queries() {
+        let routed = views.rewrite(q.root());
+        let (_, io) = measure(&routed, &working, records_per_block)?;
+        query_io += q.frequency() * io.total();
+    }
+    Ok(MeasuredPeriod {
+        query_io,
+        maintenance_io,
+        total_io: query_io + maintenance_io,
+    })
+}
+
+/// Measured period cost of a finished design: the design's views serve the
+/// *merged* query plans (the ones the MVPP computes), so shared
+/// subexpressions route through the stored views exactly as the designer
+/// assumed.
+///
+/// # Errors
+///
+/// Returns [`WarehouseError`] when a query or view fails to execute.
+pub fn measured_design_cost(
+    design: &DesignResult,
+    db: &Database,
+    records_per_block: f64,
+) -> Result<MeasuredPeriod, WarehouseError> {
+    use mvdesign_engine::measure;
+
+    let views = ViewCatalog::from_design(design);
+    let mut working = db.clone();
+    let mut maintenance_io = 0.0;
+    for (name, definition) in views.views() {
+        let (result, io) = measure(definition, &working, records_per_block)?;
+        maintenance_io += io.total();
+        let table = Table::new(name.clone(), result.attrs().to_vec(), result.into_rows());
+        working.insert_table(table);
+    }
+    let mut query_io = 0.0;
+    for (_, fq, root) in design.mvpp.mvpp().roots() {
+        let merged = design.mvpp.mvpp().node(*root).expr();
+        let routed = views.rewrite(merged);
+        let (_, io) = measure(&routed, &working, records_per_block)?;
+        query_io += fq * io.total();
+    }
+    Ok(MeasuredPeriod {
+        query_io,
+        maintenance_io,
+        total_io: query_io + maintenance_io,
+    })
+}
+
+/// Observed block I/O of one simulated period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredPeriod {
+    /// Frequency-weighted I/O of answering every workload query.
+    pub query_io: f64,
+    /// I/O of refreshing every materialized view once.
+    pub maintenance_io: f64,
+    /// `query_io + maintenance_io`.
+    pub total_io: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvdesign_core::Designer;
+    use mvdesign_engine::{Generator, GeneratorConfig};
+    use mvdesign_workload::paper_example;
+
+    fn warehouse() -> Warehouse {
+        let scenario = paper_example();
+        let design = Designer::new()
+            .design(&scenario.catalog, &scenario.workload)
+            .expect("designs");
+        let db = Generator::with_config(GeneratorConfig {
+            seed: 77,
+            scale: 0.003,
+            max_rows: 250,
+        })
+        .database(&scenario.catalog);
+        Warehouse::new(scenario.catalog, db, &design).expect("builds")
+    }
+
+    #[test]
+    fn views_are_materialized_at_startup() {
+        let w = warehouse();
+        assert!(!w.is_stale());
+        assert_eq!(w.refreshes(), 1);
+        for (name, _) in w.views().views() {
+            assert!(w.database().table(name.as_str()).is_some(), "view {name} missing");
+        }
+    }
+
+    #[test]
+    fn queries_answer_through_views_and_match_direct_execution() {
+        let w = warehouse();
+        let scenario = paper_example();
+        for q in scenario.workload.queries() {
+            let direct = execute(q.root(), w.database())
+                .expect("direct executes")
+                .canonicalized();
+            let via = w.query_expr(q.root()).expect("warehouse answers").canonicalized();
+            assert_eq!(direct.rows(), via.rows(), "{} differs", q.name());
+        }
+    }
+
+    #[test]
+    fn appends_go_stale_and_refresh_catches_up() {
+        let mut w = warehouse();
+        let customer_attrs = w
+            .database()
+            .table("Customer")
+            .expect("customer exists")
+            .attrs()
+            .to_vec();
+        let row: Vec<Value> = customer_attrs
+            .iter()
+            .map(|a| match a.attr.as_str() {
+                "Cid" => Value::Int(999_999),
+                _ => Value::text("fresh"),
+            })
+            .collect();
+        let before = w
+            .query("SELECT name FROM Customer")
+            .expect("counts")
+            .len();
+        w.append("Customer", vec![row]).expect("appends");
+        assert!(w.is_stale());
+        let after = w.query("SELECT name FROM Customer").expect("counts").len();
+        assert_eq!(after, before + 1);
+        w.refresh().expect("refreshes");
+        assert!(!w.is_stale());
+        assert_eq!(w.refreshes(), 2);
+    }
+
+    #[test]
+    fn unknown_relation_append_is_rejected() {
+        let mut w = warehouse();
+        assert!(matches!(
+            w.append("Ghost", vec![]),
+            Err(WarehouseError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn bad_sql_is_reported_as_parse_error() {
+        let w = warehouse();
+        assert!(matches!(
+            w.query("SELEC oops"),
+            Err(WarehouseError::Parse(_))
+        ));
+    }
+}

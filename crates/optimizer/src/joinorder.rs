@@ -1,0 +1,319 @@
+//! Cost-based join ordering: exact dynamic programming over subsets for
+//! small queries, greedy pairing beyond.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use mvdesign_algebra::{AttrRef, Expr, JoinCondition, RelName};
+use mvdesign_cost::{CostEstimator, CostModel};
+
+/// A join graph: annotated leaves (base relations with their pushed-down
+/// selections) plus the equi-join conditions connecting them.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    leaves: Vec<Arc<Expr>>,
+    rels: Vec<RelName>,
+    conds: Vec<(AttrRef, AttrRef)>,
+}
+
+impl JoinGraph {
+    /// Builds a join graph from annotated leaves and conditions.
+    ///
+    /// Returns `None` when the input is degenerate for ordering purposes:
+    /// no leaves, more than 63 leaves, a leaf that is not rooted in exactly
+    /// one base relation, or two leaves over the same base relation
+    /// (self-joins keep their original order instead).
+    pub fn new(
+        leaves: Vec<Arc<Expr>>,
+        conds: Vec<(AttrRef, AttrRef)>,
+    ) -> Option<Self> {
+        if leaves.is_empty() || leaves.len() > 63 {
+            return None;
+        }
+        let mut rels = Vec::with_capacity(leaves.len());
+        for leaf in &leaves {
+            let bases = leaf.base_relations();
+            if bases.len() != 1 {
+                return None;
+            }
+            rels.push(bases.into_iter().next().expect("len checked"));
+        }
+        let unique: BTreeSet<_> = rels.iter().collect();
+        if unique.len() != rels.len() {
+            return None;
+        }
+        Some(Self { leaves, rels, conds })
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether the graph has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    fn leaf_mask(&self, rel: &RelName) -> u64 {
+        self.rels
+            .iter()
+            .position(|r| r == rel)
+            .map_or(0, |i| 1 << i)
+    }
+
+    /// Join condition pairs connecting subset `a` with subset `b`.
+    fn pairs_between(&self, a: u64, b: u64) -> Vec<(AttrRef, AttrRef)> {
+        self.conds
+            .iter()
+            .filter(|(x, y)| {
+                let mx = self.leaf_mask(&x.relation);
+                let my = self.leaf_mask(&y.relation);
+                (mx & a != 0 && my & b != 0) || (mx & b != 0 && my & a != 0)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Finds the cheapest join order by exact subset DP (when
+    /// `len() <= dp_limit`) or greedily otherwise.
+    pub fn optimal_order<M: CostModel>(
+        &self,
+        est: &CostEstimator<'_, M>,
+        dp_limit: usize,
+    ) -> Arc<Expr> {
+        if self.leaves.len() == 1 {
+            return Arc::clone(&self.leaves[0]);
+        }
+        if self.leaves.len() <= dp_limit {
+            self.dp_order(est)
+        } else {
+            self.greedy_order(est)
+        }
+    }
+
+    fn join_of<M: CostModel>(
+        &self,
+        est: &CostEstimator<'_, M>,
+        l: &(f64, Arc<Expr>),
+        r: &(f64, Arc<Expr>),
+        pairs: Vec<(AttrRef, AttrRef)>,
+    ) -> (f64, Arc<Expr>) {
+        let expr = Expr::join(Arc::clone(&l.1), Arc::clone(&r.1), JoinCondition::new(pairs));
+        let cost = l.0 + r.0 + est.op_cost(&expr);
+        (cost, expr)
+    }
+
+    fn dp_order<M: CostModel>(&self, est: &CostEstimator<'_, M>) -> Arc<Expr> {
+        let n = self.leaves.len();
+        let full: u64 = (1 << n) - 1;
+        let mut best: Vec<Option<(f64, Arc<Expr>)>> = vec![None; 1 << n];
+        for (i, leaf) in self.leaves.iter().enumerate() {
+            best[1 << i] = Some((est.tree_cost(leaf), Arc::clone(leaf)));
+        }
+        for set in 1..=full {
+            if set.count_ones() < 2 {
+                continue;
+            }
+            let mut candidate: Option<(f64, Arc<Expr>)> = None;
+            let mut saw_connected = false;
+            // Two passes: connected splits first; cross products only if the
+            // subset admits no connected split at all.
+            for pass in 0..2 {
+                if pass == 1 && saw_connected {
+                    break;
+                }
+                let mut sub = (set - 1) & set;
+                while sub > 0 {
+                    let other = set & !sub;
+                    if sub < other {
+                        // Each unordered split visited once; the paper's
+                        // join-cost model is symmetric in its inputs, so
+                        // operand order never changes the cost.
+                        let pairs = self.pairs_between(sub, other);
+                        let connected = !pairs.is_empty();
+                        if connected {
+                            saw_connected = true;
+                        }
+                        if (pass == 0) == connected {
+                            if let (Some(l), Some(r)) = (&best[sub as usize], &best[other as usize]) {
+                                let cand = self.join_of(est, l, r, pairs);
+                                if candidate.as_ref().is_none_or(|c| cand.0 < c.0) {
+                                    candidate = Some(cand);
+                                }
+                            }
+                        }
+                    }
+                    sub = (sub - 1) & set;
+                }
+            }
+            best[set as usize] = candidate;
+        }
+        best[full as usize]
+            .take()
+            .map(|(_, e)| e)
+            .expect("every subset with >=2 leaves has at least a cross-product plan")
+    }
+
+    fn greedy_order<M: CostModel>(&self, est: &CostEstimator<'_, M>) -> Arc<Expr> {
+        let mut parts: Vec<(u64, f64, Arc<Expr>)> = self
+            .leaves
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (1 << i, est.tree_cost(l), Arc::clone(l)))
+            .collect();
+        while parts.len() > 1 {
+            let mut best: Option<(usize, usize, f64, Arc<Expr>, bool)> = None;
+            for i in 0..parts.len() {
+                for j in (i + 1)..parts.len() {
+                    let pairs = self.pairs_between(parts[i].0, parts[j].0);
+                    let connected = !pairs.is_empty();
+                    let (cost, expr) = self.join_of(
+                        est,
+                        &(parts[i].1, Arc::clone(&parts[i].2)),
+                        &(parts[j].1, Arc::clone(&parts[j].2)),
+                        pairs,
+                    );
+                    let better = match &best {
+                        None => true,
+                        Some((.., best_cost, _, best_conn)) => {
+                            // Prefer connected joins; among equals, cheapest.
+                            (connected, -cost) > (*best_conn, -*best_cost)
+                        }
+                    };
+                    if better {
+                        best = Some((i, j, cost, expr, connected));
+                    }
+                }
+            }
+            let (i, j, cost, expr, _) = best.expect("len > 1");
+            let mask = parts[i].0 | parts[j].0;
+            // Removing j first keeps index i valid because i < j.
+            parts.swap_remove(j);
+            parts.swap_remove(i);
+            parts.push((mask, cost, expr));
+        }
+        parts.pop().expect("one part remains").2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvdesign_algebra::{CompareOp, Predicate};
+    use mvdesign_catalog::{AttrType, Catalog};
+    use mvdesign_cost::{EstimationMode, PaperCostModel};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (name, records, blocks) in [
+            ("Pd", 30_000.0, 3_000.0),
+            ("Div", 5_000.0, 500.0),
+            ("Pt", 80_000.0, 10_000.0),
+        ] {
+            c.relation(name)
+                .attr("Pid", AttrType::Int)
+                .attr("Did", AttrType::Int)
+                .attr("city", AttrType::Text)
+                .records(records)
+                .blocks(blocks)
+                .selectivity("city", 0.02)
+                .finish()
+                .unwrap();
+        }
+        c.set_join_selectivity(
+            AttrRef::new("Pd", "Did"),
+            AttrRef::new("Div", "Did"),
+            1.0 / 5_000.0,
+        )
+        .unwrap();
+        c.set_join_selectivity(
+            AttrRef::new("Pt", "Pid"),
+            AttrRef::new("Pd", "Pid"),
+            1.0 / 30_000.0,
+        )
+        .unwrap();
+        c
+    }
+
+    fn leaves_and_conds() -> (Vec<Arc<Expr>>, Vec<(AttrRef, AttrRef)>) {
+        let selected_div = Expr::select(
+            Expr::base("Div"),
+            Predicate::cmp(AttrRef::new("Div", "city"), CompareOp::Eq, "LA"),
+        );
+        (
+            vec![Expr::base("Pd"), selected_div, Expr::base("Pt")],
+            vec![
+                (AttrRef::new("Pd", "Did"), AttrRef::new("Div", "Did")),
+                (AttrRef::new("Pt", "Pid"), AttrRef::new("Pd", "Pid")),
+            ],
+        )
+    }
+
+    #[test]
+    fn dp_prefers_selective_join_first() {
+        let c = catalog();
+        let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
+        let (leaves, conds) = leaves_and_conds();
+        let g = JoinGraph::new(leaves, conds).unwrap();
+        let plan = g.optimal_order(&est, 12);
+        // The optimal plan joins (Pd ⋈ σDiv) before bringing in the huge Pt.
+        match &*plan {
+            Expr::Join { left, right, .. } => {
+                let joined_first: BTreeSet<_> = if matches!(&**left, Expr::Join { .. }) {
+                    left.base_relations()
+                } else {
+                    right.base_relations()
+                };
+                assert!(joined_first.contains("Div"), "plan: {plan}");
+                assert!(joined_first.contains("Pd"), "plan: {plan}");
+            }
+            other => panic!("expected join, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dp_and_greedy_agree_on_small_inputs() {
+        let c = catalog();
+        let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
+        let (leaves, conds) = leaves_and_conds();
+        let g = JoinGraph::new(leaves, conds).unwrap();
+        let dp = g.optimal_order(&est, 12);
+        let greedy = g.optimal_order(&est, 1);
+        assert!(est.tree_cost(&greedy) >= est.tree_cost(&dp));
+        assert_eq!(dp.base_relations(), greedy.base_relations());
+    }
+
+    #[test]
+    fn single_leaf_passes_through() {
+        let c = catalog();
+        let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
+        let g = JoinGraph::new(vec![Expr::base("Pd")], vec![]).unwrap();
+        assert!(g.optimal_order(&est, 12).is_base());
+    }
+
+    #[test]
+    fn disconnected_graph_still_plans_via_cross_product() {
+        let c = catalog();
+        let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
+        let g = JoinGraph::new(vec![Expr::base("Pd"), Expr::base("Div")], vec![]).unwrap();
+        let plan = g.optimal_order(&est, 12);
+        assert_eq!(plan.base_relations().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_relations_are_rejected() {
+        assert!(JoinGraph::new(vec![Expr::base("Pd"), Expr::base("Pd")], vec![]).is_none());
+        assert!(JoinGraph::new(vec![], vec![]).is_none());
+    }
+
+    #[test]
+    fn dp_result_covers_all_relations() {
+        let c = catalog();
+        let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
+        let (leaves, conds) = leaves_and_conds();
+        let g = JoinGraph::new(leaves, conds).unwrap();
+        let plan = g.optimal_order(&est, 12);
+        assert_eq!(plan.base_relations().len(), 3);
+    }
+}

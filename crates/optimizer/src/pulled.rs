@@ -1,0 +1,177 @@
+//! Pulling selections and projections above the join tree (Figure 4, step 2).
+
+use std::sync::Arc;
+
+use mvdesign_algebra::{AggExpr, AttrRef, Expr, Predicate};
+
+/// A plan rewritten into the paper's "pushed-up" normal form: a pure join
+/// tree over base relations, one selection predicate, and an optional final
+/// projection.
+///
+/// This is the shape the MVPP merge algorithm manipulates — it compares join
+/// patterns between plans without select/project operators in the way, then
+/// pushes the predicates back down over the merged DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulledPlan {
+    /// Joins (and nothing else) over [`Expr::Base`] leaves.
+    pub join_tree: Arc<Expr>,
+    /// Conjunction of every selection found in the original plan.
+    pub predicate: Predicate,
+    /// The outermost projection of the original plan, if any.
+    pub projection: Option<Vec<AttrRef>>,
+    /// The outermost aggregation of the original plan, if any (applied
+    /// between the selection and the projection when rebuilding).
+    pub aggregate: Option<(Vec<AttrRef>, Vec<AggExpr>)>,
+}
+
+impl PulledPlan {
+    /// Rebuilds a plain expression: `π(σ(join_tree))`.
+    pub fn to_expr(&self) -> Arc<Expr> {
+        let mut e = Expr::select(Arc::clone(&self.join_tree), self.predicate.clone());
+        if let Some((group_by, aggs)) = &self.aggregate {
+            e = Expr::aggregate(e, group_by.clone(), aggs.clone());
+        }
+        if let Some(attrs) = &self.projection {
+            e = Expr::project(e, attrs.clone());
+        }
+        e
+    }
+}
+
+/// Rewrites `expr` into [`PulledPlan`] normal form.
+///
+/// Interior projections are dropped (SPJ projections here are bag
+/// projections, so widening intermediate results cannot change the final
+/// output once the outermost projection is re-applied); interior selections
+/// are conjoined into one predicate.
+pub fn pull_up(expr: &Arc<Expr>) -> PulledPlan {
+    let mut preds = Vec::new();
+    let mut projection = None;
+    let mut aggregate = None;
+    let mut node = expr;
+    // Peel the outermost π/γ/σ spine, remembering the first (outermost) π
+    // and the first γ. Selections above a γ filter aggregate output and
+    // cannot be pulled past it; the parser never produces them, and if
+    // present the γ is treated as an opaque leaf by `strip` below.
+    loop {
+        match &**node {
+            Expr::Project { input, attrs } if aggregate.is_none() => {
+                if projection.is_none() {
+                    projection = Some(attrs.clone());
+                }
+                node = input;
+            }
+            Expr::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } if aggregate.is_none() && preds.is_empty() => {
+                aggregate = Some((group_by.clone(), aggs.clone()));
+                node = input;
+            }
+            Expr::Select { input, predicate } => {
+                preds.push(predicate.clone());
+                node = input;
+            }
+            _ => break,
+        }
+    }
+    let join_tree = strip(node, &mut preds);
+    PulledPlan {
+        join_tree,
+        predicate: Predicate::and(preds),
+        projection,
+        aggregate,
+    }
+}
+
+/// Removes every interior select/project, collecting predicates.
+fn strip(expr: &Arc<Expr>, preds: &mut Vec<Predicate>) -> Arc<Expr> {
+    match &**expr {
+        Expr::Base(_) => Arc::clone(expr),
+        Expr::Select { input, predicate } => {
+            preds.push(predicate.clone());
+            strip(input, preds)
+        }
+        Expr::Project { input, .. } => strip(input, preds),
+        // A nested aggregation is a hard boundary: its result is not an SPJ
+        // view of the bases, so it stays intact as an opaque join leaf.
+        Expr::Aggregate { .. } => Arc::clone(expr),
+        Expr::Join { left, right, on } => {
+            let l = strip(left, preds);
+            let r = strip(right, preds);
+            if Arc::ptr_eq(&l, left) && Arc::ptr_eq(&r, right) {
+                Arc::clone(expr)
+            } else {
+                Expr::join(l, r, on.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvdesign_algebra::{CompareOp, JoinCondition};
+
+    fn la() -> Predicate {
+        Predicate::cmp(AttrRef::new("Div", "city"), CompareOp::Eq, "LA")
+    }
+
+    fn plan() -> Arc<Expr> {
+        // π name (σ qty>100 ( (Pd ⋈ σ LA (Div)) ))
+        let j = Expr::join(
+            Expr::base("Pd"),
+            Expr::select(Expr::base("Div"), la()),
+            JoinCondition::on(AttrRef::new("Pd", "Did"), AttrRef::new("Div", "Did")),
+        );
+        Expr::project(
+            Expr::select(j, Predicate::cmp(AttrRef::new("Pd", "qty"), CompareOp::Gt, 100)),
+            [AttrRef::new("Pd", "name")],
+        )
+    }
+
+    #[test]
+    fn pull_up_produces_pure_join_tree() {
+        let p = pull_up(&plan());
+        let mut non_join = 0;
+        mvdesign_algebra::postorder(&p.join_tree, &mut |n| {
+            if !matches!(&**n, Expr::Join { .. } | Expr::Base(_)) {
+                non_join += 1;
+            }
+        });
+        assert_eq!(non_join, 0);
+        assert_eq!(p.projection.as_deref(), Some(&[AttrRef::new("Pd", "name")][..]));
+        assert_eq!(p.predicate, Predicate::and([la(), Predicate::cmp(AttrRef::new("Pd", "qty"), CompareOp::Gt, 100)]));
+    }
+
+    #[test]
+    fn to_expr_reassembles() {
+        let p = pull_up(&plan());
+        let e = p.to_expr();
+        assert!(matches!(&*e, Expr::Project { .. }));
+        // Same base relations, same predicate set.
+        assert_eq!(e.base_relations(), plan().base_relations());
+    }
+
+    #[test]
+    fn pull_up_of_pure_join_is_identity() {
+        let j = Expr::join(Expr::base("A"), Expr::base("B"), JoinCondition::cross());
+        let p = pull_up(&j);
+        assert!(Arc::ptr_eq(&p.join_tree, &j));
+        assert!(p.predicate.is_true());
+        assert!(p.projection.is_none());
+    }
+
+    #[test]
+    fn outermost_projection_wins() {
+        let inner = Expr::project(
+            Expr::base("A"),
+            [AttrRef::new("A", "x"), AttrRef::new("A", "y")],
+        );
+        let outer = Expr::project(inner, [AttrRef::new("A", "x")]);
+        let p = pull_up(&outer);
+        assert_eq!(p.projection.as_deref(), Some(&[AttrRef::new("A", "x")][..]));
+        assert!(p.join_tree.is_base());
+    }
+}

@@ -1,0 +1,32 @@
+//! Ready-made scenarios: the paper's running example and a synthetic
+//! star-schema workload generator.
+//!
+//! [`paper_example`] reconstructs the exact input of the paper's §2 —
+//! Table 1's relation statistics, selectivities, joint sizes, and the four
+//! warehouse queries with their access frequencies — so every figure and
+//! table of the evaluation can be regenerated from one fixture.
+//!
+//! [`StarSchema`] generates parameterized fact/dimension catalogs with
+//! Zipf-distributed query frequencies for the scaling benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use mvdesign_workload::paper_example;
+//! let scenario = paper_example();
+//! assert_eq!(scenario.workload.len(), 4);
+//! assert_eq!(scenario.catalog.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dsl;
+mod paper;
+mod star;
+mod tpch;
+
+pub use crate::dsl::{parse_scenario, render_catalog, DslError};
+pub use crate::paper::{paper_catalog, paper_example, paper_figure7_example, Scenario};
+pub use crate::star::{StarSchema, StarSchemaConfig};
+pub use crate::tpch::{tpch_catalog, tpch_lite};

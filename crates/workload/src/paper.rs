@@ -1,0 +1,259 @@
+//! The paper's running example (§2, Table 1, Queries 1–4).
+
+use mvdesign_algebra::{parse_query_with, AttrRef, Query};
+use mvdesign_catalog::{AttrType, Catalog, RelationStats};
+use mvdesign_core::Workload;
+
+/// A catalog plus a workload — one complete design problem.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Base relations with statistics.
+    pub catalog: Catalog,
+    /// Warehouse queries with frequencies.
+    pub workload: Workload,
+}
+
+/// Builds the paper's Table 1 catalog:
+///
+/// | relation | records | blocks | statistics |
+/// |---|---|---|---|
+/// | Product  | 30k | 3k  | |
+/// | Division | 5k  | 0.5k | `s(city) = 0.02` |
+/// | Order    | 50k | 6k  | `s(quantity) = 0.5`, `s(date) = 0.5` |
+/// | Customer | 20k | 2k  | |
+/// | Part     | 80k | 10k | |
+///
+/// with the stated joint sizes (`Product⋈Division = 30k/5k`,
+/// `Product⋈Division⋈Part = 80k/20k`, `Order⋈Customer = 25k/5k`,
+/// `Product⋈Division⋈Order⋈Customer = 25k/5k`) and join selectivities
+/// derived from them (`js(P.Did, D.Did) = 1/5k`, `js(Pt.Pid, P.Pid) =
+/// 1/30k`, `js(O.Cid, C.Cid) = 1/40k`, `js(O.Pid, P.Pid) = 1/30k`). Every
+/// base relation updates once per period, as the paper assumes.
+pub fn paper_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.relation("Product")
+        .attr("Pid", AttrType::Int)
+        .attr("name", AttrType::Text)
+        .attr("Did", AttrType::Int)
+        .records(30_000.0)
+        .blocks(3_000.0)
+        .update_frequency(1.0)
+        .finish()
+        .expect("static catalog is valid");
+    c.relation("Division")
+        .attr("Did", AttrType::Int)
+        .attr("name", AttrType::Text)
+        .attr("city", AttrType::Text)
+        .records(5_000.0)
+        .blocks(500.0)
+        .update_frequency(1.0)
+        .selectivity("city", 0.02)
+        .selectivity("name", 0.02)
+        .finish()
+        .expect("static catalog is valid");
+    c.relation("Order")
+        .attr("Pid", AttrType::Int)
+        .attr("Cid", AttrType::Int)
+        .attr("quantity", AttrType::Int)
+        .attr("date", AttrType::Date)
+        .records(50_000.0)
+        .blocks(6_000.0)
+        .update_frequency(1.0)
+        .selectivity("quantity", 0.5)
+        .selectivity("date", 0.5)
+        .finish()
+        .expect("static catalog is valid");
+    c.relation("Customer")
+        .attr("Cid", AttrType::Int)
+        .attr("name", AttrType::Text)
+        .attr("city", AttrType::Text)
+        .records(20_000.0)
+        .blocks(2_000.0)
+        .update_frequency(1.0)
+        .finish()
+        .expect("static catalog is valid");
+    c.relation("Part")
+        .attr("Tid", AttrType::Int)
+        .attr("name", AttrType::Text)
+        .attr("Pid", AttrType::Int)
+        .attr("supplier", AttrType::Text)
+        .records(80_000.0)
+        .blocks(10_000.0)
+        .update_frequency(1.0)
+        .finish()
+        .expect("static catalog is valid");
+
+    for (a, b, js) in [
+        (("Product", "Did"), ("Division", "Did"), 1.0 / 5_000.0),
+        (("Part", "Pid"), ("Product", "Pid"), 1.0 / 30_000.0),
+        (("Order", "Cid"), ("Customer", "Cid"), 1.0 / 40_000.0),
+        (("Order", "Pid"), ("Product", "Pid"), 1.0 / 30_000.0),
+    ] {
+        c.set_join_selectivity(AttrRef::new(a.0, a.1), AttrRef::new(b.0, b.1), js)
+            .expect("static catalog is valid");
+    }
+
+    for (rels, records, blocks) in [
+        (vec!["Product", "Division"], 30_000.0, 5_000.0),
+        (vec!["Product", "Division", "Part"], 80_000.0, 20_000.0),
+        (vec!["Order", "Customer"], 25_000.0, 5_000.0),
+        (
+            vec!["Product", "Division", "Order", "Customer"],
+            25_000.0,
+            5_000.0,
+        ),
+    ] {
+        c.set_size_override(
+            rels.into_iter().map(Into::into),
+            RelationStats::new(records, blocks),
+        )
+        .expect("static catalog is valid");
+    }
+    c
+}
+
+/// The paper's four warehouse queries (§2) with their access frequencies
+/// from Figure 3: `fq(Q1) = 10`, `fq(Q2) = 0.5`, `fq(Q3) = 0.8`,
+/// `fq(Q4) = 5`.
+pub fn paper_example() -> Scenario {
+    let catalog = paper_catalog();
+    let q = |name: &str, fq: f64, sql: &str| {
+        Query::new(
+            name,
+            fq,
+            parse_query_with(sql, &catalog).expect("static query parses"),
+        )
+    };
+    let workload = Workload::new([
+        q(
+            "Q1",
+            10.0,
+            "SELECT Product.name FROM Product, Division \
+             WHERE Division.city = 'LA' AND Product.Did = Division.Did",
+        ),
+        q(
+            "Q2",
+            0.5,
+            "SELECT Part.name FROM Product, Part, Division \
+             WHERE Division.city = 'LA' AND Product.Did = Division.Did \
+             AND Part.Pid = Product.Pid",
+        ),
+        q(
+            "Q3",
+            0.8,
+            "SELECT Customer.name, Product.name, quantity \
+             FROM Product, Division, Order, Customer \
+             WHERE Division.city = 'LA' AND Product.Did = Division.Did \
+             AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid \
+             AND date > 7/1/96",
+        ),
+        q(
+            "Q4",
+            5.0,
+            "SELECT Customer.city, date FROM Order, Customer \
+             WHERE quantity > 100 AND Order.Cid = Customer.Cid",
+        ),
+    ])
+    .expect("static workload is valid");
+    Scenario { catalog, workload }
+}
+
+/// The query-variant workload of the paper's Figures 5–8, where Query 2
+/// selects `Division.name = "Re"` and Query 3 selects `Division.city =
+/// "SF"` — the variant that makes the pushed-down leaf filter on Division
+/// the three-way disjunction `city='LA' ∨ city='SF' ∨ name='Re'` shown in
+/// Figure 8.
+pub fn paper_figure7_example() -> Scenario {
+    let catalog = paper_catalog();
+    let q = |name: &str, fq: f64, sql: &str| {
+        Query::new(
+            name,
+            fq,
+            parse_query_with(sql, &catalog).expect("static query parses"),
+        )
+    };
+    let workload = Workload::new([
+        q(
+            "Q1",
+            10.0,
+            "SELECT Product.name FROM Product, Division \
+             WHERE Division.city = 'LA' AND Product.Did = Division.Did",
+        ),
+        q(
+            "Q2",
+            0.5,
+            "SELECT Part.name FROM Product, Part, Division \
+             WHERE Division.name = 'Re' AND Product.Did = Division.Did \
+             AND Part.Pid = Product.Pid",
+        ),
+        q(
+            "Q3",
+            0.8,
+            "SELECT Customer.name, Product.name, quantity \
+             FROM Product, Division, Order, Customer \
+             WHERE Division.city = 'SF' AND Product.Did = Division.Did \
+             AND Product.Pid = Order.Pid AND Order.Cid = Customer.Cid \
+             AND date > 7/1/96",
+        ),
+        q(
+            "Q4",
+            5.0,
+            "SELECT Customer.city, date FROM Order, Customer \
+             WHERE quantity > 100 AND Order.Cid = Customer.Cid",
+        ),
+    ])
+    .expect("static workload is valid");
+    Scenario { catalog, workload }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvdesign_algebra::output_attrs;
+
+    #[test]
+    fn fixture_matches_table1() {
+        let c = paper_catalog();
+        assert_eq!(c.stats("Product").unwrap().blocks, 3_000.0);
+        assert_eq!(c.stats("Division").unwrap().records, 5_000.0);
+        assert_eq!(c.stats("Order").unwrap().blocks, 6_000.0);
+        assert_eq!(c.stats("Customer").unwrap().records, 20_000.0);
+        assert_eq!(c.stats("Part").unwrap().blocks, 10_000.0);
+        assert_eq!(c.selectivity("Division", "city"), 0.02);
+        assert_eq!(c.selectivity("Customer", "name"), 0.1); // default
+        let key: std::collections::BTreeSet<_> =
+            ["Product".into(), "Division".into()].into_iter().collect();
+        assert_eq!(c.size_override(&key).unwrap().stats.blocks, 5_000.0);
+    }
+
+    #[test]
+    fn all_queries_validate_against_the_catalog() {
+        let s = paper_example();
+        for q in s.workload.queries() {
+            output_attrs(q.root(), &s.catalog)
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", q.name()));
+        }
+    }
+
+    #[test]
+    fn frequencies_match_figure3() {
+        let s = paper_example();
+        let fq: Vec<f64> = s.workload.queries().iter().map(|q| q.frequency()).collect();
+        assert_eq!(fq, [10.0, 0.5, 0.8, 5.0]);
+    }
+
+    #[test]
+    fn figure7_variant_uses_different_division_filters() {
+        let s = paper_figure7_example();
+        let q2 = s.workload.query("Q2").unwrap();
+        assert!(q2.root().to_string().contains("Division.name='Re'"));
+        let q3 = s.workload.query("Q3").unwrap();
+        assert!(q3.root().to_string().contains("Division.city='SF'"));
+    }
+
+    #[test]
+    fn queries_cover_all_five_relations() {
+        let s = paper_example();
+        assert_eq!(s.workload.base_relations().len(), 5);
+    }
+}

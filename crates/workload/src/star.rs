@@ -1,0 +1,311 @@
+//! Synthetic star-schema workload generation for scaling studies.
+
+use mvdesign_algebra::{AggExpr, AggFunc, AttrRef, CompareOp, Expr, JoinCondition, Predicate, Query};
+use mvdesign_catalog::{AttrType, Catalog};
+use mvdesign_core::Workload;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::paper::Scenario;
+
+/// Parameters of a synthetic star schema.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StarSchemaConfig {
+    /// RNG seed — the scenario is deterministic per seed.
+    pub seed: u64,
+    /// Number of dimension tables.
+    pub dimensions: usize,
+    /// Records in the fact table.
+    pub fact_records: f64,
+    /// Records per dimension table.
+    pub dimension_records: f64,
+    /// Records per block for all tables.
+    pub blocking_factor: f64,
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// Most dimensions any one query joins.
+    pub max_joins: usize,
+    /// Probability that a joined dimension also gets a selection.
+    pub selection_probability: f64,
+    /// Zipf skew of query frequencies (0 = uniform).
+    pub zipf_s: f64,
+    /// Probability that a query is a `GROUP BY` aggregation over its joins
+    /// instead of a plain projection.
+    pub aggregate_probability: f64,
+    /// Update frequency of the fact table (dimensions update 10× less).
+    pub fact_update_frequency: f64,
+}
+
+impl Default for StarSchemaConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            dimensions: 4,
+            fact_records: 1_000_000.0,
+            dimension_records: 10_000.0,
+            blocking_factor: 10.0,
+            queries: 8,
+            max_joins: 3,
+            selection_probability: 0.6,
+            zipf_s: 1.0,
+            aggregate_probability: 0.0,
+            fact_update_frequency: 1.0,
+        }
+    }
+}
+
+/// Generates star-schema design problems: one fact table `Fact(d0…dk,
+/// measure)` with a foreign key per dimension, dimensions `Dim0…Dimk(id,
+/// category, region)`, and a workload of random SPJ queries over them.
+#[derive(Debug, Clone, Copy)]
+pub struct StarSchema {
+    config: StarSchemaConfig,
+}
+
+impl StarSchema {
+    /// A generator with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A generator with explicit configuration.
+    pub fn with_config(config: StarSchemaConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StarSchemaConfig {
+        &self.config
+    }
+
+    /// Builds the catalog and workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero dimensions or zero
+    /// queries).
+    pub fn scenario(&self) -> Scenario {
+        let cfg = &self.config;
+        assert!(cfg.dimensions > 0, "need at least one dimension");
+        assert!(cfg.queries > 0, "need at least one query");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let catalog = self.catalog();
+        let workload = self.workload(&catalog, &mut rng);
+        Scenario { catalog, workload }
+    }
+
+    fn catalog(&self) -> Catalog {
+        let cfg = &self.config;
+        let mut c = Catalog::new();
+        {
+            let mut fact = c.relation("Fact");
+            for d in 0..cfg.dimensions {
+                fact = fact.attr(format!("d{d}"), AttrType::Int);
+            }
+            fact.attr("measure", AttrType::Int)
+                .attr("ts", AttrType::Date)
+                .records(cfg.fact_records)
+                .blocks(cfg.fact_records / cfg.blocking_factor)
+                .update_frequency(cfg.fact_update_frequency)
+                .selectivity("measure", 0.5)
+                .selectivity("ts", 0.5)
+                .finish()
+                .expect("generated fact schema is valid");
+        }
+        for d in 0..cfg.dimensions {
+            c.relation(format!("Dim{d}"))
+                .attr("id", AttrType::Int)
+                .attr("category", AttrType::Text)
+                .attr("region", AttrType::Text)
+                .records(cfg.dimension_records)
+                .blocks(cfg.dimension_records / cfg.blocking_factor)
+                .update_frequency(cfg.fact_update_frequency / 10.0)
+                .selectivity("category", 0.05)
+                .selectivity("region", 0.2)
+                .finish()
+                .expect("generated dimension schema is valid");
+            c.set_join_selectivity(
+                AttrRef::new("Fact", format!("d{d}")),
+                AttrRef::new(format!("Dim{d}"), "id"),
+                1.0 / cfg.dimension_records,
+            )
+            .expect("generated join selectivity is valid");
+        }
+        c
+    }
+
+    fn workload(&self, _catalog: &Catalog, rng: &mut StdRng) -> Workload {
+        let cfg = &self.config;
+        let queries = (0..cfg.queries).map(|i| {
+            let joins = rng.gen_range(1..=cfg.max_joins.min(cfg.dimensions));
+            let mut dims: Vec<usize> = (0..cfg.dimensions).collect();
+            dims.shuffle(rng);
+            dims.truncate(joins);
+            dims.sort_unstable();
+
+            let mut expr = Expr::base("Fact");
+            for &d in &dims {
+                expr = Expr::join(
+                    expr,
+                    Expr::base(format!("Dim{d}")),
+                    JoinCondition::on(
+                        AttrRef::new("Fact", format!("d{d}")),
+                        AttrRef::new(format!("Dim{d}"), "id"),
+                    ),
+                );
+            }
+            let mut preds = Vec::new();
+            for &d in &dims {
+                if rng.gen_bool(cfg.selection_probability) {
+                    let dim = format!("Dim{d}");
+                    if rng.gen_bool(0.5) {
+                        preds.push(Predicate::cmp(
+                            AttrRef::new(dim, "category"),
+                            CompareOp::Eq,
+                            format!("c{}", rng.gen_range(0..20)),
+                        ));
+                    } else {
+                        preds.push(Predicate::cmp(
+                            AttrRef::new(dim, "region"),
+                            CompareOp::Eq,
+                            format!("r{}", rng.gen_range(0..5)),
+                        ));
+                    }
+                }
+            }
+            if rng.gen_bool(0.3) {
+                preds.push(Predicate::cmp(
+                    AttrRef::new("Fact", "measure"),
+                    CompareOp::Gt,
+                    rng.gen_range(10..1_000),
+                ));
+            }
+            expr = Expr::select(expr, Predicate::and(preds));
+            if rng.gen_bool(cfg.aggregate_probability.clamp(0.0, 1.0)) {
+                // Aggregate dashboard query: group by the first dimension's
+                // category, total and count the measure.
+                let group = AttrRef::new(format!("Dim{}", dims[0]), "category");
+                expr = Expr::aggregate(
+                    expr,
+                    [group],
+                    [
+                        AggExpr::new(AggFunc::Sum, AttrRef::new("Fact", "measure"), "total"),
+                        AggExpr::count_star("n"),
+                    ],
+                );
+            } else {
+                let mut proj = vec![AttrRef::new("Fact", "measure")];
+                for &d in &dims {
+                    proj.push(AttrRef::new(format!("Dim{d}"), "category"));
+                }
+                expr = Expr::project(expr, proj);
+            }
+
+            // Zipf-ish frequency: rank i gets 100 / (i+1)^s.
+            let fq = 100.0 / ((i + 1) as f64).powf(cfg.zipf_s);
+            Query::new(format!("Q{}", i + 1), fq, expr)
+        });
+        Workload::new(queries).expect("cfg.queries > 0")
+    }
+}
+
+impl Default for StarSchema {
+    fn default() -> Self {
+        Self {
+            config: StarSchemaConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvdesign_algebra::output_attrs;
+
+    #[test]
+    fn scenario_is_deterministic_per_seed() {
+        let a = StarSchema::new().scenario();
+        let b = StarSchema::new().scenario();
+        assert_eq!(a.catalog, b.catalog);
+        assert_eq!(
+            a.workload.queries().len(),
+            b.workload.queries().len()
+        );
+        for (qa, qb) in a.workload.queries().iter().zip(b.workload.queries()) {
+            assert_eq!(qa.root().semantic_key(), qb.root().semantic_key());
+            assert_eq!(qa.frequency(), qb.frequency());
+        }
+    }
+
+    #[test]
+    fn queries_validate_against_generated_catalog() {
+        let s = StarSchema::new().scenario();
+        for q in s.workload.queries() {
+            output_attrs(q.root(), &s.catalog)
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", q.name()));
+        }
+    }
+
+    #[test]
+    fn respects_dimension_and_query_counts() {
+        let s = StarSchema::with_config(StarSchemaConfig {
+            dimensions: 6,
+            queries: 12,
+            ..StarSchemaConfig::default()
+        })
+        .scenario();
+        assert_eq!(s.catalog.len(), 7); // fact + 6 dims
+        assert_eq!(s.workload.len(), 12);
+    }
+
+    #[test]
+    fn frequencies_are_zipf_decreasing() {
+        let s = StarSchema::new().scenario();
+        let fq: Vec<f64> = s.workload.queries().iter().map(|q| q.frequency()).collect();
+        for w in fq.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn zero_skew_means_uniform_frequencies() {
+        let s = StarSchema::with_config(StarSchemaConfig {
+            zipf_s: 0.0,
+            ..StarSchemaConfig::default()
+        })
+        .scenario();
+        for q in s.workload.queries() {
+            assert_eq!(q.frequency(), 100.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn zero_dimensions_panics() {
+        let _ = StarSchema::with_config(StarSchemaConfig {
+            dimensions: 0,
+            ..StarSchemaConfig::default()
+        })
+        .scenario();
+    }
+
+    #[test]
+    fn aggregate_probability_produces_grouping_queries() {
+        let s = StarSchema::with_config(StarSchemaConfig {
+            aggregate_probability: 1.0,
+            queries: 6,
+            ..StarSchemaConfig::default()
+        })
+        .scenario();
+        for q in s.workload.queries() {
+            assert!(
+                matches!(&**q.root(), mvdesign_algebra::Expr::Aggregate { .. }),
+                "{} is not an aggregation",
+                q.name()
+            );
+            output_attrs(q.root(), &s.catalog)
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", q.name()));
+        }
+    }
+}

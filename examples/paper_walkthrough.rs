@@ -1,0 +1,170 @@
+//! Walks through the paper's running example end to end — §2's queries,
+//! Figure 3's annotated MVPP, §4.3's greedy trace, and Table 2's strategy
+//! comparison — printing each stage.
+//!
+//! Run with: `cargo run -p mvdesign --example paper_walkthrough`
+
+use std::collections::BTreeSet;
+
+use mvdesign::core::{
+    evaluate, generate_mvpps, AnnotatedMvpp, GenerateConfig, GreedySelection, MaintenanceMode,
+    NodeId, TraceVerdict, UpdateWeighting,
+};
+use mvdesign::cost::{CostEstimator, EstimationMode, PaperCostModel};
+use mvdesign::optimizer::Planner;
+use mvdesign::workload::paper_example;
+
+fn main() {
+    let scenario = paper_example();
+    println!("== The paper's running example (§2) ==\n");
+    println!("Table 1 — base relations:");
+    for (name, meta) in scenario.catalog.iter() {
+        println!(
+            "  {:<10} {:>7.0} records {:>7.0} blocks  fu={}",
+            name.as_str(),
+            meta.stats.records,
+            meta.stats.blocks,
+            meta.update_frequency
+        );
+    }
+    println!("\nWarehouse queries:");
+    for q in scenario.workload.queries() {
+        println!("  {} (fq={}): {}", q.name(), q.frequency(), q.root());
+    }
+
+    // Figure 4: generate one MVPP per rotation of the merge order.
+    let est = CostEstimator::new(
+        &scenario.catalog,
+        EstimationMode::Calibrated,
+        PaperCostModel::default(),
+    );
+    let candidates = generate_mvpps(
+        &scenario.workload,
+        &est,
+        &Planner::new(),
+        GenerateConfig::default(),
+    );
+    println!("\n== Figure 6: {} candidate MVPPs ==", candidates.len());
+    let mut best: Option<(usize, AnnotatedMvpp, BTreeSet<NodeId>, f64)> = None;
+    for (i, mvpp) in candidates.into_iter().enumerate() {
+        let annotated = AnnotatedMvpp::annotate(mvpp, &est, UpdateWeighting::Max);
+        let (set, _) = GreedySelection::new().run(&annotated);
+        let cost = evaluate(&annotated, &set, MaintenanceMode::SharedRecompute).total;
+        println!(
+            "  MVPP {i}: {} nodes, total cost after selection {:>12.0}",
+            annotated.mvpp().len(),
+            cost
+        );
+        if best.as_ref().is_none_or(|(_, _, _, c)| cost < *c) {
+            best = Some((i, annotated, set, cost));
+        }
+    }
+    let (winner, annotated, _chosen, _) = best.expect("at least one candidate");
+    println!("  → best: MVPP {winner}");
+
+    // Figure 3: the annotated DAG.
+    println!("\n== Figure 3: the chosen MVPP, per-node Ca ==");
+    for node in annotated.mvpp().nodes() {
+        let ann = annotated.annotation(node.id());
+        if node.is_leaf() {
+            println!("  {:<18} (base relation)", node.label());
+        } else {
+            println!(
+                "  {:<6} Ca={:>12.0}  w={:>13.0}  {}",
+                node.label(),
+                ann.ca,
+                ann.weight,
+                truncate(&node.expr().op_label(), 58)
+            );
+        }
+    }
+
+    // §4.3: the greedy trace.
+    let (set, trace) = GreedySelection::new().run(&annotated);
+    println!("\n== §4.3: greedy selection trace (Figure 9) ==");
+    let lv: Vec<String> = trace
+        .initial_lv
+        .iter()
+        .map(|id| annotated.mvpp().node(*id).label().to_string())
+        .collect();
+    println!("  LV = ⟨{}⟩", lv.join(", "));
+    for step in &trace.steps {
+        match &step.verdict {
+            TraceVerdict::Materialized => {
+                println!("  {:<6} Cs = {:>13.0} > 0 → materialize", step.label, step.cs);
+            }
+            TraceVerdict::Rejected { pruned } => {
+                let names: Vec<String> = pruned
+                    .iter()
+                    .map(|id| annotated.mvpp().node(*id).label().to_string())
+                    .collect();
+                println!(
+                    "  {:<6} Cs = {:>13.0} ≤ 0 → reject, prune same-branch [{}]",
+                    step.label,
+                    step.cs,
+                    names.join(", ")
+                );
+            }
+            TraceVerdict::SkippedParentsMaterialized => {
+                println!("  {:<6} parents already materialized → ignore", step.label);
+            }
+            TraceVerdict::RemovedRedundant => {
+                println!("  {:<6} all consumers materialized → drop from M", step.label);
+            }
+        }
+    }
+    let labels: Vec<String> = set
+        .iter()
+        .map(|id| {
+            let n = annotated.mvpp().node(*id);
+            format!("{} ({})", n.label(), describe(annotated.mvpp().node(*id).expr()))
+        })
+        .collect();
+    println!("  M = {{{}}}", labels.join(", "));
+
+    // Table 2: strategy comparison.
+    println!("\n== Table 2: costs of materialization strategies ==");
+    println!(
+        "  {:<34} {:>14} {:>14} {:>14}",
+        "materialized views", "query proc.", "maintenance", "total"
+    );
+    let strategies: Vec<(String, BTreeSet<NodeId>)> = vec![
+        ("nothing (all virtual)".into(), BTreeSet::new()),
+        (
+            "all query results".into(),
+            annotated.mvpp().roots().iter().map(|r| r.2).collect(),
+        ),
+        (format!("greedy: {{{}}}", labels.join(", ")), set),
+    ];
+    for (label, m) in strategies {
+        let c = evaluate(&annotated, &m, MaintenanceMode::SharedRecompute);
+        println!(
+            "  {:<34} {:>14.0} {:>14.0} {:>14.0}",
+            truncate(&label, 34),
+            c.query_processing,
+            c.maintenance,
+            c.total
+        );
+    }
+
+    println!("\nDOT of the chosen MVPP (render with `dot -Tpng`):\n");
+    println!("{}", annotated.to_dot("figure3"));
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n - 1).collect();
+        format!("{cut}…")
+    }
+}
+
+fn describe(expr: &std::sync::Arc<mvdesign::algebra::Expr>) -> String {
+    let rels: Vec<String> = expr
+        .base_relations()
+        .into_iter()
+        .map(|r| r.as_str().to_string())
+        .collect();
+    rels.join("⋈")
+}

@@ -1,0 +1,178 @@
+//! Workspace-level tests of the distributed extension: shipping-aware
+//! selection and view placement on the paper's running example.
+
+use std::collections::BTreeSet;
+
+use mvdesign::core::{
+    evaluate, generate_mvpps, AnnotatedMvpp, GenerateConfig, GreedySelection, MaintenanceMode,
+    UpdateWeighting,
+};
+use mvdesign::cost::{CostEstimator, EstimationMode, PaperCostModel};
+use mvdesign::distributed::{
+    DistributedEvaluator, FilterShipping, MarginalGreedy, Placement, Topology, ViewPlacement,
+};
+use mvdesign::optimizer::Planner;
+use mvdesign::workload::paper_example;
+
+fn annotated() -> AnnotatedMvpp {
+    let scenario = paper_example();
+    let est = CostEstimator::new(
+        &scenario.catalog,
+        EstimationMode::Calibrated,
+        PaperCostModel::default(),
+    );
+    let mvpp = generate_mvpps(
+        &scenario.workload,
+        &est,
+        &Planner::new(),
+        GenerateConfig { max_rotations: 1 },
+    )
+    .remove(0);
+    AnnotatedMvpp::annotate(mvpp, &est, UpdateWeighting::Max)
+}
+
+fn three_sites(link: f64) -> (Topology, Placement) {
+    let topo = Topology::uniform(3, link);
+    let wh = topo.site(0).expect("site 0");
+    let sales = topo.site(1).expect("site 1");
+    let mfg = topo.site(2).expect("site 2");
+    let mut placement = Placement::new(wh);
+    placement.assign("Order", sales);
+    placement.assign("Customer", sales);
+    placement.assign("Product", mfg);
+    placement.assign("Division", mfg);
+    placement.assign("Part", mfg);
+    (topo, placement)
+}
+
+#[test]
+fn shipping_grows_monotonically_with_link_cost() {
+    let a = annotated();
+    let mut previous = 0.0;
+    for link in [0.0, 1.0, 5.0, 25.0] {
+        let (topo, placement) = three_sites(link);
+        let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtWarehouse);
+        let total = eval
+            .evaluate(&BTreeSet::new(), MaintenanceMode::SharedRecompute)
+            .total;
+        assert!(total >= previous, "link {link}: {total} < {previous}");
+        previous = total;
+    }
+}
+
+#[test]
+fn at_source_filtering_never_ships_more() {
+    let a = annotated();
+    let (topo, placement) = three_sites(4.0);
+    let warehouse = DistributedEvaluator::new(
+        &a,
+        topo.clone(),
+        placement.clone(),
+        FilterShipping::AtWarehouse,
+    );
+    let source = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtSource);
+    for m in [
+        BTreeSet::new(),
+        GreedySelection::new().run(&a).0,
+        a.mvpp().interior().into_iter().collect(),
+    ] {
+        let w = warehouse.evaluate(&m, MaintenanceMode::SharedRecompute).total;
+        let s = source.evaluate(&m, MaintenanceMode::SharedRecompute).total;
+        assert!(s <= w + 1e-9, "source {s} > warehouse {w}");
+    }
+}
+
+#[test]
+fn marginal_greedy_beats_or_matches_paper_greedy_under_shipping() {
+    let a = annotated();
+    for link in [1.0, 10.0, 50.0] {
+        let (topo, placement) = three_sites(link);
+        let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtSource);
+        let (paper_set, _) = GreedySelection::new().run(&a);
+        let paper_cost = eval
+            .evaluate(&paper_set, MaintenanceMode::SharedRecompute)
+            .total;
+        let (_, marginal_cost) = MarginalGreedy::default().run(&eval);
+        assert!(
+            marginal_cost.total <= paper_cost + 1e-9,
+            "link {link}: marginal {} vs paper {paper_cost}",
+            marginal_cost.total
+        );
+    }
+}
+
+#[test]
+fn optimal_placement_helps_when_views_are_refresh_heavy() {
+    // Crank update frequencies so refresh shipping dominates.
+    let mut scenario = paper_example();
+    for rel in ["Product", "Division", "Order", "Customer", "Part"] {
+        scenario.catalog.set_update_frequency(rel, 20.0).expect("known");
+    }
+    let est = CostEstimator::new(
+        &scenario.catalog,
+        EstimationMode::Calibrated,
+        PaperCostModel::default(),
+    );
+    let mvpp = generate_mvpps(
+        &scenario.workload,
+        &est,
+        &Planner::new(),
+        GenerateConfig { max_rotations: 1 },
+    )
+    .remove(0);
+    let a = AnnotatedMvpp::annotate(mvpp, &est, UpdateWeighting::Max);
+    let (topo, placement) = three_sites(10.0);
+    let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtWarehouse);
+    let m: BTreeSet<_> = GreedySelection::new().run(&a).0;
+    if m.is_empty() {
+        return; // nothing to place under these frequencies
+    }
+    let optimal = eval.optimal_view_placement(&m);
+    let placed = eval
+        .evaluate_placed(&m, &optimal, MaintenanceMode::SharedRecompute)
+        .total;
+    let at_wh = eval
+        .evaluate_placed(&m, &ViewPlacement::all_at_warehouse(), MaintenanceMode::SharedRecompute)
+        .total;
+    assert!(placed <= at_wh + 1e-9);
+}
+
+#[test]
+fn views_read_reports_the_access_frontier() {
+    let a = annotated();
+    let (topo, placement) = three_sites(1.0);
+    let eval = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtWarehouse);
+    let (m, _) = GreedySelection::new().run(&a);
+    let mut any = false;
+    for (_, _, root) in a.mvpp().roots() {
+        let reads = eval.views_read(&m, *root);
+        for v in &reads {
+            assert!(m.contains(v), "read set contains unmaterialized node");
+        }
+        any |= !reads.is_empty();
+    }
+    assert!(any, "no query reads any view");
+}
+
+#[test]
+fn design_with_alternative_algorithms_is_exposed_on_the_designer() {
+    use mvdesign::core::{Designer, GeneticSelection, MaterializeNone};
+    let scenario = paper_example();
+    let genetic = Designer::new()
+        .design_with(&scenario.catalog, &scenario.workload, &GeneticSelection::default())
+        .expect("designs");
+    let greedy = Designer::new()
+        .design(&scenario.catalog, &scenario.workload)
+        .expect("designs");
+    assert!(genetic.cost.total <= greedy.cost.total + 1e-9);
+    let none = Designer::new()
+        .design_with(&scenario.catalog, &scenario.workload, &MaterializeNone)
+        .expect("designs");
+    assert!(none.materialized.is_empty());
+    let centralized_none = evaluate(
+        &none.mvpp,
+        &BTreeSet::new(),
+        MaintenanceMode::SharedRecompute,
+    );
+    assert!((none.cost.total - centralized_none.total).abs() < 1e-6);
+}
