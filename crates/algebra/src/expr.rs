@@ -301,6 +301,124 @@ impl Expr {
             other => leaves.push(other.semantic_key()),
         }
     }
+
+    /// A 64-bit structural hash of [`Expr::semantic_key`]'s equivalence
+    /// class, computed without building the key string.
+    ///
+    /// Expressions with equal semantic keys always have equal hashes — the
+    /// hash applies the same normalisations (join flattening with a sorted
+    /// leaf multiset, sorted/de-duplicated projection and grouping
+    /// attributes). The converse can fail with probability ~2⁻⁶⁴, so callers
+    /// keying caches on this hash must fall back to comparing full semantic
+    /// keys when two distinct expressions land on one hash.
+    pub fn semantic_hash(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut h = Fnv1a::new();
+        match self {
+            Expr::Base(r) => {
+                h.byte(b'B');
+                let _ = write!(h, "{r}");
+            }
+            Expr::Select { input, predicate } => {
+                h.byte(b'S');
+                h.u64(input.semantic_hash());
+                let _ = write!(h, "{predicate}");
+            }
+            Expr::Project { input, attrs } => {
+                h.byte(b'P');
+                h.u64(input.semantic_hash());
+                let mut names: Vec<u64> = attrs.iter().map(hash_display).collect();
+                names.sort_unstable();
+                names.dedup();
+                for x in names {
+                    h.u64(x);
+                }
+            }
+            Expr::Join { .. } => {
+                h.byte(b'J');
+                let mut leaves = Vec::new();
+                let mut cond = JoinCondition::cross();
+                self.flatten_join_hashes(&mut leaves, &mut cond);
+                leaves.sort_unstable();
+                for x in leaves {
+                    h.u64(x);
+                }
+                let _ = write!(h, "{cond}");
+            }
+            Expr::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                h.byte(b'G');
+                h.u64(input.semantic_hash());
+                let mut groups: Vec<u64> = group_by.iter().map(hash_display).collect();
+                groups.sort_unstable();
+                groups.dedup();
+                for x in groups {
+                    h.u64(x);
+                }
+                let mut funcs: Vec<u64> = aggs.iter().map(hash_display).collect();
+                funcs.sort_unstable();
+                for x in funcs {
+                    h.u64(x);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    fn flatten_join_hashes(&self, leaves: &mut Vec<u64>, cond: &mut JoinCondition) {
+        match self {
+            Expr::Join { left, right, on } => {
+                *cond = cond.merged(on);
+                left.flatten_join_hashes(leaves, cond);
+                right.flatten_join_hashes(leaves, cond);
+            }
+            other => leaves.push(other.semantic_hash()),
+        }
+    }
+}
+
+/// FNV-1a, 64-bit. Accepts `write!` formatting directly, so hashing a
+/// `Display` value allocates nothing.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Write for Fnv1a {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &b in s.as_bytes() {
+            self.byte(b);
+        }
+        Ok(())
+    }
+}
+
+fn hash_display(value: impl fmt::Display) -> u64 {
+    use std::fmt::Write as _;
+    let mut h = Fnv1a::new();
+    let _ = write!(h, "{value}");
+    h.finish()
 }
 
 impl fmt::Display for Expr {
@@ -437,5 +555,49 @@ mod tests {
     fn display_is_readable() {
         let e = Expr::select(Expr::base("Division"), la());
         assert_eq!(e.to_string(), "σ[Division.city='LA'](Division)");
+    }
+
+    #[test]
+    fn semantic_hash_agrees_with_semantic_key() {
+        // Equal keys ⟹ equal hashes, across every normalisation the key
+        // applies; unequal keys get distinct hashes on these small cases.
+        let p = Expr::base("Product");
+        let d = Expr::base("Division");
+        let t = Expr::base("Part");
+        let pid = JoinCondition::on(AttrRef::new("Part", "Pid"), AttrRef::new("Product", "Pid"));
+        let exprs: Vec<Arc<Expr>> = vec![
+            Arc::clone(&p),
+            Arc::clone(&d),
+            Expr::select(Arc::clone(&d), la()),
+            Expr::join(Arc::clone(&p), Arc::clone(&d), did()),
+            Expr::join(Arc::clone(&d), Arc::clone(&p), did()), // commuted
+            Expr::join(
+                Expr::join(Arc::clone(&p), Arc::clone(&d), did()),
+                Arc::clone(&t),
+                pid.clone(),
+            ),
+            Expr::join(
+                Arc::clone(&t),
+                Expr::join(Arc::clone(&d), Arc::clone(&p), did()),
+                pid,
+            ), // re-associated
+            Expr::project(
+                Arc::clone(&p),
+                [AttrRef::new("Product", "name"), AttrRef::new("Product", "Did")],
+            ),
+            Expr::project(
+                Arc::clone(&p),
+                [AttrRef::new("Product", "Did"), AttrRef::new("Product", "name")],
+            ), // re-ordered projection
+        ];
+        for a in &exprs {
+            for b in &exprs {
+                assert_eq!(
+                    a.semantic_key() == b.semantic_key(),
+                    a.semantic_hash() == b.semantic_hash(),
+                    "hash/key disagreement between {a} and {b}"
+                );
+            }
+        }
     }
 }

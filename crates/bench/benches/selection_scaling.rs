@@ -1,11 +1,13 @@
 //! View-selection algorithm scaling: the paper's greedy vs the exact
 //! optimum vs randomized search, as the MVPP grows.
 
+use std::collections::BTreeSet;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvdesign::core::{
-    generate_mvpps, AnnotatedMvpp, ExhaustiveSelection, GenerateConfig, GeneticSelection,
-    GreedySelection, MaintenanceMode, RandomSearch, SelectionAlgorithm, SimulatedAnnealing,
-    UpdateWeighting,
+    evaluate, generate_mvpps, AnnotatedMvpp, ExhaustiveSelection, GenerateConfig, GeneticSelection,
+    GreedySelection, IncrementalEvaluator, MaintenanceMode, RandomSearch, SelectionAlgorithm,
+    SimulatedAnnealing, UpdateWeighting,
 };
 use mvdesign::cost::{CostEstimator, EstimationMode, PaperCostModel};
 use mvdesign::optimizer::Planner;
@@ -90,7 +92,10 @@ fn bench_selection(c: &mut Criterion) {
             BenchmarkId::new(format!("exhaustive12_n{interior}"), queries),
             &queries,
             |b, _| {
-                let ex = ExhaustiveSelection { max_nodes: 12 };
+                let ex = ExhaustiveSelection {
+                    max_nodes: 12,
+                    ..ExhaustiveSelection::default()
+                };
                 b.iter(|| {
                     std::hint::black_box(ex.select(&a, MaintenanceMode::SharedRecompute).len())
                 })
@@ -100,5 +105,92 @@ fn bench_selection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_selection);
+/// Memoized incremental re-costing vs a full `evaluate` per frontier, over
+/// the same deterministic flip sequence — the core win of the incremental
+/// evaluator, independent of any particular search algorithm.
+fn bench_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluation");
+    for queries in [8usize, 16, 32] {
+        let (_catalog, a) = annotated_for(queries);
+        let interior = a.mvpp().interior();
+        let flips: Vec<_> = (0..256u64)
+            .map(|i| interior[(i.wrapping_mul(2654435761) % interior.len() as u64) as usize])
+            .collect();
+        let mode = MaintenanceMode::SharedRecompute;
+
+        group.bench_with_input(
+            BenchmarkId::new(format!("naive_full_n{}", interior.len()), queries),
+            &queries,
+            |b, _| {
+                b.iter(|| {
+                    let mut frontier = BTreeSet::new();
+                    let mut acc = 0.0;
+                    for v in &flips {
+                        if !frontier.remove(v) {
+                            frontier.insert(*v);
+                        }
+                        acc += evaluate(&a, &frontier, mode).total;
+                    }
+                    std::hint::black_box(acc)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("memoized_n{}", interior.len()), queries),
+            &queries,
+            |b, _| {
+                b.iter(|| {
+                    let mut eval = IncrementalEvaluator::new(&a, mode);
+                    let mut acc = 0.0;
+                    for v in &flips {
+                        acc += eval.flip(*v);
+                    }
+                    std::hint::black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Sequential vs all-cores fan-out for the two parallelised algorithms. On a
+/// multi-core host the `par` rows should approach `cores`× the `seq` rows;
+/// the selected sets are identical by construction (see the
+/// `incremental_eval` thread-invariance tests).
+fn bench_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_vs_par");
+    group.sample_size(10);
+    let (_catalog, a) = annotated_for(12);
+    let interior = a.mvpp().interior().len();
+    let mode = MaintenanceMode::SharedRecompute;
+    for (label, parallelism) in [("seq", 1usize), ("par", 0)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("exhaustive16_{label}_n{interior}"), parallelism),
+            &parallelism,
+            |b, &p| {
+                let ex = ExhaustiveSelection {
+                    max_nodes: 16,
+                    parallelism: p,
+                };
+                b.iter(|| std::hint::black_box(ex.select(&a, mode).len()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("genetic_{label}_n{interior}"), parallelism),
+            &parallelism,
+            |b, &p| {
+                let ga = GeneticSelection {
+                    population: 16,
+                    generations: 20,
+                    parallelism: p,
+                    ..GeneticSelection::default()
+                };
+                b.iter(|| std::hint::black_box(ga.select(&a, mode).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_evaluation, bench_parallelism);
 criterion_main!(benches);

@@ -10,7 +10,8 @@
 //! `sweep` (update-frequency crossover), `algorithms` (selection quality),
 //! `mqp` (§3.2 comparison), `scale` (workload growth), `simulate`
 //! (engine-measured I/O), `tpch` (TPC-H-lite design), `breakeven`
-//! (closed-form U*).
+//! (closed-form U*), `perf` (memoized search engine vs naive re-evaluation;
+//! writes `BENCH_selection.json`).
 
 use std::collections::BTreeSet;
 
@@ -83,6 +84,9 @@ fn main() {
     }
     if want("breakeven") {
         breakeven();
+    }
+    if want("perf") {
+        perf();
     }
 }
 
@@ -568,7 +572,7 @@ fn algorithms() {
         Box::new(RandomSearch::default()),
         Box::new(SimulatedAnnealing::default()),
         Box::new(GeneticSelection::default()),
-        Box::new(ExhaustiveSelection { max_nodes: 14 }),
+        Box::new(ExhaustiveSelection { max_nodes: 14, ..ExhaustiveSelection::default() }),
     ];
 
     let star = StarSchema::with_config(StarSchemaConfig {
@@ -829,4 +833,322 @@ fn breakeven() {
          weight stays below its U*; at fu = 1 (the paper's setting) exactly the\n\
          high-U* shared joins clear the bar."
     );
+}
+
+/// Wall-clock comparison of the memoized/parallel search engine against
+/// naive full re-evaluation (the straightforward implementation: one
+/// complete `evaluate` per candidate frontier). Both sides are asserted to
+/// return the *identical* selected set, so the speedup is free. Writes
+/// machine-readable results to `BENCH_selection.json`.
+fn perf() {
+    use std::time::Instant;
+
+    section("Perf: memoized incremental search engine vs naive re-evaluation");
+    let mode = MaintenanceMode::SharedRecompute;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows: Vec<String> = Vec::new();
+    println!(
+        "{:>8} {:>7} {:<14} {:>12} {:>12} {:>9} {:>10} {:>14}",
+        "queries", "nodes", "algorithm", "naive ms", "engine ms", "speedup", "evals", "engine eval/s"
+    );
+    for queries in [10usize, 20, 40] {
+        let scenario = StarSchema::with_config(StarSchemaConfig {
+            queries,
+            dimensions: 5,
+            ..StarSchemaConfig::default()
+        })
+        .scenario();
+        let est = CostEstimator::new(
+            &scenario.catalog,
+            EstimationMode::Analytic,
+            PaperCostModel::default(),
+        );
+        let mvpp = generate_mvpps(
+            &scenario.workload,
+            &est,
+            &Planner::new(),
+            GenerateConfig { max_rotations: 1 },
+        )
+        .remove(0);
+        let a = AnnotatedMvpp::annotate(mvpp, &est, UpdateWeighting::Max);
+        let nodes = a.mvpp().len();
+
+        // Exact search over the 2^16 subsets of the highest-weight nodes.
+        let ex = ExhaustiveSelection {
+            max_nodes: 16,
+            parallelism: 0,
+        };
+        let t = Instant::now();
+        let engine_pick = ex.select(&a, mode);
+        let engine_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let (naive_pick, evals) = naive_exhaustive(&a, mode, 16);
+        let naive_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(engine_pick, naive_pick, "engine must return the naive optimum");
+        perf_row(&mut rows, queries, nodes, "exhaustive16", naive_ms, engine_ms, evals);
+
+        // Genetic algorithm, default knobs; both sides drive the identical
+        // RNG stream, so the evolved populations match gene for gene.
+        let ga = GeneticSelection::default();
+        let t = Instant::now();
+        let engine_pick = ga.select(&a, mode);
+        let engine_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let (naive_pick, evals) = naive_genetic(&a, mode, &ga);
+        let naive_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            engine_pick, naive_pick,
+            "memoized GA must evolve the identical population"
+        );
+        perf_row(&mut rows, queries, nodes, "genetic", naive_ms, engine_ms, evals);
+    }
+    let json = format!(
+        "{{\n  \"host_cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_selection.json", &json).expect("write BENCH_selection.json");
+    println!("\nwrote BENCH_selection.json ({cores} core(s) available)");
+}
+
+fn perf_row(
+    rows: &mut Vec<String>,
+    queries: usize,
+    nodes: usize,
+    algo: &str,
+    naive_ms: f64,
+    engine_ms: f64,
+    evals: u64,
+) {
+    let speedup = naive_ms / engine_ms.max(1e-9);
+    let evals_per_sec = evals as f64 / (engine_ms / 1e3).max(1e-9);
+    println!(
+        "{queries:>8} {nodes:>7} {algo:<14} {naive_ms:>12.1} {engine_ms:>12.1} {speedup:>8.1}x {evals:>10} {evals_per_sec:>14.0}"
+    );
+    rows.push(format!(
+        "    {{\"queries\": {queries}, \"mvpp_nodes\": {nodes}, \"algorithm\": \"{algo}\", \
+         \"naive_ms\": {naive_ms:.3}, \"engine_ms\": {engine_ms:.3}, \"speedup\": {speedup:.2}, \
+         \"evaluations\": {evals}, \"engine_evals_per_sec\": {evals_per_sec:.0}}}"
+    ));
+}
+
+/// The pre-engine total-cost evaluation, mirrored verbatim as the perf
+/// baseline: `BTreeSet` frontier and visited sets, and the maintenance
+/// closure re-derived by DAG traversal on every probe. The current
+/// `evaluate`/`evaluate_set` are bit-identical to this by construction,
+/// which is why `perf` can assert both sides select the same views.
+fn seed_total(
+    a: &AnnotatedMvpp,
+    m: &BTreeSet<mvdesign::core::NodeId>,
+    mode: MaintenanceMode,
+) -> f64 {
+    let mvpp = a.mvpp();
+    let mut query_processing = 0.0;
+    for (_, fq, root) in mvpp.roots() {
+        query_processing += fq * seed_query_cost(a, m, *root);
+    }
+    let maintenance: f64 = match mode {
+        MaintenanceMode::Isolated => m
+            .iter()
+            .filter(|v| !mvpp.node(**v).is_leaf())
+            .map(|v| {
+                let ann = a.annotation(*v);
+                ann.fu_weight * ann.cm
+            })
+            .sum(),
+        MaintenanceMode::SharedRecompute => {
+            let fraction = a.maintenance_policy().work_fraction();
+            let apply: f64 = match a.maintenance_policy() {
+                MaintenancePolicy::Recompute => 0.0,
+                MaintenancePolicy::Incremental { .. } => m
+                    .iter()
+                    .filter(|v| !mvpp.node(**v).is_leaf())
+                    .map(|v| {
+                        let ann = a.annotation(*v);
+                        ann.fu_weight * ann.scan
+                    })
+                    .sum(),
+            };
+            let mut needed: BTreeSet<mvdesign::core::NodeId> = BTreeSet::new();
+            for v in m {
+                if mvpp.node(*v).is_leaf() {
+                    continue;
+                }
+                needed.insert(*v);
+                needed.extend(mvpp.descendants(*v));
+            }
+            needed
+                .into_iter()
+                .map(|n| {
+                    let ann = a.annotation(n);
+                    ann.fu_weight * ann.op_cost * fraction
+                })
+                .sum::<f64>()
+                + apply
+        }
+    };
+    query_processing + maintenance + 0.0
+}
+
+fn seed_query_cost(
+    a: &AnnotatedMvpp,
+    m: &BTreeSet<mvdesign::core::NodeId>,
+    root: mvdesign::core::NodeId,
+) -> f64 {
+    if m.contains(&root) && !a.mvpp().node(root).is_leaf() {
+        return a.annotation(root).scan;
+    }
+    let mut visited = BTreeSet::new();
+    seed_walk(a, m, root, root, &mut visited)
+}
+
+fn seed_walk(
+    a: &AnnotatedMvpp,
+    m: &BTreeSet<mvdesign::core::NodeId>,
+    v: mvdesign::core::NodeId,
+    root: mvdesign::core::NodeId,
+    visited: &mut BTreeSet<mvdesign::core::NodeId>,
+) -> f64 {
+    if !visited.insert(v) {
+        return 0.0;
+    }
+    let node = a.mvpp().node(v);
+    if node.is_leaf() {
+        return 0.0;
+    }
+    if v != root && m.contains(&v) {
+        return a.annotation(v).scan;
+    }
+    let mut cost = a.annotation(v).op_cost;
+    for c in node.children() {
+        cost += seed_walk(a, m, *c, root, visited);
+    }
+    cost
+}
+
+/// The straightforward exact search: every subset mask in ascending order,
+/// one full seed-style evaluation each, keeping the first strict minimum —
+/// exactly what `ExhaustiveSelection` did before the incremental engine.
+fn naive_exhaustive(
+    a: &AnnotatedMvpp,
+    mode: MaintenanceMode,
+    max_nodes: usize,
+) -> (BTreeSet<mvdesign::core::NodeId>, u64) {
+    let mut candidates = a.mvpp().interior();
+    if candidates.len() > max_nodes {
+        candidates.sort_by(|x, y| {
+            let wx = a.annotation(*x).weight;
+            let wy = a.annotation(*y).weight;
+            wy.partial_cmp(&wx).expect("finite weights")
+        });
+        candidates.truncate(max_nodes);
+    }
+    let total: u64 = 1 << candidates.len();
+    let mut best = (f64::INFINITY, 0u64);
+    for mask in 0..total {
+        let set: BTreeSet<_> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, id)| *id)
+            .collect();
+        let cost = seed_total(a, &set, mode);
+        if cost < best.0 {
+            best = (cost, mask);
+        }
+    }
+    let pick: BTreeSet<_> = candidates
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| best.1 & (1 << i) != 0)
+        .map(|(_, id)| *id)
+        .collect();
+    (pick, total)
+}
+
+/// `GeneticSelection`'s exact control flow with the memoized engine
+/// replaced by the seed-style full evaluation per individual. Same seed,
+/// same RNG stream, same evolution — only slower.
+fn naive_genetic(
+    a: &AnnotatedMvpp,
+    mode: MaintenanceMode,
+    ga: &GeneticSelection,
+) -> (BTreeSet<mvdesign::core::NodeId>, u64) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let candidates = a.mvpp().interior();
+    let n = candidates.len();
+    if n == 0 {
+        return (BTreeSet::new(), 0);
+    }
+    let mut rng = StdRng::seed_from_u64(ga.seed);
+    let mut evals: u64 = 0;
+    let decode = |genes: &[bool]| -> BTreeSet<_> {
+        genes
+            .iter()
+            .zip(&candidates)
+            .filter(|(g, _)| **g)
+            .map(|(_, id)| *id)
+            .collect()
+    };
+    let mut fitness = |genes: &[bool]| -> f64 {
+        evals += 1;
+        seed_total(a, &decode(genes), mode)
+    };
+
+    let greedy = GreedySelection::new().run(a).0;
+    let target = ga.population.max(4);
+    let mut seeds: Vec<Vec<bool>> = Vec::with_capacity(target);
+    seeds.push(candidates.iter().map(|c| greedy.contains(c)).collect());
+    seeds.push(vec![false; n]);
+    while seeds.len() < target {
+        seeds.push((0..n).map(|_| rng.gen_bool(0.3)).collect());
+    }
+    let mut population: Vec<(f64, Vec<bool>)> =
+        seeds.into_iter().map(|g| (fitness(&g), g)).collect();
+
+    for _ in 0..ga.generations {
+        population.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite fitness"));
+        let elite: Vec<(f64, Vec<bool>)> = population
+            .iter()
+            .take(ga.elite.min(population.len()))
+            .cloned()
+            .collect();
+        let mut offspring: Vec<Vec<bool>> = Vec::with_capacity(population.len());
+        while elite.len() + offspring.len() < population.len() {
+            let pick = |rng: &mut StdRng| -> usize {
+                let i = rng.gen_range(0..population.len());
+                let j = rng.gen_range(0..population.len());
+                if population[i].0 <= population[j].0 {
+                    i
+                } else {
+                    j
+                }
+            };
+            let p1 = pick(&mut rng);
+            let p2 = pick(&mut rng);
+            let mut child: Vec<bool> = if rng.gen_bool(ga.crossover_rate.clamp(0.0, 1.0)) {
+                population[p1]
+                    .1
+                    .iter()
+                    .zip(&population[p2].1)
+                    .map(|(x, y)| if rng.gen_bool(0.5) { *x } else { *y })
+                    .collect()
+            } else {
+                population[p1.min(p2)].1.clone()
+            };
+            for gene in child.iter_mut() {
+                if rng.gen_bool(ga.mutation_rate.clamp(0.0, 1.0)) {
+                    *gene = !*gene;
+                }
+            }
+            offspring.push(child);
+        }
+        let mut next = elite;
+        next.extend(offspring.into_iter().map(|g| (fitness(&g), g)));
+        population = next;
+    }
+    population.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite fitness"));
+    let pick = decode(&population[0].1);
+    (pick, evals)
 }

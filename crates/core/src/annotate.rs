@@ -5,6 +5,7 @@ use mvdesign_catalog::RelationStats;
 use mvdesign_cost::{CostEstimator, CostModel};
 
 use crate::mvpp::{Mvpp, NodeId};
+use crate::nodeset::NodeSet;
 
 /// How per-view update weights are derived from base-relation update
 /// frequencies.
@@ -29,9 +30,10 @@ pub enum UpdateWeighting {
 /// whenever an update of involved base relation occurs", §2) and lists
 /// incremental maintenance as the standard alternative from the literature
 /// it builds on (Gupta & Mumick's survey, the paper's reference 11).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum MaintenancePolicy {
     /// Rebuild the view from its inputs on every refresh: `Cm(v) = Ca(v)`.
+    #[default]
     Recompute,
     /// Propagate deltas: each refresh costs the stated fraction of a full
     /// recomputation (the share of the base data that changed, amplified
@@ -41,12 +43,6 @@ pub enum MaintenancePolicy {
         /// Fraction of the full recomputation a delta pass costs, in `[0,1]`.
         update_fraction: f64,
     },
-}
-
-impl Default for MaintenancePolicy {
-    fn default() -> Self {
-        MaintenancePolicy::Recompute
-    }
 }
 
 impl MaintenancePolicy {
@@ -91,6 +87,10 @@ pub struct AnnotatedMvpp {
     mvpp: Mvpp,
     annotations: Vec<NodeAnnotation>,
     policy: MaintenancePolicy,
+    /// Per-node `S*{v}` (descendants, excluding `v`) as dense bitsets.
+    desc_sets: Vec<NodeSet>,
+    /// Per-node `D*{v}` (ancestors, excluding `v`) as dense bitsets.
+    anc_sets: Vec<NodeSet>,
 }
 
 impl AnnotatedMvpp {
@@ -111,8 +111,30 @@ impl AnnotatedMvpp {
         policy: MaintenancePolicy,
     ) -> Self {
         let catalog = est.cardinalities().catalog();
-        let mut annotations = Vec::with_capacity(mvpp.len());
-        // Nodes are stored in topological (children-first) order.
+        let n = mvpp.len();
+        // Transitive closures as bitsets, one pass each way. Nodes are stored
+        // in topological (children-first) order, so every child's descendant
+        // set is complete before its parents', and vice versa for ancestors.
+        let mut desc_sets: Vec<NodeSet> = Vec::with_capacity(n);
+        for node in mvpp.nodes() {
+            let mut d = NodeSet::with_capacity(n);
+            for c in node.children() {
+                d.insert(*c);
+                d.union_with(&desc_sets[c.0]);
+            }
+            desc_sets.push(d);
+        }
+        let mut anc_sets: Vec<NodeSet> = vec![NodeSet::with_capacity(n); n];
+        for node in mvpp.nodes().iter().rev() {
+            let mut up = NodeSet::with_capacity(n);
+            for p in node.parents() {
+                up.insert(*p);
+                up.union_with(&anc_sets[p.0]);
+            }
+            anc_sets[node.id().0] = up;
+        }
+
+        let mut annotations: Vec<NodeAnnotation> = Vec::with_capacity(n);
         for node in mvpp.nodes() {
             let stats = est.stats(node.expr());
             let op_cost = est.op_cost(node.expr());
@@ -120,12 +142,11 @@ impl AnnotatedMvpp {
                 0.0
             } else {
                 // Ca over the *DAG*: this operator plus each distinct
-                // descendant operator once.
+                // descendant operator once, summed in ascending id order
+                // (bitset iteration == BTreeSet iteration).
                 let mut total = op_cost;
-                for d in mvpp.descendants(node.id()) {
-                    total += annotations
-                        .get(d.0)
-                        .map_or_else(|| est.op_cost(mvpp.node(d).expr()), |a: &NodeAnnotation| a.op_cost);
+                for d in desc_sets[node.id().0].iter() {
+                    total += annotations[d.0].op_cost;
                 }
                 total
             };
@@ -137,10 +158,14 @@ impl AnnotatedMvpp {
                     policy.work_fraction() * ca + scan
                 }
             };
+            // `Σ fq` over the queries using this node, in root order — same
+            // order (and therefore same float sum) as `queries_using` gives.
+            let up = &anc_sets[node.id().0];
             let fq_weight: f64 = mvpp
-                .queries_using(node.id())
-                .into_iter()
-                .map(|i| mvpp.roots()[i].1)
+                .roots()
+                .iter()
+                .filter(|(_, _, root)| *root == node.id() || up.contains(*root))
+                .map(|(_, fq, _)| *fq)
                 .sum();
             let fus = mvpp
                 .base_inputs(node.id())
@@ -165,6 +190,8 @@ impl AnnotatedMvpp {
             mvpp,
             annotations,
             policy,
+            desc_sets,
+            anc_sets,
         }
     }
 
@@ -185,6 +212,32 @@ impl AnnotatedMvpp {
     /// Panics if `id` did not come from this MVPP.
     pub fn annotation(&self, id: NodeId) -> &NodeAnnotation {
         &self.annotations[id.0]
+    }
+
+    /// Cached `S*{v}` (all descendants of `v`, excluding `v`) as a bitset —
+    /// the precomputed form of [`Mvpp::descendants`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this MVPP.
+    pub fn descendant_set(&self, id: NodeId) -> &NodeSet {
+        &self.desc_sets[id.0]
+    }
+
+    /// Cached `D*{v}` (all ancestors of `v`, excluding `v`) as a bitset —
+    /// the precomputed form of [`Mvpp::ancestors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this MVPP.
+    pub fn ancestor_set(&self, id: NodeId) -> &NodeSet {
+        &self.anc_sets[id.0]
+    }
+
+    /// Whether `u` and `v` lie on one root-to-leaf branch, answered from the
+    /// cached closures (the fast form of [`Mvpp::same_branch`]).
+    pub fn same_branch(&self, u: NodeId, v: NodeId) -> bool {
+        u == v || self.anc_sets[u.0].contains(v) || self.anc_sets[v.0].contains(u)
     }
 
     /// Interior nodes with positive weight, in descending weight order —

@@ -14,6 +14,7 @@ use crate::annotate::{AnnotatedMvpp, MaintenancePolicy, UpdateWeighting};
 use crate::evaluate::{evaluate, CostBreakdown, MaintenanceMode};
 use crate::generate::{generate_mvpps, GenerateConfig};
 use crate::greedy::{GreedySelection, SelectionTrace};
+use crate::parallel;
 use crate::search::SelectionAlgorithm;
 use crate::mvpp::NodeId;
 use crate::workload::Workload;
@@ -58,6 +59,11 @@ pub struct DesignerConfig {
     pub update_weighting: UpdateWeighting,
     /// How materialized views are refreshed.
     pub maintenance_policy: MaintenancePolicy,
+    /// Worker threads for evaluating candidate MVPPs concurrently: `0`
+    /// (the default) uses all available cores, `1` runs sequentially. The
+    /// produced design is identical at any setting — candidates are scored
+    /// independently and reduced in rotation order.
+    pub parallelism: usize,
 }
 
 /// A finished design.
@@ -146,18 +152,30 @@ impl Designer {
         let planner = Planner::with_config(self.config.planner);
         let candidates = generate_mvpps(workload, &est, &planner, self.config.generate);
 
-        let mut best: Option<DesignResult> = None;
-        let mut candidate_costs = Vec::with_capacity(candidates.len());
-        for (i, mvpp) in candidates.into_iter().enumerate() {
+        // Candidate MVPPs are scored independently, so they fan out across
+        // threads; each worker builds its own estimator (the stats cache is
+        // not thread-shareable, and cached values are input-determined, so
+        // per-thread caches change nothing). The reduction below runs over
+        // the ordered results exactly as the sequential loop did.
+        let threads = parallel::threads_for(self.config.parallelism, candidates.len());
+        let config = self.config;
+        let scored = parallel::ordered_map(candidates, threads, &|_, mvpp| {
+            let est = CostEstimator::new(catalog, config.estimation, PaperCostModel::default());
             let annotated = AnnotatedMvpp::annotate_with(
                 mvpp,
                 &est,
-                self.config.update_weighting,
-                self.config.maintenance_policy,
+                config.update_weighting,
+                config.maintenance_policy,
             );
             let (_, trace) = GreedySelection::new().run(&annotated);
-            let set = algorithm.select(&annotated, self.config.maintenance);
-            let cost = evaluate(&annotated, &set, self.config.maintenance);
+            let set = algorithm.select(&annotated, config.maintenance);
+            let cost = evaluate(&annotated, &set, config.maintenance);
+            (annotated, set, cost, trace)
+        });
+
+        let mut best: Option<DesignResult> = None;
+        let mut candidate_costs = Vec::with_capacity(scored.len());
+        for (i, (annotated, set, cost, trace)) in scored.into_iter().enumerate() {
             candidate_costs.push(cost.total);
             let replace = best.as_ref().is_none_or(|b| cost.total < b.cost.total);
             if replace {

@@ -5,6 +5,7 @@ use std::collections::BTreeSet;
 
 use crate::annotate::AnnotatedMvpp;
 use crate::mvpp::NodeId;
+use crate::nodeset::NodeSet;
 
 /// How maintenance cost is charged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -44,22 +45,44 @@ pub struct CostBreakdown {
 /// Materializing a leaf (base relation) is a no-op: base relations are
 /// already stored.
 pub fn evaluate(a: &AnnotatedMvpp, m: &BTreeSet<NodeId>, mode: MaintenanceMode) -> CostBreakdown {
+    let set = NodeSet::from_ids(a.mvpp().len(), m.iter().copied());
+    evaluate_set(a, &set, mode)
+}
+
+/// [`evaluate`] over a dense [`NodeSet`] — the hot-path form used by the
+/// search algorithms. Produces bit-identical results to [`evaluate`] (same
+/// traversal and summation orders).
+pub fn evaluate_set(a: &AnnotatedMvpp, m: &NodeSet, mode: MaintenanceMode) -> CostBreakdown {
     let mvpp = a.mvpp();
     let mut per_query = Vec::with_capacity(mvpp.roots().len());
     let mut query_processing = 0.0;
     for (name, fq, root) in mvpp.roots() {
-        let one = query_cost(a, m, *root);
+        let one = query_cost_set(a, m, *root);
         let weighted = fq * one;
         query_processing += weighted;
         per_query.push((name.clone(), weighted));
     }
 
+    let maintenance = maintenance_cost(a, m, mode);
+
+    // `+ 0.0` normalises any IEEE negative zero out of the sums.
+    CostBreakdown {
+        query_processing: query_processing + 0.0,
+        maintenance: maintenance + 0.0,
+        total: query_processing + maintenance + 0.0,
+        per_query,
+    }
+}
+
+/// The maintenance term of [`evaluate_set`] alone (already `−0.0`-normalised).
+pub(crate) fn maintenance_cost(a: &AnnotatedMvpp, m: &NodeSet, mode: MaintenanceMode) -> f64 {
+    let mvpp = a.mvpp();
     let maintenance: f64 = match mode {
         MaintenanceMode::Isolated => m
             .iter()
-            .filter(|v| !mvpp.node(**v).is_leaf())
+            .filter(|v| !mvpp.node(*v).is_leaf())
             .map(|v| {
-                let ann = a.annotation(*v);
+                let ann = a.annotation(v);
                 ann.fu_weight * ann.cm
             })
             .sum(),
@@ -74,23 +97,26 @@ pub fn evaluate(a: &AnnotatedMvpp, m: &BTreeSet<NodeId>, mode: MaintenanceMode) 
                 crate::annotate::MaintenancePolicy::Recompute => 0.0,
                 crate::annotate::MaintenancePolicy::Incremental { .. } => m
                     .iter()
-                    .filter(|v| !mvpp.node(**v).is_leaf())
+                    .filter(|v| !mvpp.node(*v).is_leaf())
                     .map(|v| {
-                        let ann = a.annotation(*v);
+                        let ann = a.annotation(v);
                         ann.fu_weight * ann.scan
                     })
                     .sum(),
             };
-            let mut needed: BTreeSet<NodeId> = BTreeSet::new();
-            for v in m {
-                if mvpp.node(*v).is_leaf() {
+            // The "needed" closure is a few word-ORs over the cached
+            // descendant bitsets; iteration is ascending-id, matching the
+            // BTreeSet-based order exactly.
+            let mut needed = NodeSet::with_capacity(mvpp.len());
+            for v in m.iter() {
+                if mvpp.node(v).is_leaf() {
                     continue;
                 }
-                needed.insert(*v);
-                needed.extend(mvpp.descendants(*v));
+                needed.insert(v);
+                needed.union_with(a.descendant_set(v));
             }
             needed
-                .into_iter()
+                .iter()
                 .map(|n| {
                     let ann = a.annotation(n);
                     ann.fu_weight * ann.op_cost * fraction
@@ -99,14 +125,7 @@ pub fn evaluate(a: &AnnotatedMvpp, m: &BTreeSet<NodeId>, mode: MaintenanceMode) 
                 + apply
         }
     };
-
-    // `+ 0.0` normalises any IEEE negative zero out of the sums.
-    CostBreakdown {
-        query_processing: query_processing + 0.0,
-        maintenance: maintenance + 0.0,
-        total: query_processing + maintenance + 0.0,
-        per_query,
-    }
+    maintenance + 0.0
 }
 
 /// Cost of answering the workload with *multiple-query processing* instead
@@ -169,20 +188,20 @@ pub fn break_even_update_weight(a: &AnnotatedMvpp, v: NodeId) -> f64 {
 /// Unweighted cost of answering the query rooted at `root` given
 /// materialized set `m`.
 pub fn query_cost(a: &AnnotatedMvpp, m: &BTreeSet<NodeId>, root: NodeId) -> f64 {
-    if m.contains(&root) && !a.mvpp().node(root).is_leaf() {
+    let set = NodeSet::from_ids(a.mvpp().len(), m.iter().copied());
+    query_cost_set(a, &set, root)
+}
+
+/// [`query_cost`] over a dense [`NodeSet`].
+pub fn query_cost_set(a: &AnnotatedMvpp, m: &NodeSet, root: NodeId) -> f64 {
+    if m.contains(root) && !a.mvpp().node(root).is_leaf() {
         return a.annotation(root).scan;
     }
-    let mut visited = BTreeSet::new();
+    let mut visited = NodeSet::with_capacity(a.mvpp().len());
     walk(a, m, root, root, &mut visited)
 }
 
-fn walk(
-    a: &AnnotatedMvpp,
-    m: &BTreeSet<NodeId>,
-    v: NodeId,
-    root: NodeId,
-    visited: &mut BTreeSet<NodeId>,
-) -> f64 {
+fn walk(a: &AnnotatedMvpp, m: &NodeSet, v: NodeId, root: NodeId, visited: &mut NodeSet) -> f64 {
     if !visited.insert(v) {
         return 0.0;
     }
@@ -192,7 +211,7 @@ fn walk(
         // assigns leaves zero cost.
         return 0.0;
     }
-    if v != root && m.contains(&v) {
+    if v != root && m.contains(v) {
         return a.annotation(v).scan;
     }
     let mut cost = a.annotation(v).op_cost;

@@ -131,10 +131,12 @@ impl GreedySelection {
             let ann = a.annotation(v);
             // Replicated saving: queries already read materialized
             // descendants of v, so those descendants' Ca no longer counts
-            // toward v's saving.
-            let replicated: f64 = mvpp
-                .descendants(v)
-                .into_iter()
+            // toward v's saving. The cached descendant bitset iterates in
+            // ascending id order — the same order the BTreeSet walk used —
+            // so the sum is bit-identical.
+            let replicated: f64 = a
+                .descendant_set(v)
+                .iter()
                 .filter(|u| m.contains(u))
                 .map(|u| a.annotation(u).ca)
                 .sum();
@@ -152,7 +154,7 @@ impl GreedySelection {
                 let pruned: Vec<NodeId> = lv
                     .iter()
                     .copied()
-                    .filter(|w| mvpp.same_branch(v, *w))
+                    .filter(|w| a.same_branch(v, *w))
                     .collect();
                 lv.retain(|w| !pruned.contains(w));
                 trace.steps.push(TraceStep {

@@ -1,0 +1,470 @@
+//! Incrementally-memoized cost evaluation for single-node frontier moves.
+//!
+//! The randomized and exhaustive search algorithms explore the space of
+//! materialization sets by flipping one node at a time. A full
+//! [`evaluate`](crate::evaluate::evaluate) walks every query's sub-DAG on
+//! every probe; [`IncrementalEvaluator`] instead keeps the per-query cost of
+//! the current frontier and, on a flip, re-walks only the queries whose
+//! sub-DAG contains the flipped node — and even those walks are memoized on
+//! the *visible part* of the frontier, so revisiting a previously-seen
+//! configuration costs a hash lookup.
+//!
+//! Results are bit-identical to [`evaluate_set`]: the per-query walks are the
+//! same function, and the total is re-summed in root order on every change so
+//! floating-point association never differs.
+
+use std::collections::HashMap;
+
+use crate::annotate::{AnnotatedMvpp, MaintenancePolicy};
+use crate::evaluate::{evaluate_set, query_cost_set, CostBreakdown, MaintenanceMode};
+use crate::mvpp::NodeId;
+use crate::nodeset::NodeSet;
+
+/// Memoized evaluator over single-node changes to a materialization frontier.
+///
+/// ```
+/// # use mvdesign_core::*;
+/// # use mvdesign_algebra::{parse_query_with, Query};
+/// # use mvdesign_catalog::{AttrType, Catalog};
+/// # use mvdesign_cost::{CostEstimator, EstimationMode, PaperCostModel};
+/// # let mut catalog = Catalog::new();
+/// # catalog.relation("R").attr("a", AttrType::Int).records(100.0).blocks(10.0)
+/// #     .update_frequency(1.0).finish()?;
+/// # let q = parse_query_with("SELECT R.a FROM R WHERE R.a=1", &catalog).unwrap();
+/// # let workload = Workload::new([Query::new("Q1", 2.0, q)]).unwrap();
+/// # let est = CostEstimator::new(&catalog, EstimationMode::Analytic, PaperCostModel::default());
+/// # let planner = mvdesign_optimizer::Planner::default();
+/// # let mvpp = generate_mvpps(&workload, &est, &planner, GenerateConfig::default()).remove(0);
+/// # let a = AnnotatedMvpp::annotate(mvpp, &est, UpdateWeighting::Max);
+/// let mut eval = IncrementalEvaluator::new(&a, MaintenanceMode::SharedRecompute);
+/// let empty_cost = eval.total();
+/// for v in a.mvpp().interior() {
+///     let with_v = eval.flip(v);     // cost after materializing v
+///     assert_eq!(with_v, eval.total());
+///     eval.flip(v);                  // revert
+/// }
+/// assert_eq!(eval.total(), empty_cost);
+/// # Ok::<(), mvdesign_catalog::CatalogError>(())
+/// ```
+pub struct IncrementalEvaluator<'a> {
+    a: &'a AnnotatedMvpp,
+    mode: MaintenanceMode,
+    /// Current materialization frontier.
+    m: NodeSet,
+    /// Unweighted query cost per root, in root order, for the current `m`.
+    per_root: Vec<f64>,
+    /// Interior nodes each root's cost can depend on:
+    /// `(descendants(root) ∪ {root}) ∩ interior`.
+    relevant: Vec<NodeSet>,
+    /// For each node id, the indices of roots whose cost can change when the
+    /// node's materialization flips.
+    affected: Vec<Vec<usize>>,
+    /// Per-root memo: masked frontier words → unweighted query cost.
+    memo: Vec<HashMap<Box<[u64]>, f64>>,
+    /// Per-node maintenance term for the active mode, precomputed so each
+    /// re-sum is pure bit-scans and adds: `fu_weight · cm` (Isolated) or
+    /// `fu_weight · op_cost · work_fraction` (SharedRecompute).
+    recompute_term: Vec<f64>,
+    /// Per-node `fu_weight · scan` apply terms — `Some` only under the
+    /// incremental maintenance policy.
+    apply_term: Option<Vec<f64>>,
+    /// Word mask of non-leaf nodes (leaves are stored relations and never
+    /// charge maintenance).
+    notleaf: Vec<u64>,
+    /// Reusable buffers: nodes needing a refresh pass, dirty root indices,
+    /// and the masked memo key — kept to avoid per-probe allocation.
+    scratch_needed: Vec<u64>,
+    scratch_dirty: Vec<u64>,
+    scratch_key: Vec<u64>,
+    query_processing: f64,
+    maintenance: f64,
+    walks: u64,
+}
+
+impl<'a> IncrementalEvaluator<'a> {
+    /// Creates an evaluator positioned at the empty frontier.
+    pub fn new(a: &'a AnnotatedMvpp, mode: MaintenanceMode) -> Self {
+        let mvpp = a.mvpp();
+        let n = mvpp.len();
+        let interior = NodeSet::from_ids(n, mvpp.interior());
+        let roots = mvpp.roots();
+        let mut relevant = Vec::with_capacity(roots.len());
+        let mut affected: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, (_, _, root)) in roots.iter().enumerate() {
+            let mut rel = a.descendant_set(*root).clone();
+            rel.insert(*root);
+            rel.intersect_with(&interior);
+            for v in rel.iter() {
+                affected[v.0].push(i);
+            }
+            relevant.push(rel);
+        }
+        let policy = a.maintenance_policy();
+        let fraction = policy.work_fraction();
+        let mut notleaf = vec![0u64; n.div_ceil(64)];
+        let mut recompute_term = Vec::with_capacity(n);
+        for id in 0..n {
+            let v = NodeId(id);
+            if !mvpp.node(v).is_leaf() {
+                notleaf[id / 64] |= 1 << (id % 64);
+            }
+            let ann = a.annotation(v);
+            recompute_term.push(match mode {
+                MaintenanceMode::Isolated => ann.fu_weight * ann.cm,
+                MaintenanceMode::SharedRecompute => ann.fu_weight * ann.op_cost * fraction,
+            });
+        }
+        let apply_term = match (mode, policy) {
+            (MaintenanceMode::SharedRecompute, MaintenancePolicy::Incremental { .. }) => Some(
+                (0..n)
+                    .map(|id| {
+                        let ann = a.annotation(NodeId(id));
+                        ann.fu_weight * ann.scan
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        };
+        let mut eval = Self {
+            a,
+            mode,
+            m: NodeSet::with_capacity(n),
+            per_root: vec![0.0; roots.len()],
+            relevant,
+            affected,
+            memo: (0..roots.len()).map(|_| HashMap::new()).collect(),
+            recompute_term,
+            apply_term,
+            notleaf,
+            scratch_needed: Vec::new(),
+            scratch_dirty: Vec::new(),
+            scratch_key: Vec::new(),
+            query_processing: 0.0,
+            maintenance: 0.0,
+            walks: 0,
+        };
+        for i in 0..eval.per_root.len() {
+            eval.per_root[i] = eval.root_cost(i);
+        }
+        eval.resum();
+        eval
+    }
+
+    /// Repositions the evaluator at an arbitrary frontier. Only the roots
+    /// whose sub-DAG intersects the symmetric difference between the old and
+    /// new frontier are re-costed — for an unaffected root the masked memo
+    /// key is unchanged, so its stored cost is already the right one. Callers
+    /// that probe a stream of similar frontiers (e.g. a converging genetic
+    /// population) therefore pay only for what actually moved.
+    pub fn set_frontier(&mut self, m: &NodeSet) {
+        let mut dirty = std::mem::take(&mut self.scratch_dirty);
+        dirty.clear();
+        dirty.resize(self.per_root.len().div_ceil(64), 0);
+        {
+            let old = self.m.words();
+            let new = m.words();
+            for w in 0..old.len().max(new.len()) {
+                let mut x = old.get(w).copied().unwrap_or(0) ^ new.get(w).copied().unwrap_or(0);
+                while x != 0 {
+                    let v = w * 64 + x.trailing_zeros() as usize;
+                    x &= x - 1;
+                    for &i in self.affected.get(v).map_or(&[][..], Vec::as_slice) {
+                        dirty[i / 64] |= 1 << (i % 64);
+                    }
+                }
+            }
+        }
+        self.m.copy_from(m);
+        for (w, &word) in dirty.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.per_root[i] = self.root_cost(i);
+            }
+        }
+        self.scratch_dirty = dirty;
+        self.resum();
+    }
+
+    /// Toggles `v` in the frontier and returns the new total cost. Only the
+    /// queries whose sub-DAG contains `v` are re-costed; each such cost is
+    /// memoized on the slice of the frontier that query can see.
+    pub fn flip(&mut self, v: NodeId) -> f64 {
+        self.m.toggle(v);
+        for k in 0..self.affected[v.0].len() {
+            let i = self.affected[v.0][k];
+            self.per_root[i] = self.root_cost(i);
+        }
+        self.resum();
+        self.total()
+    }
+
+    /// Total cost of the current frontier — bit-identical to
+    /// `evaluate_set(a, frontier, mode).total`.
+    pub fn total(&self) -> f64 {
+        self.query_processing + self.maintenance
+    }
+
+    /// The current materialization frontier.
+    pub fn frontier(&self) -> &NodeSet {
+        &self.m
+    }
+
+    /// Whether `v` is currently materialized.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.m.contains(v)
+    }
+
+    /// Full cost breakdown of the current frontier — bit-identical to
+    /// [`evaluate_set`] on the same set.
+    pub fn breakdown(&self) -> CostBreakdown {
+        evaluate_set(self.a, &self.m, self.mode)
+    }
+
+    /// Number of full query-walks performed so far (memo misses). A naive
+    /// evaluator performs `roots × probes` walks; the difference is the
+    /// savings from memoization.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Unweighted cost of root `i` under the current frontier, memoized on
+    /// the frontier masked to the root's relevant nodes.
+    fn root_cost(&mut self, i: usize) -> f64 {
+        let mut key = std::mem::take(&mut self.scratch_key);
+        key.clear();
+        {
+            let m_words = self.m.words();
+            key.extend(
+                self.relevant[i]
+                    .words()
+                    .iter()
+                    .enumerate()
+                    .map(|(w, r)| r & m_words.get(w).copied().unwrap_or(0)),
+            );
+        }
+        // Probing by slice avoids allocating the boxed key on the hit path.
+        if let Some(&cached) = self.memo[i].get(key.as_slice()) {
+            self.scratch_key = key;
+            return cached;
+        }
+        let root = self.a.mvpp().roots()[i].2;
+        let cost = query_cost_set(self.a, &self.m, root);
+        self.walks += 1;
+        self.memo[i].insert(key.as_slice().into(), cost);
+        self.scratch_key = key;
+        cost
+    }
+
+    /// Re-derives the aggregate terms from per-root costs, summing in root
+    /// order exactly as [`evaluate_set`] does.
+    fn resum(&mut self) {
+        let mut qp = 0.0;
+        for (i, (_, fq, _)) in self.a.mvpp().roots().iter().enumerate() {
+            qp += fq * self.per_root[i];
+        }
+        // evaluate_set computes `total` from the raw sum before `+ 0.0`
+        // normalisation; `x + 0.0` only rewrites -0.0 to +0.0, which cannot
+        // change any subsequent addition, so storing the normalised value
+        // keeps `total()` bit-identical.
+        self.query_processing = qp + 0.0;
+        self.maintenance = self.current_maintenance();
+    }
+
+    /// Maintenance of the current frontier — bit-identical to
+    /// [`crate::evaluate`]'s `maintenance_cost`: the per-node products were
+    /// precomputed with the same operand order, and summation is ascending by
+    /// node id exactly as the set-based iteration there.
+    fn current_maintenance(&mut self) -> f64 {
+        let maintenance = match self.mode {
+            MaintenanceMode::Isolated => {
+                let mut s = 0.0;
+                for (w, word) in self.m.words().iter().enumerate() {
+                    let mut bits = word & self.notleaf.get(w).copied().unwrap_or(0);
+                    while bits != 0 {
+                        let n = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        s += self.recompute_term[n];
+                    }
+                }
+                s
+            }
+            MaintenanceMode::SharedRecompute => {
+                // One refresh pass touches every materialized node and its
+                // descendants; gather that closure with word-wise ORs over
+                // the cached descendant bitsets.
+                let mut needed = std::mem::take(&mut self.scratch_needed);
+                needed.clear();
+                needed.resize(self.notleaf.len(), 0);
+                for (w, word) in self.m.words().iter().enumerate() {
+                    let mut bits = word & self.notleaf.get(w).copied().unwrap_or(0);
+                    while bits != 0 {
+                        let bit = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        needed[w] |= 1 << bit;
+                        let desc = self.a.descendant_set(NodeId(w * 64 + bit)).words();
+                        for (i, d) in desc.iter().enumerate() {
+                            needed[i] |= d;
+                        }
+                    }
+                }
+                let mut s = 0.0;
+                for (w, &word) in needed.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let n = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        s += self.recompute_term[n];
+                    }
+                }
+                let apply = match &self.apply_term {
+                    None => 0.0,
+                    Some(terms) => {
+                        let mut ap = 0.0;
+                        for (w, word) in self.m.words().iter().enumerate() {
+                            let mut bits = word & self.notleaf.get(w).copied().unwrap_or(0);
+                            while bits != 0 {
+                                let n = w * 64 + bits.trailing_zeros() as usize;
+                                bits &= bits - 1;
+                                ap += terms[n];
+                            }
+                        }
+                        ap
+                    }
+                };
+                self.scratch_needed = needed;
+                s + apply
+            }
+        };
+        maintenance + 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::UpdateWeighting;
+    use crate::generate::{generate_mvpps, GenerateConfig};
+    use crate::workload::Workload;
+    use mvdesign_algebra::{parse_query_with, Query};
+    use mvdesign_catalog::{AttrType, Catalog};
+    use mvdesign_cost::{CostEstimator, EstimationMode, PaperCostModel};
+    use mvdesign_optimizer::Planner;
+
+    fn fixture() -> AnnotatedMvpp {
+        fixture_with(crate::annotate::MaintenancePolicy::Recompute)
+    }
+
+    fn fixture_with(policy: crate::annotate::MaintenancePolicy) -> AnnotatedMvpp {
+        let mut c = Catalog::new();
+        for (name, recs) in [("R", 4_000.0), ("S", 9_000.0), ("T", 2_500.0)] {
+            c.relation(name)
+                .attr("k", AttrType::Int)
+                .attr("v", AttrType::Int)
+                .records(recs)
+                .blocks(recs / 10.0)
+                .update_frequency(1.0)
+                .finish()
+                .unwrap();
+        }
+        let q1 = parse_query_with(
+            "SELECT R.v FROM R, S WHERE R.k=S.k AND S.v=1",
+            &c,
+        )
+        .unwrap();
+        let q2 = parse_query_with(
+            "SELECT T.v FROM R, S, T WHERE R.k=S.k AND S.k=T.k",
+            &c,
+        )
+        .unwrap();
+        let q3 = parse_query_with("SELECT S.v FROM S WHERE S.v=1", &c).unwrap();
+        let w = Workload::new([
+            Query::new("Q1", 8.0, q1),
+            Query::new("Q2", 3.0, q2),
+            Query::new("Q3", 11.0, q3),
+        ])
+        .unwrap();
+        let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
+        let planner = Planner::default();
+        let mvpp = generate_mvpps(&w, &est, &planner, GenerateConfig::default()).remove(0);
+        AnnotatedMvpp::annotate_with(mvpp, &est, UpdateWeighting::Max, policy)
+    }
+
+    #[test]
+    fn flips_match_full_evaluation_exactly() {
+        for mode in [MaintenanceMode::SharedRecompute, MaintenanceMode::Isolated] {
+            let a = fixture();
+            let mut eval = IncrementalEvaluator::new(&a, mode);
+            let mut reference = NodeSet::with_capacity(a.mvpp().len());
+            assert_eq!(eval.total(), evaluate_set(&a, &reference, mode).total);
+            // Deterministic pseudo-random flip sequence over interior nodes.
+            let interior = a.mvpp().interior();
+            let mut x = 0x9e3779b97f4a7c15u64;
+            for _ in 0..200 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let v = interior[(x % interior.len() as u64) as usize];
+                reference.toggle(v);
+                let got = eval.flip(v);
+                let want = evaluate_set(&a, &reference, mode);
+                assert_eq!(got, want.total, "flip {v:?} diverged");
+                assert_eq!(eval.breakdown(), want);
+            }
+        }
+    }
+
+    #[test]
+    fn memoization_skips_repeat_walks() {
+        let a = fixture();
+        let mut eval = IncrementalEvaluator::new(&a, MaintenanceMode::SharedRecompute);
+        let v = a.mvpp().interior()[0];
+        eval.flip(v);
+        eval.flip(v);
+        let walks_after_cycle = eval.walks();
+        // Re-flipping revisits both memoized frontiers: no new walks.
+        eval.flip(v);
+        eval.flip(v);
+        assert_eq!(eval.walks(), walks_after_cycle);
+    }
+
+    #[test]
+    fn leaf_flips_do_not_rewalk_queries() {
+        let a = fixture();
+        let mut eval = IncrementalEvaluator::new(&a, MaintenanceMode::SharedRecompute);
+        let before = eval.walks();
+        let total = eval.total();
+        for leaf in a.mvpp().leaves() {
+            assert_eq!(eval.flip(leaf), total, "leaves are already stored");
+        }
+        assert_eq!(eval.walks(), before);
+    }
+
+    #[test]
+    fn matches_evaluate_under_incremental_policy() {
+        let a = fixture_with(crate::annotate::MaintenancePolicy::Incremental {
+            update_fraction: 0.1,
+        });
+        for mode in [MaintenanceMode::SharedRecompute, MaintenanceMode::Isolated] {
+            let mut eval = IncrementalEvaluator::new(&a, mode);
+            let mut reference = NodeSet::with_capacity(a.mvpp().len());
+            for v in a.mvpp().interior() {
+                reference.toggle(v);
+                assert_eq!(eval.flip(v), evaluate_set(&a, &reference, mode).total);
+            }
+        }
+    }
+
+    #[test]
+    fn set_frontier_matches_evaluate() {
+        let a = fixture();
+        let mut eval = IncrementalEvaluator::new(&a, MaintenanceMode::SharedRecompute);
+        let interior = a.mvpp().interior();
+        let m = NodeSet::from_ids(a.mvpp().len(), interior.iter().copied().step_by(2));
+        eval.set_frontier(&m);
+        let want = evaluate_set(&a, &m, MaintenanceMode::SharedRecompute);
+        assert_eq!(eval.total(), want.total);
+        assert_eq!(eval.frontier(), &m);
+    }
+}

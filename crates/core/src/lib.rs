@@ -59,7 +59,10 @@ mod designer;
 mod evaluate;
 mod generate;
 mod greedy;
+mod incremental;
 mod mvpp;
+mod nodeset;
+mod parallel;
 mod report;
 mod rewrite;
 mod search;
@@ -68,12 +71,14 @@ mod workload;
 pub use crate::annotate::{AnnotatedMvpp, MaintenancePolicy, NodeAnnotation, UpdateWeighting};
 pub use crate::designer::{DesignError, DesignResult, Designer, DesignerConfig};
 pub use crate::evaluate::{
-    break_even_update_weight, evaluate, mqp_batch_cost, query_cost, CostBreakdown,
-    MaintenanceMode,
+    break_even_update_weight, evaluate, evaluate_set, mqp_batch_cost, query_cost,
+    query_cost_set, CostBreakdown, MaintenanceMode,
 };
 pub use crate::generate::{generate_mvpps, merge_queries, GenerateConfig};
 pub use crate::greedy::{GreedySelection, SelectionTrace, TraceStep, TraceVerdict};
+pub use crate::incremental::IncrementalEvaluator;
 pub use crate::mvpp::{Mvpp, MvppNode, NodeId};
+pub use crate::nodeset::NodeSet;
 pub use crate::report::{render_design, render_trace};
 pub use crate::rewrite::ViewCatalog;
 pub use crate::search::{

@@ -1,0 +1,92 @@
+//! Scoped-thread fan-out helpers (std-only; no external dependencies).
+//!
+//! All helpers preserve sequential semantics exactly: results come back in
+//! input order, and the reduction the callers apply is the same one the
+//! sequential loop would apply, so a parallel run is bit-identical to a
+//! sequential one.
+
+/// Resolves a `parallelism` knob: `0` means "all available cores", and the
+/// result is clamped to the number of work items (never below 1).
+pub(crate) fn threads_for(requested: usize, work_items: usize) -> usize {
+    let auto = if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    };
+    auto.min(work_items).max(1)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped threads, returning results
+/// in input order. With `threads <= 1` this is a plain sequential map; the
+/// output is identical either way.
+pub(crate) fn ordered_map<T, R, F>(items: Vec<T>, threads: usize, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
+    let mut indexed = items.into_iter().enumerate();
+    loop {
+        let chunk: Vec<(usize, T)> = indexed.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    // Chunks are contiguous and spawned in order, so concatenating the
+    // per-chunk results in spawn order restores the input order.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|(i, t)| f(i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_map_preserves_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let doubled = ordered_map(items.clone(), 8, &|i, x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..57).collect();
+        let seq = ordered_map(items.clone(), 1, &|_, x| x * x + 1);
+        let par = ordered_map(items, 5, &|_, x| x * x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn threads_for_clamps() {
+        assert_eq!(threads_for(4, 100), 4);
+        assert_eq!(threads_for(4, 2), 2);
+        assert_eq!(threads_for(0, 0), 1);
+        assert!(threads_for(0, 64) >= 1);
+    }
+}

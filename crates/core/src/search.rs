@@ -9,12 +9,22 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::annotate::AnnotatedMvpp;
-use crate::evaluate::{evaluate, MaintenanceMode};
+use crate::evaluate::{evaluate_set, MaintenanceMode};
 use crate::greedy::GreedySelection;
+use crate::incremental::IncrementalEvaluator;
 use crate::mvpp::NodeId;
+use crate::nodeset::NodeSet;
+use crate::parallel;
+
+/// MVPPs below this node count run every algorithm sequentially: thread
+/// spawn overhead would dominate the per-evaluation work.
+const PARALLEL_MIN_NODES: usize = 64;
 
 /// A view-selection algorithm: picks which MVPP nodes to materialize.
-pub trait SelectionAlgorithm: fmt::Debug {
+///
+/// `Sync` is required so one algorithm instance can drive several candidate
+/// MVPPs concurrently from [`crate::Designer`].
+pub trait SelectionAlgorithm: fmt::Debug + Sync {
     /// A short identifier for reports and benches.
     fn name(&self) -> &'static str;
 
@@ -67,15 +77,76 @@ impl SelectionAlgorithm for MaterializeNone {
 /// When the MVPP has more interior nodes than `max_nodes`, the search is
 /// restricted to the `max_nodes` highest-weight nodes (everything else stays
 /// virtual) — still a superset of what the greedy can reach in practice.
+///
+/// The enumeration visits subsets in Gray-code order, so consecutive subsets
+/// differ in exactly one node and each step is a single memoized
+/// [`IncrementalEvaluator`] flip instead of a full re-evaluation. With
+/// `parallelism > 1` (or `0` = all cores) the Gray sequence is partitioned
+/// into contiguous index ranges, one per thread; the reduction keeps the
+/// numerically-smallest subset mask among cost ties, which is exactly the
+/// subset a sequential ascending-mask scan with strict improvement keeps, so
+/// the result is identical at any thread count.
 #[derive(Debug, Clone, Copy)]
 pub struct ExhaustiveSelection {
     /// Cap on nodes enumerated exactly (`2^max_nodes` evaluations).
     pub max_nodes: usize,
+    /// Worker threads for partitioning the subset space; `0` = all cores,
+    /// `1` = sequential. The selected set is identical at any setting.
+    pub parallelism: usize,
 }
 
 impl Default for ExhaustiveSelection {
     fn default() -> Self {
-        Self { max_nodes: 16 }
+        Self {
+            max_nodes: 16,
+            parallelism: 0,
+        }
+    }
+}
+
+/// The `i`-th subset mask of the Gray sequence: `g(i) = i ^ (i >> 1)`.
+fn gray(i: u64) -> u64 {
+    i ^ (i >> 1)
+}
+
+/// Decodes a candidate-index mask into a node set.
+fn mask_to_set(mask: u64, candidates: &[NodeId], capacity: usize) -> NodeSet {
+    NodeSet::from_ids(
+        capacity,
+        candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, id)| *id),
+    )
+}
+
+impl ExhaustiveSelection {
+    /// Scans Gray indices `[start, end)`, flipping one node per step, and
+    /// returns the lexicographically-least `(cost, mask)` seen.
+    fn scan_range(
+        a: &AnnotatedMvpp,
+        mode: MaintenanceMode,
+        candidates: &[NodeId],
+        start: u64,
+        end: u64,
+    ) -> (f64, u64) {
+        let mut eval = IncrementalEvaluator::new(a, mode);
+        let first = gray(start);
+        if first != 0 {
+            eval.set_frontier(&mask_to_set(first, candidates, a.mvpp().len()));
+        }
+        let mut best = (eval.total(), first);
+        for i in start + 1..end {
+            let mask = gray(i);
+            // gray(i) and gray(i-1) differ exactly in bit trailing_zeros(i).
+            let flipped = candidates[i.trailing_zeros() as usize];
+            let cost = eval.flip(flipped);
+            if cost < best.0 || (cost == best.0 && mask < best.1) {
+                best = (cost, mask);
+            }
+        }
+        best
     }
 }
 
@@ -95,22 +166,29 @@ impl SelectionAlgorithm for ExhaustiveSelection {
             candidates.truncate(self.max_nodes);
         }
         let n = candidates.len();
-        let mut best_set = BTreeSet::new();
-        let mut best_cost = evaluate(a, &best_set, mode).total;
-        for mask in 1_u64..(1 << n) {
-            let set: BTreeSet<NodeId> = candidates
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| mask & (1 << i) != 0)
-                .map(|(_, id)| *id)
+        let total: u64 = 1 << n;
+        let threads = if a.mvpp().len() < PARALLEL_MIN_NODES || total < 4_096 {
+            1
+        } else {
+            parallel::threads_for(self.parallelism, usize::MAX)
+        };
+        let best = if threads <= 1 {
+            Self::scan_range(a, mode, &candidates, 0, total)
+        } else {
+            let chunk = total.div_ceil(threads as u64);
+            let ranges: Vec<(u64, u64)> = (0..threads as u64)
+                .map(|t| (t * chunk, ((t + 1) * chunk).min(total)))
+                .filter(|(s, e)| s < e)
                 .collect();
-            let cost = evaluate(a, &set, mode).total;
-            if cost < best_cost {
-                best_cost = cost;
-                best_set = set;
-            }
-        }
-        best_set
+            let per_thread = parallel::ordered_map(ranges, threads, &|_, (s, e)| {
+                Self::scan_range(a, mode, &candidates, s, e)
+            });
+            per_thread
+                .into_iter()
+                .reduce(|x, y| if y.0 < x.0 || (y.0 == x.0 && y.1 < x.1) { y } else { x })
+                .expect("at least one range")
+        };
+        mask_to_set(best.1, &candidates, a.mvpp().len()).to_btree()
     }
 }
 
@@ -141,21 +219,25 @@ impl SelectionAlgorithm for RandomSearch {
     fn select(&self, a: &AnnotatedMvpp, mode: MaintenanceMode) -> BTreeSet<NodeId> {
         let candidates = a.mvpp().interior();
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut best_set = BTreeSet::new();
-        let mut best_cost = evaluate(a, &best_set, mode).total;
+        // The evaluator starts at the empty frontier — the baseline draw —
+        // and memoizes per-query costs across draws: distinct subsets often
+        // look identical below any one query's root.
+        let mut eval = IncrementalEvaluator::new(a, mode);
+        let mut best_set = NodeSet::with_capacity(a.mvpp().len());
+        let mut best_cost = eval.total();
         for _ in 0..self.iterations {
-            let set: BTreeSet<NodeId> = candidates
-                .iter()
-                .filter(|_| rng.gen_bool(0.5))
-                .copied()
-                .collect();
-            let cost = evaluate(a, &set, mode).total;
+            let set = NodeSet::from_ids(
+                a.mvpp().len(),
+                candidates.iter().filter(|_| rng.gen_bool(0.5)).copied(),
+            );
+            eval.set_frontier(&set);
+            let cost = eval.total();
             if cost < best_cost {
                 best_cost = cost;
                 best_set = set;
             }
         }
-        best_set
+        best_set.to_btree()
     }
 }
 
@@ -199,35 +281,35 @@ impl SelectionAlgorithm for SimulatedAnnealing {
             return BTreeSet::new();
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
+        // The freshly-built evaluator sits at the empty frontier, which is
+        // exactly the baseline the temperature schedule is scaled from.
+        let mut eval = IncrementalEvaluator::new(a, mode);
+        let mut temperature = eval.total().max(1.0) * self.initial_temperature;
         // Start from the greedy solution: annealing then only explores
-        // around an already-good point.
-        let mut current = GreedySelection::new().run(a).0;
-        let mut current_cost = evaluate(a, &current, mode).total;
-        let mut best = current.clone();
+        // around an already-good point. Every proposal is a single-node
+        // toggle, so each step is one memoized incremental flip; a rejected
+        // proposal flips straight back.
+        let greedy = GreedySelection::new().run(a).0;
+        eval.set_frontier(&NodeSet::from_ids(a.mvpp().len(), greedy));
+        let mut current_cost = eval.total();
+        let mut best = eval.frontier().clone();
         let mut best_cost = current_cost;
-        let mut temperature = evaluate(a, &BTreeSet::new(), mode)
-            .total
-            .max(1.0)
-            * self.initial_temperature;
         for _ in 0..self.iterations {
             let flip = candidates[rng.gen_range(0..candidates.len())];
-            let mut next = current.clone();
-            if !next.remove(&flip) {
-                next.insert(flip);
-            }
-            let next_cost = evaluate(a, &next, mode).total;
+            let next_cost = eval.flip(flip);
             let delta = next_cost - current_cost;
             if delta <= 0.0 || rng.gen_bool((-delta / temperature.max(1e-9)).exp().min(1.0)) {
-                current = next;
                 current_cost = next_cost;
                 if current_cost < best_cost {
                     best_cost = current_cost;
-                    best = current.clone();
+                    best = eval.frontier().clone();
                 }
+            } else {
+                eval.flip(flip);
             }
             temperature *= self.cooling;
         }
-        best
+        best.to_btree()
     }
 }
 
@@ -254,6 +336,11 @@ pub struct GeneticSelection {
     pub elite: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for fitness evaluation; `0` = all cores, `1` =
+    /// sequential. Reproduction stays sequential (it drives the RNG), so the
+    /// evolved population — and the selected set — is identical at any
+    /// setting.
+    pub parallelism: usize,
 }
 
 impl Default for GeneticSelection {
@@ -265,6 +352,7 @@ impl Default for GeneticSelection {
             crossover_rate: 0.9,
             elite: 2,
             seed: 7,
+            parallelism: 0,
         }
     }
 }
@@ -292,30 +380,73 @@ impl SelectionAlgorithm for GeneticSelection {
             return BTreeSet::new();
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let capacity = a.mvpp().len();
         let fitness = |genes: &[bool]| -> f64 {
-            evaluate(a, &Self::decode(genes, &candidates), mode).total
+            let set = NodeSet::from_ids(
+                capacity,
+                genes
+                    .iter()
+                    .zip(&candidates)
+                    .filter(|(g, _)| **g)
+                    .map(|(_, id)| *id),
+            );
+            evaluate_set(a, &set, mode).total
+        };
+        let threads = if capacity < PARALLEL_MIN_NODES {
+            1
+        } else {
+            parallel::threads_for(self.parallelism, usize::MAX)
+        };
+        // Fitness consumes no randomness, so evaluating a batch of
+        // individuals in parallel (in population order) leaves the RNG stream
+        // — and therefore the whole evolution — untouched. On a single
+        // thread a persistent incremental evaluator is used instead: elites
+        // and convergent offspring revisit frontiers, so the per-root memo
+        // turns most scorings into cache hits. `set_frontier` produces the
+        // identical float as `evaluate_set`, so the evolved population — and
+        // the selected set — does not depend on which path scored it.
+        let mut seq_eval = (threads <= 1).then(|| IncrementalEvaluator::new(a, mode));
+        let mut score = |batch: Vec<Vec<bool>>| -> Vec<(f64, Vec<bool>)> {
+            match seq_eval.as_mut() {
+                Some(eval) => batch
+                    .into_iter()
+                    .map(|genes| {
+                        let set = NodeSet::from_ids(
+                            capacity,
+                            genes
+                                .iter()
+                                .zip(&candidates)
+                                .filter(|(g, _)| **g)
+                                .map(|(_, id)| *id),
+                        );
+                        eval.set_frontier(&set);
+                        (eval.total(), genes)
+                    })
+                    .collect(),
+                None => parallel::ordered_map(batch, threads, &|_, genes| (fitness(&genes), genes)),
+            }
         };
 
         // Seed population: greedy, empty, random fill.
         let greedy = GreedySelection::new().run(a).0;
-        let mut population: Vec<(f64, Vec<bool>)> = Vec::with_capacity(self.population.max(4));
-        let greedy_genes: Vec<bool> = candidates.iter().map(|c| greedy.contains(c)).collect();
-        population.push((fitness(&greedy_genes), greedy_genes));
-        let empty = vec![false; n];
-        population.push((fitness(&empty), empty));
-        while population.len() < self.population.max(4) {
-            let genes: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.3)).collect();
-            population.push((fitness(&genes), genes));
+        let target = self.population.max(4);
+        let mut seeds: Vec<Vec<bool>> = Vec::with_capacity(target);
+        seeds.push(candidates.iter().map(|c| greedy.contains(c)).collect());
+        seeds.push(vec![false; n]);
+        while seeds.len() < target {
+            seeds.push((0..n).map(|_| rng.gen_bool(0.3)).collect());
         }
+        let mut population = score(seeds);
 
         for _ in 0..self.generations {
             population.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite fitness"));
-            let mut next: Vec<(f64, Vec<bool>)> = population
+            let elite: Vec<(f64, Vec<bool>)> = population
                 .iter()
                 .take(self.elite.min(population.len()))
                 .cloned()
                 .collect();
-            while next.len() < population.len() {
+            let mut offspring: Vec<Vec<bool>> = Vec::with_capacity(population.len());
+            while elite.len() + offspring.len() < population.len() {
                 let pick = |rng: &mut StdRng| -> usize {
                     // Tournament of two.
                     let i = rng.gen_range(0..population.len());
@@ -343,9 +474,10 @@ impl SelectionAlgorithm for GeneticSelection {
                         *gene = !*gene;
                     }
                 }
-                let fit = fitness(&child);
-                next.push((fit, child));
+                offspring.push(child);
             }
+            let mut next = elite;
+            next.extend(score(offspring));
             population = next;
         }
         population.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite fitness"));
@@ -357,6 +489,7 @@ impl SelectionAlgorithm for GeneticSelection {
 mod tests {
     use super::*;
     use crate::annotate::UpdateWeighting;
+    use crate::evaluate::evaluate;
     use crate::mvpp::Mvpp;
     use mvdesign_algebra::{AttrRef, CompareOp, Expr, JoinCondition, Predicate};
     use mvdesign_catalog::{AttrType, Catalog};
@@ -485,7 +618,10 @@ mod tests {
     #[test]
     fn exhaustive_truncation_keeps_high_weight_nodes() {
         let a = annotated();
-        let small = ExhaustiveSelection { max_nodes: 1 };
+        let small = ExhaustiveSelection {
+            max_nodes: 1,
+            ..ExhaustiveSelection::default()
+        };
         let m = small.select(&a, MaintenanceMode::SharedRecompute);
         // With one candidate, the result is either empty or that single
         // highest-weight node.

@@ -22,15 +22,29 @@ pub enum EstimationMode {
     Calibrated,
 }
 
+/// A cached estimate together with the expression it was computed for.
+type CachedStats = (Arc<Expr>, RelationStats);
+
 /// Estimates output statistics (records/blocks) for every subexpression.
 ///
-/// Estimates are memoised by [`Expr::semantic_key`], so repeated estimation
-/// across shared subtrees and across MVPP candidates is cheap.
+/// Estimates are memoised at two levels. The fast path is keyed on the
+/// [`Arc`] pointer itself — MVPP nodes intern shared subexpressions, so hot
+/// callers re-estimate the *same* `Arc` over and over, and a pointer probe
+/// costs one hash of a machine word. On a pointer miss the estimate is
+/// looked up by [`Expr::semantic_hash`]; the full [`Expr::semantic_key`]
+/// string is built only when a hash bucket already holds another expression
+/// (to confirm the equivalence, or detect the ~2⁻⁶⁴ collision) — never on
+/// the per-call hot path.
 #[derive(Debug)]
 pub struct CardinalityEstimator<'c> {
     catalog: &'c Catalog,
     mode: EstimationMode,
-    cache: RefCell<HashMap<String, RelationStats>>,
+    /// Pointer-identity fast path. The cached `Arc` keeps the allocation
+    /// alive, so a stored address can never be recycled by a new expression.
+    by_ptr: RefCell<HashMap<usize, CachedStats>>,
+    /// Structural-hash buckets; an entry carries its semantic key only once
+    /// a second expression lands in the bucket and a comparison is needed.
+    by_hash: RefCell<HashMap<u64, Vec<CachedStats>>>,
 }
 
 impl<'c> CardinalityEstimator<'c> {
@@ -39,7 +53,8 @@ impl<'c> CardinalityEstimator<'c> {
         Self {
             catalog,
             mode,
-            cache: RefCell::new(HashMap::new()),
+            by_ptr: RefCell::new(HashMap::new()),
+            by_hash: RefCell::new(HashMap::new()),
         }
     }
 
@@ -53,13 +68,45 @@ impl<'c> CardinalityEstimator<'c> {
     /// Unknown base relations estimate as empty; run
     /// [`mvdesign_algebra::output_attrs`] first if you want hard errors.
     pub fn stats(&self, expr: &Arc<Expr>) -> RelationStats {
-        let key = expr.semantic_key();
-        if let Some(hit) = self.cache.borrow().get(&key) {
+        let ptr = Arc::as_ptr(expr) as usize;
+        if let Some((_, hit)) = self.by_ptr.borrow().get(&ptr) {
             return *hit;
         }
-        let computed = self.compute(expr);
-        self.cache.borrow_mut().insert(key, computed);
-        computed
+        let hash = expr.semantic_hash();
+        let stats = if let Some(bucket) = self.by_hash.borrow().get(&hash) {
+            if bucket.len() == 1 && Arc::ptr_eq(&bucket[0].0, expr) {
+                Some(bucket[0].1)
+            } else if bucket.is_empty() {
+                None
+            } else {
+                // Another expression shares the hash: compare full semantic
+                // keys to separate "semantically equal" from a collision.
+                let key = expr.semantic_key();
+                bucket
+                    .iter()
+                    .find(|(e, _)| e.semantic_key() == key)
+                    .map(|(_, s)| s)
+                    .copied()
+            }
+        } else {
+            None
+        };
+        let stats = match stats {
+            Some(s) => s,
+            None => {
+                let computed = self.compute(expr);
+                self.by_hash
+                    .borrow_mut()
+                    .entry(hash)
+                    .or_default()
+                    .push((Arc::clone(expr), computed));
+                computed
+            }
+        };
+        self.by_ptr
+            .borrow_mut()
+            .insert(ptr, (Arc::clone(expr), stats));
+        stats
     }
 
     fn compute(&self, expr: &Arc<Expr>) -> RelationStats {
@@ -436,7 +483,29 @@ mod tests {
         let a = e.stats(&tmp2());
         let b = e.stats(&tmp2());
         assert_eq!(a, b);
-        assert_eq!(e.cache.borrow().len(), 4); // Division, σ, Product, join
+        // Division, σ, Product, join — one semantic entry each, even though
+        // the two `tmp2()` calls built distinct trees.
+        let entries: usize = e.by_hash.borrow().values().map(Vec::len).sum();
+        assert_eq!(entries, 4);
+    }
+
+    #[test]
+    fn repeated_arcs_hit_the_pointer_fast_path() {
+        let c = catalog();
+        let e = CardinalityEstimator::new(&c, EstimationMode::Analytic);
+        let shared = tmp2();
+        let first = e.stats(&shared);
+        let ptrs = e.by_ptr.borrow().len();
+        // Same Arc again: answered from the pointer map, nothing new cached.
+        assert_eq!(e.stats(&shared), first);
+        assert_eq!(e.by_ptr.borrow().len(), ptrs);
+        // A structurally fresh but semantically equal tree reuses the stats
+        // and only adds a pointer entry, not a semantic one.
+        let semantic: usize = e.by_hash.borrow().values().map(Vec::len).sum();
+        assert_eq!(e.stats(&tmp2()), first);
+        let semantic_after: usize = e.by_hash.borrow().values().map(Vec::len).sum();
+        assert_eq!(semantic, semantic_after);
+        assert_eq!(e.by_ptr.borrow().len(), ptrs + 1);
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mvdesign-cli design  <scenario.mvd> [--algorithm NAME] [--maintenance shared|isolated]
-//!                      [--incremental FRACTION] [--rotations K] [--dot]
+//!                      [--incremental FRACTION] [--rotations K] [--parallelism N] [--dot]
 //! mvdesign-cli explain <scenario.mvd>         # print the annotated MVPP
 //! mvdesign-cli validate <scenario.mvd>        # parse + validate only
 //! mvdesign-cli example                        # print a starter scenario file
@@ -62,6 +62,10 @@ fn usage() -> String {
        --maintenance shared|isolated\n\
        --incremental FRACTION      (delta maintenance instead of recompute)\n\
        --rotations K               (candidate MVPPs to try, default 8)\n\
+       --parallelism N             (worker threads for exhaustive/genetic\n\
+                                    search: 0 = all cores (default), 1 =\n\
+                                    sequential; the result is identical at\n\
+                                    any setting)\n\
        --trace                     (print the greedy decision trace)\n\
        --dot                       (also print the chosen MVPP as Graphviz)"
         .to_string()
@@ -78,7 +82,13 @@ fn load(args: &[String]) -> Result<Scenario, String> {
 
 fn is_option_value(args: &[String], candidate: &String) -> bool {
     // A bare word directly after a value-taking option is that option's value.
-    let value_options = ["--algorithm", "--maintenance", "--incremental", "--rotations"];
+    let value_options = [
+        "--algorithm",
+        "--maintenance",
+        "--incremental",
+        "--rotations",
+        "--parallelism",
+    ];
     args.iter()
         .zip(args.iter().skip(1))
         .any(|(opt, val)| value_options.contains(&opt.as_str()) && val == candidate)
@@ -127,10 +137,21 @@ fn design(args: &[String]) -> Result<(), String> {
         None => MaintenancePolicy::Recompute,
     };
 
+    let parallelism: usize = match option(args, "--parallelism") {
+        Some(n) => n.parse().map_err(|_| format!("`{n}` is not a number"))?,
+        None => 0,
+    };
+
     let algorithm: Box<dyn SelectionAlgorithm> = match option(args, "--algorithm") {
         None | Some("greedy") => Box::new(GreedySelection::new()),
-        Some("exhaustive") => Box::new(ExhaustiveSelection::default()),
-        Some("genetic") => Box::new(GeneticSelection::default()),
+        Some("exhaustive") => Box::new(ExhaustiveSelection {
+            parallelism,
+            ..ExhaustiveSelection::default()
+        }),
+        Some("genetic") => Box::new(GeneticSelection {
+            parallelism,
+            ..GeneticSelection::default()
+        }),
         Some("annealing") => Box::new(SimulatedAnnealing::default()),
         Some("random") => Box::new(RandomSearch::default()),
         Some("all") => Box::new(MaterializeAll),

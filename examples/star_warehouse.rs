@@ -57,7 +57,7 @@ fn main() {
         Box::new(GreedySelection::new()),
         Box::new(RandomSearch::default()),
         Box::new(SimulatedAnnealing::default()),
-        Box::new(ExhaustiveSelection { max_nodes: 14 }),
+        Box::new(ExhaustiveSelection { max_nodes: 14, ..ExhaustiveSelection::default() }),
     ];
 
     println!(

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the checks every PR must keep green.
+#
+#   release build  →  full test suite  →  bench smoke (compile + run each
+#   benchmark once in --test mode, no timing)
+#
+# Run from the repository root: ./scripts/tier1.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release --workspace
+
+echo "== tier-1: tests =="
+cargo test -q --workspace
+
+echo "== tier-1: bench smoke (--test mode) =="
+cargo bench -p mvdesign-bench --bench selection_scaling -- --test
+
+echo "== tier-1: paper artifacts still reproduce =="
+cargo run --release -p mvdesign-bench --bin repro -- fig9 > /dev/null
+cargo run --release -p mvdesign-bench --bin repro -- table2 > /dev/null
+
+echo "tier-1 OK"

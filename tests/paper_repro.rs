@@ -259,7 +259,7 @@ fn greedy_is_near_exhaustive_optimum_on_the_paper_example() {
     let (mvpp, m) = best_design();
     let mode = MaintenanceMode::SharedRecompute;
     let greedy = evaluate(&mvpp, &m, mode).total;
-    let opt_set = ExhaustiveSelection { max_nodes: 16 }.select(&mvpp, mode);
+    let opt_set = ExhaustiveSelection { max_nodes: 16, ..ExhaustiveSelection::default() }.select(&mvpp, mode);
     let optimum = evaluate(&mvpp, &opt_set, mode).total;
     assert!(greedy >= optimum - 1e-6);
     assert!(

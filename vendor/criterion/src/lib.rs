@@ -1,0 +1,265 @@
+//! Vendored stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset the workspace's `harness = false` benches use —
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter` / `iter_batched`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — with simple wall-clock
+//! measurement and a plain-text report. Honors `--test` (run every benchmark
+//! body exactly once, as a smoke test) and a positional substring filter,
+//! mirroring how cargo and CI drive real criterion benches.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted, not used for tuning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup before every iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(name: S, parameter: P) -> Self {
+        Self {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { full: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(full: String) -> Self {
+        Self { full }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean wall-clock time per iteration from the measurement phase.
+    measured: Option<Duration>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `--test`: run the body once, skip measurement.
+    Smoke,
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Smoke {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibrate: time one call, then choose an iteration count that
+        // keeps the measurement phase near ~200ms per benchmark.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(200).as_nanos() / once.as_nanos())
+            .clamp(1, 10_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.measured = Some(start.elapsed() / iters);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.mode == Mode::Smoke {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(200).as_nanos() / once.as_nanos())
+            .clamp(1, 10_000) as u32;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let mut total = Duration::ZERO;
+        for input in inputs {
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.measured = Some(total / iters);
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Measure,
+            filter: None,
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds the harness from CLI arguments (`--test`, optional filter).
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.mode = Mode::Smoke,
+                // Flags cargo/criterion pass that we accept and ignore.
+                "--bench" | "--quick" | "--noplot" | "--nocapture" => {}
+                other if other.starts_with("--") => {}
+                other => c.filter = Some(other.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 0,
+        }
+    }
+
+    /// Prints the run summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        match self.mode {
+            Mode::Smoke => println!("criterion: {} benchmark(s) smoke-tested ok", self.ran),
+            Mode::Measure => println!("criterion: {} benchmark(s) measured", self.ran),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; measurement is auto-calibrated.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; measurement is auto-calibrated.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.full, |bencher| f(bencher));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<S, I, F>(&mut self, id: S, input: &I, mut f: F) -> &mut Self
+    where
+        S: Into<BenchmarkId>,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.full, |bencher| f(bencher, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            measured: None,
+        };
+        f(&mut bencher);
+        self.criterion.ran += 1;
+        match (self.criterion.mode, bencher.measured) {
+            (Mode::Smoke, _) => println!("{full:<56} ok (smoke)"),
+            (Mode::Measure, Some(t)) => println!("{full:<56} time: {}", human(t)),
+            (Mode::Measure, None) => println!("{full:<56} (no measurement)"),
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn human(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}

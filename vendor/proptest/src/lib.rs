@@ -1,0 +1,437 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API this workspace uses: the
+//! [`proptest!`] macro with `ident in strategy` arguments, range / tuple /
+//! vec / array / `any::<T>()` / simple-regex strategies, `prop_map`, and the
+//! `prop_assert*` macros. Cases are sampled from a deterministic RNG seeded
+//! per test; failing cases panic immediately (no shrinking). That is enough
+//! for the workspace's property tests, which assert invariants rather than
+//! rely on shrunk counterexamples.
+
+#![forbid(unsafe_code)]
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Test-runner configuration (`cases` is the only knob honored).
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange};
+
+    /// A sampler of values of type [`Strategy::Value`].
+    ///
+    /// Unlike upstream proptest there is no value tree or shrinking — a
+    /// strategy is just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    impl<T: Copy> Strategy for core::ops::Range<T>
+    where
+        core::ops::Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: Copy> Strategy for core::ops::RangeInclusive<T>
+    where
+        core::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A/0);
+    impl_tuple_strategy!(A/0, B/1);
+    impl_tuple_strategy!(A/0, B/1, C/2);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+
+    /// `&str` regex patterns of the restricted form `[class]{min,max}`,
+    /// where `class` supports literal chars, `\n`/`\t`/`\r`/`\\` escapes,
+    /// and `a-z` ranges. This covers the patterns used in the workspace;
+    /// anything else panics with a clear message.
+    impl Strategy for str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut StdRng) -> String {
+            let (alphabet, min, max) = parse_simple_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported proptest string pattern: {self:?}"));
+            let len = rng.gen_range(min..=max);
+            (0..len)
+                .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+                .collect()
+        }
+    }
+
+    fn parse_simple_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let (class, reps) = rest.split_at(close);
+        let reps = reps.strip_prefix(']')?.strip_prefix('{')?.strip_suffix('}')?;
+        let (min, max) = match reps.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n = reps.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if min > max {
+            return None;
+        }
+
+        let mut alphabet = Vec::new();
+        let mut chars = class.chars().peekable();
+        while let Some(c) = chars.next() {
+            let decoded = match c {
+                '\\' => match chars.next()? {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                },
+                other => other,
+            };
+            if chars.peek() == Some(&'-') && {
+                let mut look = chars.clone();
+                look.next();
+                look.peek().is_some()
+            } {
+                chars.next(); // the '-'
+                let hi = match chars.next()? {
+                    '\\' => match chars.next()? {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    },
+                    other => other,
+                };
+                if decoded > hi {
+                    return None;
+                }
+                alphabet.extend((decoded..=hi).filter(|c| c.is_ascii() || *c <= hi));
+            } else {
+                alphabet.push(decoded);
+            }
+        }
+        if alphabet.is_empty() && max > 0 {
+            return None;
+        }
+        if alphabet.is_empty() {
+            alphabet.push('x'); // never drawn: max == 0
+        }
+        Some((alphabet, min, max))
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use core::marker::PhantomData;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value across the type's full range.
+        fn arbitrary_sample(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_sample(rng: &mut StdRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_sample(rng: &mut StdRng) -> Self {
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary_sample(rng: &mut StdRng) -> Self {
+            rng.gen_range(-1.0e6..1.0e6)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_sample(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange};
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SampleRange<usize> + Clone> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy, R: SampleRange<usize> + Clone>(
+        element: S,
+        size: R,
+    ) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    macro_rules! uniform_array {
+        ($name:ident, $wrapper:ident, $n:expr) => {
+            /// Strategy returned by the matching `uniformN` function.
+            pub struct $wrapper<S>(S);
+
+            impl<S: Strategy> Strategy for $wrapper<S> {
+                type Value = [S::Value; $n];
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    core::array::from_fn(|_| self.0.sample(rng))
+                }
+            }
+
+            /// `[T; N]` strategy drawing each element from `element`.
+            pub fn $name<S: Strategy>(element: S) -> $wrapper<S> {
+                $wrapper(element)
+            }
+        };
+    }
+
+    uniform_array!(uniform2, Uniform2, 2);
+    uniform_array!(uniform3, Uniform3, 3);
+    uniform_array!(uniform4, Uniform4, 4);
+    uniform_array!(uniform5, Uniform5, 5);
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            // Deterministic per-test seed: stable across runs, distinct per name.
+            let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for __b in stringify!($name).bytes() {
+                __seed = (__seed ^ __b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __context = format!(
+                    concat!("[case {}] ", $(stringify!($arg), " = {:?}, ",)+ ""),
+                    __case, $(&$arg),+
+                );
+                let __guard = $crate::__CaseGuard(__context);
+                { $body }
+                ::std::mem::forget(__guard);
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+pub struct __CaseGuard(pub String);
+
+impl Drop for __CaseGuard {
+    fn drop(&mut self) {
+        // Only reached when the case body panicked (success forgets the guard).
+        eprintln!("proptest case failed: {}", self.0);
+    }
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy as _;
+    use rand::SeedableRng;
+
+    #[test]
+    fn string_pattern_parses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::sample(&"[ -~\\n]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn tuples_vecs_and_arrays(
+            pair in (0usize..3, 0i64..6),
+            v in crate::collection::vec(0u32..10, 1..5),
+            arr in crate::array::uniform3(8u32..200),
+            flag in any::<bool>(),
+            mapped in (0usize..=2).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(pair.0 < 3 && (0..6).contains(&pair.1));
+            prop_assert!((1..5).contains(&v.len()) && v.iter().all(|x| *x < 10));
+            prop_assert!(arr.iter().all(|x| (8..200).contains(x)));
+            prop_assert!(flag || !flag);
+            prop_assert!(mapped % 2 == 0 && mapped <= 4);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Vendored stand-in for the `serde` facade crate.
+//!
+//! The workspace uses serde only in `#[derive(Serialize, Deserialize)]`
+//! positions — nothing is ever serialized at runtime — so this crate simply
+//! re-exports the no-op derives from the vendored `serde_derive` and provides
+//! empty marker traits under the usual paths for any explicit bounds.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::ser::Serialize`.
+pub mod ser {
+    /// Empty marker trait; the vendored derives expand to nothing, so no
+    /// type implements this and no bound in the workspace requires it.
+    pub trait Serialize {}
+}
+
+/// Marker stand-in for `serde::de::Deserialize`.
+pub mod de {
+    /// Empty marker trait mirroring `serde::de::Deserialize`.
+    pub trait Deserialize<'de> {}
+    /// Empty marker trait mirroring `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+}

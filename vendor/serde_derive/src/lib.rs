@@ -1,0 +1,20 @@
+//! Vendored no-op stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` positions; no
+//! code path ever serializes or deserializes a value. These derives therefore
+//! expand to nothing, which keeps the derive attribute valid while avoiding a
+//! dependency on `syn`/`quote` (unavailable offline).
+
+use proc_macro::TokenStream;
+
+/// No-op expansion of `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op expansion of `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
