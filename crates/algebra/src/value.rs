@@ -103,7 +103,7 @@ mod tests {
 
     #[test]
     fn ordering_across_variants_is_total() {
-        let mut v = vec![Value::text("z"), Value::Int(5), Value::date(2000, 1, 1)];
+        let mut v = [Value::text("z"), Value::Int(5), Value::date(2000, 1, 1)];
         v.sort();
         assert_eq!(v[0], Value::Int(5));
         assert!(matches!(v[1], Value::Text(_)));

@@ -11,7 +11,9 @@
 //! `mqp` (§3.2 comparison), `scale` (workload growth), `simulate`
 //! (engine-measured I/O), `tpch` (TPC-H-lite design), `breakeven`
 //! (closed-form U*), `perf` (memoized search engine vs naive re-evaluation;
-//! writes `BENCH_selection.json`).
+//! writes `BENCH_selection.json`), `audit` (the correctness battery:
+//! structural invariants, differential cost oracles, executable semantics
+//! over the paper/star/TPC-H/degenerate scenarios).
 
 use std::collections::BTreeSet;
 
@@ -87,6 +89,9 @@ fn main() {
     }
     if want("perf") {
         perf();
+    }
+    if want("audit") {
+        audit();
     }
 }
 
@@ -173,7 +178,7 @@ fn fig2() {
 fn fig3() {
     section("Figure 3: the MVPP with per-node costs (Ca) and frequencies");
     let a = paper_annotated();
-    println!("{:<8} {:>14} {:>14}  {}", "node", "Ca", "weight", "operation");
+    println!("{:<8} {:>14} {:>14}  operation", "node", "Ca", "weight");
     for n in a.mvpp().nodes() {
         let ann = a.annotation(n.id());
         let op: String = n.expr().op_label().chars().take(48).collect();
@@ -509,8 +514,8 @@ fn ablation() {
 fn sweep() {
     section("Sweep: update frequency × strategy (crossover structure)");
     println!(
-        "{:>10} {:>16} {:>16} {:>16}  {}",
-        "fu", "all-virtual", "greedy design", "all-queries", "winner"
+        "{:>10} {:>16} {:>16} {:>16}  winner",
+        "fu", "all-virtual", "greedy design", "all-queries"
     );
     for fu in [0.0, 0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0] {
         let mut scenario = paper_example();
@@ -1038,7 +1043,7 @@ fn naive_exhaustive(
         candidates.sort_by(|x, y| {
             let wx = a.annotation(*x).weight;
             let wy = a.annotation(*y).weight;
-            wy.partial_cmp(&wx).expect("finite weights")
+            wy.total_cmp(&wx)
         });
         candidates.truncate(max_nodes);
     }
@@ -1108,7 +1113,7 @@ fn naive_genetic(
         seeds.into_iter().map(|g| (fitness(&g), g)).collect();
 
     for _ in 0..ga.generations {
-        population.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite fitness"));
+        population.sort_by(|x, y| x.0.total_cmp(&y.0));
         let elite: Vec<(f64, Vec<bool>)> = population
             .iter()
             .take(ga.elite.min(population.len()))
@@ -1148,7 +1153,28 @@ fn naive_genetic(
         next.extend(offspring.into_iter().map(|g| (fitness(&g), g)));
         population = next;
     }
-    population.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite fitness"));
+    population.sort_by(|x, y| x.0.total_cmp(&y.0));
     let pick = decode(&population[0].1);
     (pick, evals)
+}
+
+fn audit() {
+    section("Audit: structural, differential and executable correctness oracles");
+    let config = mvdesign_verify::AuditConfig::default();
+    let mut dirty = 0usize;
+    for (name, report) in mvdesign_verify::audit_standard_scenarios(&config) {
+        if report.is_clean() {
+            println!("{name:<26} clean");
+        } else {
+            dirty += 1;
+            println!("{name:<26} {report}");
+        }
+    }
+    if dirty > 0 {
+        eprintln!("audit: {dirty} scenario(s) reported violations");
+        std::process::exit(1);
+    }
+    println!("\nall scenarios clean (MVPP invariants, three-way cost differential,");
+    println!("distributed zero-link equality, greedy trace replay, prune tripwire,");
+    println!("executable semantics on generated data)");
 }

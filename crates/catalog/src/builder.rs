@@ -91,8 +91,10 @@ impl<'c> RelationBuilder<'c> {
     ///
     /// Propagates every validation error of [`Catalog::insert_relation`]:
     /// duplicate relation or attribute names, unknown selectivity targets,
-    /// out-of-range selectivities or frequencies.
+    /// out-of-range selectivities or frequencies, and negative, non-finite or
+    /// inconsistent (`records > 0` with `blocks <= 0`) physical statistics.
     pub fn finish(self) -> Result<(), CatalogError> {
+        Catalog::validate_stats(self.records, self.blocks)?;
         let meta = RelationMeta {
             schema: RelationSchema::new(self.name, self.attributes),
             stats: RelationStats::new(self.records, self.blocks),
@@ -148,6 +150,58 @@ mod tests {
             .finish()
             .unwrap_err();
         assert!(matches!(err, CatalogError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_negative_and_non_finite_records() {
+        for records in [-1.0, f64::NAN, f64::INFINITY] {
+            let mut c = Catalog::new();
+            let err = c
+                .relation("R")
+                .attr("a", AttrType::Int)
+                .records(records)
+                .blocks(10.0)
+                .finish()
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                CatalogError::InvalidValue {
+                    what: "record count",
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn builder_rejects_zero_blocks_for_populated_relation() {
+        let mut c = Catalog::new();
+        let err = c
+            .relation("R")
+            .attr("a", AttrType::Int)
+            .records(100.0)
+            .blocks(0.0)
+            .finish()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CatalogError::InvalidValue {
+                what: "block count (zero blocks for a populated relation)",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_accepts_fully_empty_relation() {
+        let mut c = Catalog::new();
+        c.relation("Empty")
+            .attr("a", AttrType::Int)
+            .records(0.0)
+            .blocks(0.0)
+            .finish()
+            .expect("(0 records, 0 blocks) stays legal");
+        assert_eq!(c.meta("Empty").unwrap().stats.records, 0.0);
     }
 
     #[test]

@@ -101,13 +101,43 @@ impl Catalog {
         RelationBuilder::new(self, name.into())
     }
 
+    /// Validates physical statistics before they reach the cost model.
+    ///
+    /// Rejects negative or non-finite counts, and the inconsistent case of a
+    /// populated relation occupying no blocks (`records > 0, blocks <= 0`),
+    /// which would otherwise divide by zero inside the paper cost model. The
+    /// fully-empty `(0, 0)` relation stays legal.
+    pub(crate) fn validate_stats(records: f64, blocks: f64) -> Result<(), CatalogError> {
+        if !(records.is_finite() && records >= 0.0) {
+            return Err(CatalogError::InvalidValue {
+                what: "record count",
+                value: records,
+            });
+        }
+        if !(blocks.is_finite() && blocks >= 0.0) {
+            return Err(CatalogError::InvalidValue {
+                what: "block count",
+                value: blocks,
+            });
+        }
+        if records > 0.0 && blocks <= 0.0 {
+            return Err(CatalogError::InvalidValue {
+                what: "block count (zero blocks for a populated relation)",
+                value: blocks,
+            });
+        }
+        Ok(())
+    }
+
     /// Registers a fully-formed relation.
     ///
     /// # Errors
     ///
     /// Returns an error if the name is already registered, the schema has
     /// duplicate attributes, a selectivity references an unknown attribute or
-    /// lies outside `[0, 1]`, or the update frequency is negative.
+    /// lies outside `[0, 1]`, the update frequency is negative, or the
+    /// statistics are negative, non-finite or inconsistent (`records > 0`
+    /// with `blocks <= 0`).
     pub fn insert_relation(&mut self, meta: RelationMeta) -> Result<(), CatalogError> {
         let name = meta.schema.name().clone();
         if self.relations.contains_key(&name) {
@@ -116,6 +146,7 @@ impl Catalog {
         if let Some(dup) = meta.schema.first_duplicate() {
             return Err(CatalogError::DuplicateAttribute(name, dup.clone()));
         }
+        Self::validate_stats(meta.stats.records, meta.stats.blocks)?;
         if !(meta.update_frequency.is_finite() && meta.update_frequency >= 0.0) {
             return Err(CatalogError::InvalidValue {
                 what: "update frequency",

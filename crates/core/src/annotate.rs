@@ -253,9 +253,7 @@ impl AnnotatedMvpp {
         lv.sort_by(|a, b| {
             let wa = self.annotations[a.0].weight;
             let wb = self.annotations[b.0].weight;
-            wb.partial_cmp(&wa)
-                .expect("weights are finite")
-                .then(a.0.cmp(&b.0))
+            wb.total_cmp(&wa).then(a.0.cmp(&b.0))
         });
         lv
     }

@@ -11,8 +11,8 @@
 //!    whose relations and join conditions agree with the incoming plan
 //!    (step 4.3's "divide the leaf nodes into subsets already joined in
 //!    MVPP(n)");
-//! 5. + 6. push selections (as per-leaf *disjunctions* across queries) and
-//!    projections (as per-leaf attribute *unions*, plus join attributes)
+//! 5. (and 6.) push selections (as per-leaf *disjunctions* across queries)
+//!    and projections (as per-leaf attribute *unions*, plus join attributes)
 //!    back down to the leaves; each query re-applies its own predicate above
 //!    its join subtree when the shared leaf filter is weaker than its own.
 //!
@@ -94,8 +94,7 @@ pub fn generate_mvpps<M: CostModel>(
     // Step 3: descending fq·Ca, name as deterministic tie-break.
     prepared.sort_by(|a, b| {
         b.cost_key
-            .partial_cmp(&a.cost_key)
-            .expect("finite costs")
+            .total_cmp(&a.cost_key)
             .then_with(|| a.name.cmp(&b.name))
     });
     let leaves = shared_leaves(&prepared, est);
@@ -358,7 +357,7 @@ fn build_query_expr<M: CostModel>(
         }
         candidates.push((bases, Arc::clone(node.expr())));
     }
-    candidates.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0.len()));
 
     let mut covered: BTreeSet<RelName> = BTreeSet::new();
     let mut pieces: Vec<(BTreeSet<RelName>, Arc<Expr>)> = Vec::new();
@@ -381,8 +380,10 @@ fn build_query_expr<M: CostModel>(
     }
 
     // Step 4.3.2: join the pieces — connected pairs first, cheapest first.
+    // (pair indices, op cost, connectedness, joined expr, covered bases)
+    type BestJoin = (usize, usize, f64, bool, Arc<Expr>, BTreeSet<RelName>);
     while pieces.len() > 1 {
-        let mut best: Option<(usize, usize, f64, bool, Arc<Expr>, BTreeSet<RelName>)> = None;
+        let mut best: Option<BestJoin> = None;
         for i in 0..pieces.len() {
             for j in (i + 1)..pieces.len() {
                 let pairs: Vec<(AttrRef, AttrRef)> = q_conds

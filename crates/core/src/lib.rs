@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod annotate;
+mod audit;
 mod designer;
 mod evaluate;
 mod generate;
@@ -69,6 +70,10 @@ mod search;
 mod workload;
 
 pub use crate::annotate::{AnnotatedMvpp, MaintenancePolicy, NodeAnnotation, UpdateWeighting};
+pub use crate::audit::{
+    audit_annotated, check_cost_paths, check_greedy_trace, check_query_rewrite, greedy_no_prune,
+    reference_greedy, validate_mvpp, validate_schemas, AuditReport, AuditViolation,
+};
 pub use crate::designer::{DesignError, DesignResult, Designer, DesignerConfig};
 pub use crate::evaluate::{
     break_even_update_weight, evaluate, evaluate_set, mqp_batch_cost, query_cost,

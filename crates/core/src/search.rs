@@ -161,7 +161,7 @@ impl SelectionAlgorithm for ExhaustiveSelection {
             candidates.sort_by(|x, y| {
                 let wx = a.annotation(*x).weight;
                 let wy = a.annotation(*y).weight;
-                wy.partial_cmp(&wx).expect("finite weights")
+                wy.total_cmp(&wx)
             });
             candidates.truncate(self.max_nodes);
         }
@@ -439,7 +439,7 @@ impl SelectionAlgorithm for GeneticSelection {
         let mut population = score(seeds);
 
         for _ in 0..self.generations {
-            population.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite fitness"));
+            population.sort_by(|x, y| x.0.total_cmp(&y.0));
             let elite: Vec<(f64, Vec<bool>)> = population
                 .iter()
                 .take(self.elite.min(population.len()))
@@ -480,7 +480,7 @@ impl SelectionAlgorithm for GeneticSelection {
             next.extend(score(offspring));
             population = next;
         }
-        population.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite fitness"));
+        population.sort_by(|x, y| x.0.total_cmp(&y.0));
         Self::decode(&population[0].1, &candidates)
     }
 }

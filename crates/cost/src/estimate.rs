@@ -181,11 +181,14 @@ impl<'c> CardinalityEstimator<'c> {
                         .map(|(a, b)| self.catalog.join_selectivity_or_default(a, b))
                         .product()
                 };
-                let records = l.records * r.records * js;
+                // Saturate instead of overflowing: astronomically large (but
+                // valid) inputs would otherwise push the product to ∞ and
+                // panic `RelationStats::new`.
+                let records = (l.records * r.records * js).min(f64::MAX);
                 // Output tuples are as wide as both inputs together; widths
                 // are the reciprocal blocking factors.
                 let width = 1.0 / l.blocking_factor() + 1.0 / r.blocking_factor();
-                RelationStats::new(records, records * width)
+                RelationStats::new(records, (records * width).min(f64::MAX))
             }
         }
     }
@@ -359,6 +362,31 @@ mod tests {
             tmp1(),
             JoinCondition::on(AttrRef::new("Product", "Did"), AttrRef::new("Division", "Did")),
         )
+    }
+
+    #[test]
+    fn huge_join_estimate_saturates_instead_of_panicking() {
+        let mut c = Catalog::new();
+        for name in ["Big", "Huge"] {
+            c.relation(name)
+                .attr("id", AttrType::Int)
+                .records(1e300)
+                .blocks(1e298)
+                .update_frequency(1.0)
+                .finish()
+                .unwrap();
+        }
+        c.set_join_selectivity(AttrRef::new("Big", "id"), AttrRef::new("Huge", "id"), 1.0)
+            .unwrap();
+        let e = CardinalityEstimator::new(&c, EstimationMode::Analytic);
+        let s = e.stats(&Expr::join(
+            Expr::base("Big"),
+            Expr::base("Huge"),
+            JoinCondition::on(AttrRef::new("Big", "id"), AttrRef::new("Huge", "id")),
+        ));
+        // 1e300 × 1e300 overflows f64; the estimate must clamp, not panic.
+        assert_eq!(s.records, f64::MAX);
+        assert!(s.blocks.is_finite());
     }
 
     #[test]

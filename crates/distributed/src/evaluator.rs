@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use mvdesign_core::{AnnotatedMvpp, CostBreakdown, MaintenanceMode, NodeId};
+use mvdesign_core::{AnnotatedMvpp, CostBreakdown, MaintenanceMode, MaintenancePolicy, NodeId};
 
 use crate::topology::{Placement, Topology};
 
@@ -126,6 +126,25 @@ impl<'a> DistributedEvaluator<'a> {
                 })
                 .sum(),
             MaintenanceMode::SharedRecompute => {
+                // Mirror the core evaluator exactly: one refresh pass charges
+                // every needed operator `fu · op_cost · fraction`, where the
+                // policy's work fraction scales the pass down to delta
+                // propagation under incremental maintenance, which then also
+                // scans each stored view to apply the deltas. Shipping for
+                // remotely-stored leaves is scaled by the same fraction (only
+                // the delta blocks travel).
+                let fraction = self.annotated.maintenance_policy().work_fraction();
+                let apply: f64 = match self.annotated.maintenance_policy() {
+                    MaintenancePolicy::Recompute => 0.0,
+                    MaintenancePolicy::Incremental { .. } => m
+                        .iter()
+                        .filter(|v| !mvpp.node(**v).is_leaf())
+                        .map(|v| {
+                            let ann = self.annotated.annotation(*v);
+                            ann.fu_weight * ann.scan
+                        })
+                        .sum(),
+                };
                 let mut needed: BTreeSet<NodeId> = BTreeSet::new();
                 for v in m {
                     if mvpp.node(*v).is_leaf() {
@@ -139,19 +158,20 @@ impl<'a> DistributedEvaluator<'a> {
                     .map(|n| {
                         let ann = self.annotated.annotation(n);
                         if mvpp.node(n).is_leaf() {
-                            ann.fu_weight * self.leaf_shipping(n)
+                            ann.fu_weight * self.leaf_shipping(n) * fraction
                         } else {
-                            ann.fu_weight * ann.op_cost
+                            ann.fu_weight * ann.op_cost * fraction
                         }
                     })
-                    .sum()
+                    .sum::<f64>()
+                    + apply
             }
         };
 
         CostBreakdown {
-            query_processing,
-            maintenance,
-            total: query_processing + maintenance,
+            query_processing: query_processing + 0.0,
+            maintenance: maintenance + 0.0,
+            total: query_processing + maintenance + 0.0,
             per_query,
         }
     }

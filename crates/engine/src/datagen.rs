@@ -38,6 +38,7 @@ impl Default for GeneratorConfig {
 ///   domain of `d` values, so the equi-join yields ≈`|L|·|R|/d` rows;
 /// * other attributes draw from a domain the size of the relation.
 #[derive(Debug, Clone)]
+#[derive(Default)]
 pub struct Generator {
     config: GeneratorConfig,
 }
@@ -121,13 +122,6 @@ impl Generator {
     }
 }
 
-impl Default for Generator {
-    fn default() -> Self {
-        Self {
-            config: GeneratorConfig::default(),
-        }
-    }
-}
 
 fn draw(rng: &mut StdRng, ty: AttrType, domain: u64) -> Value {
     let k = rng.gen_range(0..domain.max(1));

@@ -74,14 +74,11 @@ pub fn profile_database(db: &Database, config: &ProfileConfig) -> Result<Catalog
 }
 
 fn column_type(table: &Table, idx: usize) -> AttrType {
-    for row in table.rows() {
-        return match &row[idx] {
-            Value::Int(_) => AttrType::Int,
-            Value::Text(_) => AttrType::Text,
-            Value::Date(_) => AttrType::Date,
-        };
+    match table.rows().first().map(|row| &row[idx]) {
+        Some(Value::Int(_)) | None => AttrType::Int,
+        Some(Value::Text(_)) => AttrType::Text,
+        Some(Value::Date(_)) => AttrType::Date,
     }
-    AttrType::Int
 }
 
 fn distinct_count(table: &Table, idx: usize) -> usize {

@@ -108,8 +108,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, DslError> {
         let words: Vec<&str> = line.split_whitespace().collect();
         match words[0] {
             "relation" => {
-                let (name, rest) = header(&words, lineno, "relation NAME {")?;
-                let _ = rest;
+                let name = header(&words, lineno, "relation NAME {")?;
                 i = parse_relation(&lines, i, lineno, name, &mut catalog)?;
             }
             "join" => {
@@ -284,15 +283,11 @@ fn syntax(line: usize, message: &str) -> DslError {
     }
 }
 
-fn header<'a>(
-    words: &[&'a str],
-    line: usize,
-    expected: &str,
-) -> Result<(&'a str, ()), DslError> {
+fn header<'a>(words: &[&'a str], line: usize, expected: &str) -> Result<&'a str, DslError> {
     if words.len() != 3 || words[2] != "{" {
         return Err(syntax(line, &format!("expected `{expected}`")));
     }
-    Ok((words[1], ()))
+    Ok(words[1])
 }
 
 fn field(words: &[&str], line: usize, expected: &str) -> Result<f64, DslError> {

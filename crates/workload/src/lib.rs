@@ -21,11 +21,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod degenerate;
 mod dsl;
 mod paper;
 mod star;
 mod tpch;
 
+pub use crate::degenerate::{
+    all_empty, degenerate_scenarios, duplicate_subexpressions, empty_relation, single_query,
+    zero_frequency_query, zero_update_frequencies, NamedScenario,
+};
 pub use crate::dsl::{parse_scenario, render_catalog, DslError};
 pub use crate::paper::{paper_catalog, paper_example, paper_figure7_example, Scenario};
 pub use crate::star::{StarSchema, StarSchemaConfig};

@@ -59,6 +59,7 @@ impl Default for StarSchemaConfig {
 /// measure)` with a foreign key per dimension, dimensions `Dim0…Dimk(id,
 /// category, region)`, and a workload of random SPJ queries over them.
 #[derive(Debug, Clone, Copy)]
+#[derive(Default)]
 pub struct StarSchema {
     config: StarSchemaConfig,
 }
@@ -210,13 +211,6 @@ impl StarSchema {
     }
 }
 
-impl Default for StarSchema {
-    fn default() -> Self {
-        Self {
-            config: StarSchemaConfig::default(),
-        }
-    }
-}
 
 #[cfg(test)]
 mod tests {

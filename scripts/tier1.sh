@@ -12,6 +12,9 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: release build =="
 cargo build --release --workspace
 
+echo "== tier-1: clippy =="
+cargo clippy --workspace -- -D warnings
+
 echo "== tier-1: tests =="
 cargo test -q --workspace
 
@@ -21,5 +24,8 @@ cargo bench -p mvdesign-bench --bench selection_scaling -- --test
 echo "== tier-1: paper artifacts still reproduce =="
 cargo run --release -p mvdesign-bench --bin repro -- fig9 > /dev/null
 cargo run --release -p mvdesign-bench --bin repro -- table2 > /dev/null
+
+echo "== tier-1: correctness audit =="
+cargo run --release -p mvdesign-bench --bin repro -- audit > /dev/null
 
 echo "tier-1 OK"

@@ -1,0 +1,59 @@
+# Regression corpus: distributed SharedRecompute vs. the core evaluator.
+#
+# The distributed evaluator's SharedRecompute branch used to ignore the
+# maintenance policy entirely: it billed full recomputation (fraction 1.0) and
+# dropped the incremental delta-apply scan term, so at zero link cost it
+# disagreed with the core evaluator whenever the annotation used
+# MaintenancePolicy::Incremental. This two-join workload materializes shared
+# interior nodes under the greedy, which makes the discrepancy visible in the
+# maintenance component of the cost breakdown.
+
+relation Orders {
+    attr oid int
+    attr cid int
+    attr total int
+    records 60000
+    blocks 6000
+    update_frequency 4
+    selectivity total 0.05
+}
+
+relation Customers {
+    attr cid int
+    attr region int
+    records 3000
+    blocks 300
+    update_frequency 0.5
+    selectivity region 0.1
+}
+
+relation Items {
+    attr oid int
+    attr price int
+    records 200000
+    blocks 20000
+    update_frequency 6
+    selectivity price 0.02
+}
+
+join Orders.cid Customers.cid 0.000333333333333333
+join Orders.oid Items.oid 0.0000166666666666667
+
+query regional_sales 30 {
+    SELECT Customers.region, SUM(Items.price) AS revenue
+    FROM Orders, Customers, Items
+    WHERE Orders.cid = Customers.cid AND Orders.oid = Items.oid
+    GROUP BY Customers.region
+}
+
+query big_orders 12 {
+    SELECT Orders.oid
+    FROM Orders, Customers
+    WHERE Orders.cid = Customers.cid AND Orders.total > 7
+}
+
+query priced_items 8 {
+    SELECT Items.price
+    FROM Orders, Items
+    WHERE Orders.oid = Items.oid AND Items.price > 2
+}

@@ -1,0 +1,81 @@
+# Regression corpus: NaN node weights must not panic the search sorts.
+#
+# Two hazards in one workload, both with *valid* catalog statistics:
+#
+# 1. Overflow NaN: Big and Huge are large enough that join cost estimates
+#    overflow f64 to infinity, and the node weight `fq·Ca − fu·Cm` becomes
+#    `∞ − ∞ = NaN`. The candidate/population sorts in the search algorithms
+#    used `partial_cmp(..).expect("finite weights")`, which panicked the
+#    moment such a weight entered the comparator; they now use `total_cmp`,
+#    so every selection algorithm must run to completion (NaN-weight
+#    candidates simply sort to one end and lose).
+# 2. The zero-records corner: Archive is a legal `(0 records, 0 blocks)`
+#    relation, so every cost term on its side of the plan is exactly zero.
+#
+# The same workload also pins the estimator-overflow fix: join-output
+# cardinality estimates used to overflow f64 to infinity and panic
+# `RelationStats::new`; the estimator now saturates them at `f64::MAX`
+# (op-cost arithmetic may still reach infinity, which is what makes the
+# weights NaN).
+#
+# Catalog validation must NOT reject this file — all statistics are finite
+# and non-negative — which is precisely why the sorts themselves have to be
+# total.
+
+relation Archive {
+    attr id int
+    attr tag int
+    records 0
+    blocks 0
+    update_frequency 1
+    selectivity tag 0.1
+}
+
+relation Live {
+    attr id int
+    attr val int
+    records 8000
+    blocks 800
+    update_frequency 2
+    selectivity val 0.2
+}
+
+relation Big {
+    attr id int
+    attr x int
+    records 1e300
+    blocks 1e298
+    update_frequency 1
+    selectivity x 0.5
+}
+
+relation Huge {
+    attr id int
+    attr y int
+    records 1e300
+    blocks 1e298
+    update_frequency 1
+    selectivity y 0.5
+}
+
+join Archive.id Live.id 0.000125
+join Big.id Huge.id 1
+join Live.id Big.id 0.000125
+
+query hot 20 {
+    SELECT Live.val
+    FROM Archive, Live
+    WHERE Archive.id = Live.id AND Live.val > 3
+}
+
+query overflow 5 {
+    SELECT Big.x
+    FROM Big, Huge
+    WHERE Big.id = Huge.id AND Big.x > 1
+}
+
+query wide 3 {
+    SELECT Huge.y
+    FROM Live, Big, Huge
+    WHERE Live.id = Big.id AND Big.id = Huge.id
+}

@@ -1,0 +1,18 @@
+# Regression corpus: a populated relation claiming zero blocks.
+#
+# 100 records cannot occupy 0 blocks; block-based cost formulas divide by the
+# block count, so the old builder let this through and the NaN/∞ surfaced much
+# later inside selection. The catalog builder now rejects the stats up front —
+# parsing this file must fail with an error naming the block count.
+
+relation Broken {
+    attr id int
+    records 100
+    blocks 0
+    update_frequency 1
+}
+
+query q 1 {
+    SELECT Broken.id
+    FROM Broken
+}
