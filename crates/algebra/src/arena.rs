@@ -1,0 +1,528 @@
+//! A hash-consing arena interning expressions by semantic-equivalence class.
+//!
+//! [`ExprArena`] maps every expression to a dense [`ExprId`] such that two
+//! expressions receive the *same* id exactly when their
+//! [`Expr::semantic_key`]s are equal — join commutativity/associativity,
+//! predicate normalisation and set-semantics projections/group-bys are all
+//! folded away. Interning is bottom-up and memoized, so after the one-time
+//! walk every identity check is an integer comparison instead of an O(n²)
+//! recursive string build.
+//!
+//! Each class stores its representative [`Arc<Expr>`] (the first member
+//! interned), the ids of the representative's children, the memoized
+//! [`Expr::semantic_hash`] and a precomputed children-first postorder of the
+//! distinct classes beneath it — the traversal order cost caches and other
+//! per-class analyses need.
+//!
+//! The arena is an *internal currency*: expressions are still constructed
+//! through the public [`Arc<Expr>`] builders and the parser, and ids are
+//! only meaningful relative to the arena that issued them.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::expr::{hash_display, Expr, Fnv1a, JoinCondition};
+
+/// A dense identifier for one semantic-equivalence class of expressions.
+///
+/// Ids are issued by an [`ExprArena`] in first-interned order, starting at
+/// zero, and are stable for the arena's lifetime: interning more expressions
+/// never renumbers existing classes. Ids from different arenas are not
+/// comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExprId(u32);
+
+impl ExprId {
+    /// The id as a dense index (`0..arena.len()`), usable for `Vec` slots.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The exact class signature of one node, given interned children.
+///
+/// Two expressions have equal signatures exactly when their semantic keys
+/// are equal: the signature embeds the same display strings the key does,
+/// with subexpressions replaced by their (already unique) class ids and
+/// joins flattened to their sorted leaf-class multiset. Unlike a 64-bit
+/// hash, signature equality cannot collide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sig {
+    /// `B(name)`.
+    Base(String),
+    /// `S(input; predicate)`.
+    Select(ExprId, String),
+    /// `P(input; sorted deduped attrs)`.
+    Project(ExprId, Vec<String>),
+    /// `J(sorted flattened leaf classes; merged condition)`.
+    Join(Vec<ExprId>, String),
+    /// `G(input; sorted deduped groups; sorted aggregates)`.
+    Aggregate(ExprId, Vec<String>, Vec<String>),
+}
+
+/// One interned equivalence class.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// The first member interned — the class representative.
+    expr: Arc<Expr>,
+    /// Classes of the representative's direct children.
+    children: Vec<ExprId>,
+    /// The class signature (see [`Sig`]).
+    sig: Sig,
+    /// Memoized [`Expr::semantic_hash`] of every member.
+    hash: u64,
+    /// For join classes: the sorted leaf-class multiset and the merged join
+    /// condition, so a parent join flattens through this class in O(leaves)
+    /// without re-walking it.
+    join_flat: Option<JoinFlat>,
+    /// Distinct classes reachable from this one, children before parents,
+    /// ending with the class itself.
+    postorder: Vec<ExprId>,
+}
+
+#[derive(Debug, Clone)]
+struct JoinFlat {
+    /// Sorted class ids of the flattened non-join leaves.
+    leaf_ids: Vec<ExprId>,
+    /// Union of all conditions in the maximal join subtree.
+    cond: JoinCondition,
+}
+
+/// A hash-consing interner over [`Expr`] semantic-equivalence classes.
+///
+/// Two expressions intern to the same [`ExprId`] exactly when their
+/// [`Expr::semantic_key`] strings are equal. Typical use:
+///
+/// ```
+/// use mvdesign_algebra::{Expr, ExprArena, JoinCondition};
+///
+/// let mut arena = ExprArena::new();
+/// let a = Expr::join(Expr::base("R"), Expr::base("S"), JoinCondition::cross());
+/// let b = Expr::join(Expr::base("S"), Expr::base("R"), JoinCondition::cross());
+/// assert_ne!(a, b); // structurally different trees …
+/// assert_eq!(arena.intern(&a), arena.intern(&b)); // … same class
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExprArena {
+    entries: Vec<Entry>,
+    /// Semantic hash → classes with that hash (almost always one).
+    by_hash: HashMap<u64, Vec<ExprId>>,
+    /// `Arc` pointer → class, for O(1) re-interning of shared subtrees. The
+    /// mapped `Arc` keeps the allocation alive so addresses cannot recycle.
+    by_ptr: HashMap<usize, (Arc<Expr>, ExprId)>,
+}
+
+impl ExprArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned classes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no classes are interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All interned class ids, in first-interned order.
+    pub fn ids(&self) -> impl Iterator<Item = ExprId> {
+        (0..self.entries.len() as u32).map(ExprId)
+    }
+
+    /// The class representative: the first member interned.
+    pub fn expr(&self, id: ExprId) -> &Arc<Expr> {
+        &self.entries[id.index()].expr
+    }
+
+    /// Classes of the representative's direct children.
+    pub fn children(&self, id: ExprId) -> &[ExprId] {
+        &self.entries[id.index()].children
+    }
+
+    /// The memoized [`Expr::semantic_hash`] shared by every class member.
+    pub fn semantic_hash(&self, id: ExprId) -> u64 {
+        self.entries[id.index()].hash
+    }
+
+    /// Distinct classes reachable from `id` (itself included), children
+    /// before parents — the order bottom-up analyses need.
+    pub fn postorder(&self, id: ExprId) -> &[ExprId] {
+        &self.entries[id.index()].postorder
+    }
+
+    /// Interns `expr` and its whole subtree, returning its class id.
+    ///
+    /// Re-interning any expression with an equal semantic key — including
+    /// structurally different members of the class — returns the same id.
+    pub fn intern(&mut self, expr: &Arc<Expr>) -> ExprId {
+        let ptr = Arc::as_ptr(expr) as usize;
+        if let Some((_, id)) = self.by_ptr.get(&ptr) {
+            return *id;
+        }
+        let children: Vec<ExprId> = expr.children().iter().map(|c| self.intern(c)).collect();
+        let sig = self.signature(expr, &children);
+        let hash = self.hash_of(expr, &sig);
+        let id = match self.probe(hash, &sig) {
+            Some(id) => id,
+            None => self.insert(expr, children, sig, hash),
+        };
+        self.by_ptr.insert(ptr, (Arc::clone(expr), id));
+        id
+    }
+
+    /// The class of `expr` if one is interned, without modifying the arena.
+    pub fn lookup(&self, expr: &Arc<Expr>) -> Option<ExprId> {
+        let ptr = Arc::as_ptr(expr) as usize;
+        if let Some((_, id)) = self.by_ptr.get(&ptr) {
+            return Some(*id);
+        }
+        // If this expression's class were interned, every leaf class of its
+        // flattened form would be too (interning a member interns its whole
+        // subtree), so a missing child class decides the question.
+        let children: Vec<ExprId> = match &**expr {
+            Expr::Join { .. } => {
+                let mut leaves = Vec::new();
+                let mut cond = JoinCondition::cross();
+                flatten_expr(expr, &mut leaves, &mut cond);
+                leaves
+                    .iter()
+                    .map(|l| self.lookup(l))
+                    .collect::<Option<_>>()?
+            }
+            _ => expr
+                .children()
+                .iter()
+                .map(|c| self.lookup(c))
+                .collect::<Option<_>>()?,
+        };
+        let sig = match &**expr {
+            Expr::Join { .. } => {
+                // `children` already holds the flattened leaf classes; the
+                // merged condition still comes from the expression itself.
+                let mut raw = Vec::new();
+                let mut cond = JoinCondition::cross();
+                flatten_expr(expr, &mut raw, &mut cond);
+                let mut leaf_ids = children;
+                leaf_ids.sort_unstable();
+                Sig::Join(leaf_ids, cond.to_string())
+            }
+            _ => self.signature(expr, &children),
+        };
+        let hash = self.hash_of(expr, &sig);
+        self.probe(hash, &sig)
+    }
+
+    /// Builds the class signature of `expr` given its children's classes.
+    /// For joins, `children` are the direct children (flattening through
+    /// interned join classes happens here).
+    fn signature(&self, expr: &Arc<Expr>, children: &[ExprId]) -> Sig {
+        match &**expr {
+            Expr::Base(r) => Sig::Base(r.to_string()),
+            Expr::Select { predicate, .. } => Sig::Select(children[0], predicate.to_string()),
+            Expr::Project { attrs, .. } => {
+                let mut names: Vec<String> = attrs.iter().map(|a| a.to_string()).collect();
+                names.sort();
+                names.dedup();
+                Sig::Project(children[0], names)
+            }
+            Expr::Join { on, .. } => {
+                let mut leaf_ids = Vec::new();
+                let mut cond = on.clone();
+                for child in children {
+                    match &self.entries[child.index()].join_flat {
+                        Some(flat) => {
+                            leaf_ids.extend_from_slice(&flat.leaf_ids);
+                            cond = cond.merged(&flat.cond);
+                        }
+                        None => leaf_ids.push(*child),
+                    }
+                }
+                leaf_ids.sort_unstable();
+                Sig::Join(leaf_ids, cond.to_string())
+            }
+            Expr::Aggregate { group_by, aggs, .. } => {
+                let mut groups: Vec<String> = group_by.iter().map(|a| a.to_string()).collect();
+                groups.sort();
+                groups.dedup();
+                let mut funcs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                funcs.sort();
+                Sig::Aggregate(children[0], groups, funcs)
+            }
+        }
+    }
+
+    /// Computes [`Expr::semantic_hash`] from memoized child hashes —
+    /// bit-identical to the recursive version, without re-walking subtrees.
+    fn hash_of(&self, expr: &Arc<Expr>, sig: &Sig) -> u64 {
+        use std::fmt::Write as _;
+        let mut h = Fnv1a::new();
+        match (&**expr, sig) {
+            (Expr::Base(r), _) => {
+                h.byte(b'B');
+                let _ = write!(h, "{r}");
+            }
+            (Expr::Select { predicate, .. }, Sig::Select(input, _)) => {
+                h.byte(b'S');
+                h.u64(self.entries[input.index()].hash);
+                let _ = write!(h, "{predicate}");
+            }
+            (Expr::Project { attrs, .. }, Sig::Project(input, _)) => {
+                h.byte(b'P');
+                h.u64(self.entries[input.index()].hash);
+                let mut names: Vec<u64> = attrs.iter().map(hash_display).collect();
+                names.sort_unstable();
+                names.dedup();
+                for x in names {
+                    h.u64(x);
+                }
+            }
+            (Expr::Join { .. }, Sig::Join(leaf_ids, _)) => {
+                h.byte(b'J');
+                let mut leaves: Vec<u64> = leaf_ids
+                    .iter()
+                    .map(|l| self.entries[l.index()].hash)
+                    .collect();
+                leaves.sort_unstable();
+                for x in leaves {
+                    h.u64(x);
+                }
+                // The merged condition, exactly as the signature carries it.
+                let Sig::Join(_, cond) = sig else {
+                    unreachable!()
+                };
+                let _ = write!(h, "{cond}");
+            }
+            (Expr::Aggregate { group_by, aggs, .. }, Sig::Aggregate(input, ..)) => {
+                h.byte(b'G');
+                h.u64(self.entries[input.index()].hash);
+                let mut groups: Vec<u64> = group_by.iter().map(hash_display).collect();
+                groups.sort_unstable();
+                groups.dedup();
+                for x in groups {
+                    h.u64(x);
+                }
+                let mut funcs: Vec<u64> = aggs.iter().map(hash_display).collect();
+                funcs.sort_unstable();
+                for x in funcs {
+                    h.u64(x);
+                }
+            }
+            _ => unreachable!("signature built from the same expression"),
+        }
+        h.finish()
+    }
+
+    /// Finds an existing class with this hash and signature.
+    fn probe(&self, hash: u64, sig: &Sig) -> Option<ExprId> {
+        self.by_hash
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|id| self.entries[id.index()].sig == *sig)
+    }
+
+    /// Creates a new class; `expr` becomes its representative.
+    fn insert(&mut self, expr: &Arc<Expr>, children: Vec<ExprId>, sig: Sig, hash: u64) -> ExprId {
+        let id = ExprId(u32::try_from(self.entries.len()).expect("fewer than 2^32 classes"));
+        let join_flat = match &sig {
+            Sig::Join(leaf_ids, _) => {
+                let mut cond = JoinCondition::cross();
+                let mut raw = Vec::new();
+                flatten_expr(expr, &mut raw, &mut cond);
+                Some(JoinFlat {
+                    leaf_ids: leaf_ids.clone(),
+                    cond,
+                })
+            }
+            _ => None,
+        };
+        let mut postorder = Vec::new();
+        let mut seen = vec![false; self.entries.len()];
+        for child in &children {
+            for step in &self.entries[child.index()].postorder {
+                if !seen[step.index()] {
+                    seen[step.index()] = true;
+                    postorder.push(*step);
+                }
+            }
+        }
+        postorder.push(id);
+        self.entries.push(Entry {
+            expr: Arc::clone(expr),
+            children,
+            sig,
+            hash,
+            join_flat,
+            postorder,
+        });
+        self.by_hash.entry(hash).or_default().push(id);
+        id
+    }
+}
+
+/// Flattens a maximal join subtree into its non-join leaf expressions and
+/// the union of its conditions (the normalisation `semantic_key` applies).
+fn flatten_expr(expr: &Arc<Expr>, leaves: &mut Vec<Arc<Expr>>, cond: &mut JoinCondition) {
+    match &**expr {
+        Expr::Join { left, right, on } => {
+            *cond = cond.merged(on);
+            flatten_expr(left, leaves, cond);
+            flatten_expr(right, leaves, cond);
+        }
+        _ => leaves.push(Arc::clone(expr)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CompareOp, Predicate};
+    use mvdesign_catalog::AttrRef;
+
+    fn la() -> Predicate {
+        Predicate::cmp(AttrRef::new("Division", "city"), CompareOp::Eq, "LA")
+    }
+
+    fn did() -> JoinCondition {
+        JoinCondition::on(
+            AttrRef::new("Product", "Did"),
+            AttrRef::new("Division", "Did"),
+        )
+    }
+
+    #[test]
+    fn commuted_joins_share_a_class() {
+        let mut arena = ExprArena::new();
+        let l = Expr::base("Product");
+        let r = Expr::select(Expr::base("Division"), la());
+        let a = Expr::join(Arc::clone(&l), Arc::clone(&r), did());
+        let b = Expr::join(r, l, did());
+        assert_eq!(arena.intern(&a), arena.intern(&b));
+    }
+
+    #[test]
+    fn reassociated_joins_share_a_class() {
+        let mut arena = ExprArena::new();
+        let p = Expr::base("Product");
+        let d = Expr::base("Division");
+        let t = Expr::base("Part");
+        let pid = JoinCondition::on(AttrRef::new("Part", "Pid"), AttrRef::new("Product", "Pid"));
+        let a = Expr::join(
+            Expr::join(Arc::clone(&p), Arc::clone(&d), did()),
+            Arc::clone(&t),
+            pid.clone(),
+        );
+        let b = Expr::join(t, Expr::join(d, p, did()), pid);
+        assert_eq!(arena.intern(&a), arena.intern(&b));
+        // The inner joins of `a` and `b` are different classes, so the two
+        // roots fall into one class only through flattening.
+        assert_eq!(arena.lookup(&a), arena.lookup(&b));
+    }
+
+    #[test]
+    fn distinct_predicates_are_distinct_classes() {
+        let mut arena = ExprArena::new();
+        let a = Expr::select(Expr::base("Division"), la());
+        let sf = Predicate::cmp(AttrRef::new("Division", "city"), CompareOp::Eq, "SF");
+        let b = Expr::select(Expr::base("Division"), sf);
+        assert_ne!(arena.intern(&a), arena.intern(&b));
+    }
+
+    #[test]
+    fn interned_hash_matches_semantic_hash() {
+        let mut arena = ExprArena::new();
+        let exprs = [
+            Expr::base("Product"),
+            Expr::select(Expr::base("Division"), la()),
+            Expr::join(Expr::base("Product"), Expr::base("Division"), did()),
+            Expr::project(
+                Expr::join(Expr::base("Division"), Expr::base("Product"), did()),
+                [AttrRef::new("Product", "name")],
+            ),
+        ];
+        for e in &exprs {
+            let id = arena.intern(e);
+            assert_eq!(arena.semantic_hash(id), e.semantic_hash(), "{e}");
+        }
+    }
+
+    #[test]
+    fn ids_agree_with_semantic_keys_pairwise() {
+        let mut arena = ExprArena::new();
+        let p = Expr::base("Product");
+        let d = Expr::base("Division");
+        let exprs = [
+            Arc::clone(&p),
+            Arc::clone(&d),
+            Expr::select(Arc::clone(&d), la()),
+            Expr::join(Arc::clone(&p), Arc::clone(&d), did()),
+            Expr::join(Arc::clone(&d), Arc::clone(&p), did()),
+            Expr::project(Arc::clone(&p), [AttrRef::new("Product", "name")]),
+        ];
+        let ids: Vec<ExprId> = exprs.iter().map(|e| arena.intern(e)).collect();
+        for (a, ia) in exprs.iter().zip(&ids) {
+            for (b, ib) in exprs.iter().zip(&ids) {
+                assert_eq!(
+                    a.semantic_key() == b.semantic_key(),
+                    ia == ib,
+                    "arena/key disagreement between {a} and {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut arena = ExprArena::new();
+        let a = Expr::select(Expr::base("Division"), la());
+        assert_eq!(arena.lookup(&a), None);
+        assert_eq!(arena.len(), 0);
+        let id = arena.intern(&a);
+        assert_eq!(arena.lookup(&a), Some(id));
+        // A fresh structural duplicate resolves without growing the arena.
+        let b = Expr::select(Expr::base("Division"), la());
+        assert_eq!(arena.lookup(&b), Some(id));
+        assert_eq!(arena.len(), 2); // base + select
+    }
+
+    #[test]
+    fn postorder_is_children_first_and_deduplicated() {
+        let mut arena = ExprArena::new();
+        let shared = Expr::select(Expr::base("Division"), la());
+        let join = Expr::join(
+            Expr::join(Expr::base("Product"), Arc::clone(&shared), did()),
+            Arc::clone(&shared),
+            JoinCondition::cross(),
+        );
+        let root = arena.intern(&join);
+        let order = arena.postorder(root);
+        assert_eq!(order.last(), Some(&root));
+        let mut seen = std::collections::HashSet::new();
+        for id in order {
+            for child in arena.children(*id) {
+                assert!(seen.contains(child), "child {child} after parent {id}");
+            }
+            assert!(seen.insert(*id), "duplicate {id} in postorder");
+        }
+    }
+
+    #[test]
+    fn clone_preserves_pointer_fast_path() {
+        let mut arena = ExprArena::new();
+        let e = Expr::select(Expr::base("Division"), la());
+        let id = arena.intern(&e);
+        let snapshot = arena.clone();
+        assert_eq!(snapshot.lookup(&e), Some(id));
+    }
+}

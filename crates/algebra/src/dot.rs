@@ -4,14 +4,17 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use crate::arena::{ExprArena, ExprId};
 use crate::expr::Expr;
 
 /// Renders one or more labelled expression trees as a Graphviz `digraph`.
 ///
-/// Subtrees that are *semantically* identical (same
-/// [`Expr::semantic_key`]) are drawn once and shared, which visualises the
-/// common subexpressions the MVPP merge will exploit — this reproduces the
-/// shape of the paper's Figure 2(b).
+/// Subtrees that are *semantically* identical (same [`ExprArena`] class,
+/// i.e. equal [`Expr::semantic_key`]) are drawn once and shared, which
+/// visualises the common subexpressions the MVPP merge will exploit — this
+/// reproduces the shape of the paper's Figure 2(b). Share detection interns
+/// every subtree once into a throwaway arena, so rendering is linear in the
+/// DAG size instead of quadratic in string-key builds.
 ///
 /// ```
 /// use mvdesign_algebra::{dot_graph, Expr, JoinCondition};
@@ -26,10 +29,11 @@ pub fn dot_graph(name: &str, roots: &[(String, Arc<Expr>)]) -> String {
     let _ = writeln!(out, "digraph {name} {{");
     let _ = writeln!(out, "  rankdir=BT;");
     let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
-    let mut ids: HashMap<String, usize> = HashMap::new();
+    let mut arena = ExprArena::new();
+    let mut ids: HashMap<ExprId, usize> = HashMap::new();
     let mut emitted_edges: Vec<(usize, usize)> = Vec::new();
     for (label, root) in roots {
-        let root_id = emit(root, &mut ids, &mut emitted_edges, &mut out);
+        let root_id = emit(root, &mut arena, &mut ids, &mut emitted_edges, &mut out);
         let qid = format!("q_{}", sanitise(label));
         let _ = writeln!(out, "  {qid} [label=\"{label}\", shape=ellipse];");
         let _ = writeln!(out, "  n{root_id} -> {qid};");
@@ -40,16 +44,19 @@ pub fn dot_graph(name: &str, roots: &[(String, Arc<Expr>)]) -> String {
 
 fn emit(
     expr: &Arc<Expr>,
-    ids: &mut HashMap<String, usize>,
+    arena: &mut ExprArena,
+    ids: &mut HashMap<ExprId, usize>,
     edges: &mut Vec<(usize, usize)>,
     out: &mut String,
 ) -> usize {
-    let key = expr.semantic_key();
-    if let Some(&id) = ids.get(&key) {
+    let class = arena.intern(expr);
+    if let Some(&id) = ids.get(&class) {
         return id;
     }
+    // Display ids stay in discovery (pre-)order, so the rendered output is
+    // byte-identical to the historical string-keyed implementation.
     let id = ids.len();
-    ids.insert(key, id);
+    ids.insert(class, id);
     let shape = if expr.is_base() { "box" } else { "plaintext" };
     let _ = writeln!(
         out,
@@ -57,7 +64,7 @@ fn emit(
         escape(&expr.op_label())
     );
     for child in expr.children() {
-        let cid = emit(child, ids, edges, out);
+        let cid = emit(child, arena, ids, edges, out);
         if !edges.contains(&(cid, id)) {
             edges.push((cid, id));
             let _ = writeln!(out, "  n{cid} -> n{id};");

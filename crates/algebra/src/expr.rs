@@ -55,7 +55,12 @@ impl JoinCondition {
     /// Merges two conditions (conjunction).
     #[must_use]
     pub fn merged(&self, other: &JoinCondition) -> Self {
-        Self::new(self.pairs.iter().cloned().chain(other.pairs.iter().cloned()))
+        Self::new(
+            self.pairs
+                .iter()
+                .cloned()
+                .chain(other.pairs.iter().cloned()),
+        )
     }
 }
 
@@ -207,7 +212,11 @@ impl Expr {
 
     /// Number of nodes in the tree.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Height of the tree (a leaf has height 1).
@@ -382,25 +391,25 @@ impl Expr {
 
 /// FNV-1a, 64-bit. Accepts `write!` formatting directly, so hashing a
 /// `Display` value allocates nothing.
-struct Fnv1a(u64);
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self(0xcbf2_9ce4_8422_2325)
     }
 
-    fn byte(&mut self, b: u8) {
+    pub(crate) fn byte(&mut self, b: u8) {
         self.0 ^= u64::from(b);
         self.0 = self.0.wrapping_mul(0x100_0000_01b3);
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.byte(b);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -414,7 +423,7 @@ impl fmt::Write for Fnv1a {
     }
 }
 
-fn hash_display(value: impl fmt::Display) -> u64 {
+pub(crate) fn hash_display(value: impl fmt::Display) -> u64 {
     use std::fmt::Write as _;
     let mut h = Fnv1a::new();
     let _ = write!(h, "{value}");
@@ -454,14 +463,20 @@ mod tests {
     }
 
     fn did() -> JoinCondition {
-        JoinCondition::on(AttrRef::new("Product", "Did"), AttrRef::new("Division", "Did"))
+        JoinCondition::on(
+            AttrRef::new("Product", "Did"),
+            AttrRef::new("Division", "Did"),
+        )
     }
 
     #[test]
     fn join_condition_normalises_pair_order() {
         let a = AttrRef::new("Product", "Did");
         let b = AttrRef::new("Division", "Did");
-        assert_eq!(JoinCondition::on(a.clone(), b.clone()), JoinCondition::on(b, a));
+        assert_eq!(
+            JoinCondition::on(a.clone(), b.clone()),
+            JoinCondition::on(b, a)
+        );
     }
 
     #[test]
@@ -513,7 +528,11 @@ mod tests {
         let d = Expr::base("Division");
         let t = Expr::base("Part");
         let pid = JoinCondition::on(AttrRef::new("Part", "Pid"), AttrRef::new("Product", "Pid"));
-        let a = Expr::join(Expr::join(Arc::clone(&p), Arc::clone(&d), did()), Arc::clone(&t), pid.clone());
+        let a = Expr::join(
+            Expr::join(Arc::clone(&p), Arc::clone(&d), did()),
+            Arc::clone(&t),
+            pid.clone(),
+        );
         let b = Expr::join(Arc::clone(&t), Expr::join(d, p, did()), pid);
         assert_eq!(a.semantic_key(), b.semantic_key());
     }
@@ -531,11 +550,17 @@ mod tests {
         let base = Expr::base("Product");
         let a = Expr::project(
             Arc::clone(&base),
-            [AttrRef::new("Product", "name"), AttrRef::new("Product", "Did")],
+            [
+                AttrRef::new("Product", "name"),
+                AttrRef::new("Product", "Did"),
+            ],
         );
         let b = Expr::project(
             base,
-            [AttrRef::new("Product", "Did"), AttrRef::new("Product", "name")],
+            [
+                AttrRef::new("Product", "Did"),
+                AttrRef::new("Product", "name"),
+            ],
         );
         assert_eq!(a.semantic_key(), b.semantic_key());
     }
@@ -583,11 +608,17 @@ mod tests {
             ), // re-associated
             Expr::project(
                 Arc::clone(&p),
-                [AttrRef::new("Product", "name"), AttrRef::new("Product", "Did")],
+                [
+                    AttrRef::new("Product", "name"),
+                    AttrRef::new("Product", "Did"),
+                ],
             ),
             Expr::project(
                 Arc::clone(&p),
-                [AttrRef::new("Product", "Did"), AttrRef::new("Product", "name")],
+                [
+                    AttrRef::new("Product", "Did"),
+                    AttrRef::new("Product", "name"),
+                ],
             ), // re-ordered projection
         ];
         for a in &exprs {

@@ -4,11 +4,18 @@
 //!
 //! The central type is [`Expr`], an immutable expression tree over base
 //! relations with `select`, `project` and equi-`join` operators. Expressions
-//! are cheap to share (`Arc` children), support structural equality, and
-//! expose a [*semantic key*](Expr::semantic_key) under which two expressions
-//! that compute the same relation — up to join commutativity/associativity
-//! and predicate normalisation — compare equal. The MVPP merge algorithm uses
-//! semantic keys to find the paper's "common subexpressions".
+//! are cheap to share (`Arc` children) and support structural equality.
+//!
+//! Semantic identity — two expressions computing the same relation up to
+//! join commutativity/associativity, predicate normalisation and
+//! set-semantics projections/group-bys — is interned by [`ExprArena`]: every
+//! equivalence class gets a dense [`ExprId`], so identity checks are integer
+//! comparisons and per-class analyses index plain vectors. The MVPP merge,
+//! the cost caches and the DOT renderer all share classes this way — this is
+//! how the paper's "common subexpressions" (§3.1) are recognised.
+//! [`Expr::semantic_key`] renders the same equivalence class as a canonical
+//! string and remains the debug/rendering API (the audit layer uses it as an
+//! independent oracle for the arena).
 //!
 //! # Example
 //!
@@ -27,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod aggregate;
+mod arena;
 mod dot;
 mod expr;
 mod predicate;
@@ -37,6 +45,7 @@ mod value;
 mod visit;
 
 pub use crate::aggregate::{AggExpr, AggFunc, AGG_RELATION};
+pub use crate::arena::{ExprArena, ExprId};
 pub use crate::dot::dot_graph;
 pub use crate::expr::{Expr, JoinCondition};
 pub use crate::predicate::{CompareOp, Comparison, Predicate, Rhs};

@@ -157,7 +157,11 @@ impl Predicate {
         Self::finish(out, false)
     }
 
-    fn flatten_into(preds: impl IntoIterator<Item = Predicate>, conj: bool, out: &mut Vec<Predicate>) {
+    fn flatten_into(
+        preds: impl IntoIterator<Item = Predicate>,
+        conj: bool,
+        out: &mut Vec<Predicate>,
+    ) {
         for p in preds {
             match p {
                 Predicate::True if conj => {}
@@ -215,7 +219,9 @@ impl Predicate {
     pub fn selectivity(&self, catalog: &Catalog) -> f64 {
         match self {
             Predicate::True => 1.0,
-            Predicate::Cmp(c) => catalog.selectivity(c.attr.relation.as_str(), c.attr.attr.as_str()),
+            Predicate::Cmp(c) => {
+                catalog.selectivity(c.attr.relation.as_str(), c.attr.attr.as_str())
+            }
             Predicate::And(ps) => ps.iter().map(|p| p.selectivity(catalog)).product(),
             Predicate::Or(ps) => {
                 let miss: f64 = ps.iter().map(|p| 1.0 - p.selectivity(catalog)).product();
@@ -339,9 +345,6 @@ mod tests {
     #[test]
     fn display_round_trips_shape() {
         let p = Predicate::and([city_la(), city_sf()]);
-        assert_eq!(
-            p.to_string(),
-            "(Division.city='LA' ∧ Division.city='SF')"
-        );
+        assert_eq!(p.to_string(), "(Division.city='LA' ∧ Division.city='SF')");
     }
 }

@@ -30,7 +30,10 @@ impl fmt::Display for InferError {
         match self {
             InferError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
             InferError::MissingAttr { attr, within } => {
-                write!(f, "{within} references `{attr}`, which its input does not produce")
+                write!(
+                    f,
+                    "{within} references `{attr}`, which its input does not produce"
+                )
             }
         }
     }
@@ -143,7 +146,9 @@ fn check_predicate(p: &Predicate, avail: &[AttrRef]) -> Result<(), InferError> {
             }
             Ok(())
         }
-        Predicate::And(ps) | Predicate::Or(ps) => ps.iter().try_for_each(|p| check_predicate(p, avail)),
+        Predicate::And(ps) | Predicate::Or(ps) => {
+            ps.iter().try_for_each(|p| check_predicate(p, avail))
+        }
     }
 }
 
@@ -189,7 +194,10 @@ mod tests {
         let e = Expr::join(
             Expr::base("Product"),
             Expr::base("Division"),
-            JoinCondition::on(AttrRef::new("Product", "Did"), AttrRef::new("Division", "Did")),
+            JoinCondition::on(
+                AttrRef::new("Product", "Did"),
+                AttrRef::new("Division", "Did"),
+            ),
         );
         let attrs = output_attrs(&e, &c).unwrap();
         assert_eq!(attrs.len(), 6);

@@ -232,7 +232,12 @@ fn lex(sql: &str) -> Result<Vec<Tok>, ParseError> {
                 }
                 toks.push(Tok::Ident(sql[start..i].to_string()));
             }
-            other => return Err(ParseError::Lex { pos: i, found: other }),
+            other => {
+                return Err(ParseError::Lex {
+                    pos: i,
+                    found: other,
+                })
+            }
         }
     }
     Ok(toks)
@@ -247,7 +252,10 @@ fn lex_number(sql: &str, mut i: usize) -> Result<(i64, usize), ParseError> {
     if start == i {
         return Err(ParseError::Unexpected {
             expected: "digits".into(),
-            found: sql[start..].chars().next().map_or("end of input".into(), |c| c.to_string()),
+            found: sql[start..]
+                .chars()
+                .next()
+                .map_or("end of input".into(), |c| c.to_string()),
         });
     }
     Ok((sql[start..i].parse().expect("digits"), i))
@@ -898,16 +906,17 @@ mod tests {
 
     #[test]
     fn parses_paper_query1() {
-        let e = parse_query(
-            "Select Pd.name From Pd, Div Where Div.city='LA' and Pd.Did=Div.Did",
-        )
-        .unwrap();
+        let e = parse_query("Select Pd.name From Pd, Div Where Div.city='LA' and Pd.Did=Div.Did")
+            .unwrap();
         // π over σ? No: the only filter goes on top of the join, then π.
         match &*e {
             Expr::Project { input, attrs } => {
                 assert_eq!(attrs, &[AttrRef::new("Pd", "name")]);
                 match &**input {
-                    Expr::Select { input: j, predicate } => {
+                    Expr::Select {
+                        input: j,
+                        predicate,
+                    } => {
                         assert_eq!(predicate.to_string(), "Div.city='LA'");
                         assert!(matches!(&**j, Expr::Join { .. }));
                     }
@@ -940,7 +949,9 @@ mod tests {
             &c,
         )
         .unwrap();
-        assert!(e.to_string().contains(&format!("{}", Value::date(1996, 7, 1))));
+        assert!(e
+            .to_string()
+            .contains(&format!("{}", Value::date(1996, 7, 1))));
     }
 
     #[test]
@@ -971,10 +982,7 @@ mod tests {
 
     #[test]
     fn or_of_filters_is_supported() {
-        let e = parse_query(
-            "Select * From Div Where city = 'LA' or city = 'SF'",
-        )
-        .unwrap();
+        let e = parse_query("Select * From Div Where city = 'LA' or city = 'SF'").unwrap();
         match &*e {
             Expr::Select { predicate, .. } => {
                 assert!(matches!(predicate, Predicate::Or(_)));
@@ -985,10 +993,7 @@ mod tests {
 
     #[test]
     fn join_condition_under_or_is_rejected() {
-        let err = parse_query(
-            "Select * From A, B Where A.x = B.y or A.z = 1",
-        )
-        .unwrap_err();
+        let err = parse_query("Select * From A, B Where A.x = B.y or A.z = 1").unwrap_err();
         assert!(matches!(err, ParseError::Unsupported(_)));
     }
 
@@ -1076,11 +1081,7 @@ mod aggregate_sql_tests {
 
     #[test]
     fn duplicate_auto_aliases_are_disambiguated() {
-        let q = parse_query_with(
-            "SELECT SUM(v), SUM(v) FROM T",
-            &catalog(),
-        )
-        .unwrap();
+        let q = parse_query_with("SELECT SUM(v), SUM(v) FROM T", &catalog()).unwrap();
         match &*q {
             Expr::Aggregate { aggs, .. } => {
                 assert_eq!(aggs.len(), 2);

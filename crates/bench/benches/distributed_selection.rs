@@ -2,8 +2,10 @@
 //! marginal-benefit selection loop on the paper example across link costs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mvdesign::distributed::{DistributedEvaluator, FilterShipping, MarginalGreedy, Placement, Topology};
 use mvdesign::core::MaintenanceMode;
+use mvdesign::distributed::{
+    DistributedEvaluator, FilterShipping, MarginalGreedy, Placement, Topology,
+};
 use mvdesign_bench::paper_annotated;
 use std::collections::BTreeSet;
 
@@ -42,9 +44,7 @@ fn bench_distributed(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("marginal_greedy", link_cost as i64),
             &link_cost,
-            |b, _| {
-                b.iter(|| std::hint::black_box(MarginalGreedy::default().run(&eval).0.len()))
-            },
+            |b, _| b.iter(|| std::hint::black_box(MarginalGreedy::default().run(&eval).0.len())),
         );
     }
     group.finish();

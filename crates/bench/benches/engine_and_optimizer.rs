@@ -27,9 +27,7 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(execute(&q3, &db).expect("executes").len()))
     });
     group.bench_function("measure/Q1_with_io_accounting", |b| {
-        b.iter(|| {
-            std::hint::black_box(measure(&q1, &db, 10.0).expect("measures").1.total())
-        })
+        b.iter(|| std::hint::black_box(measure(&q1, &db, 10.0).expect("measures").1.total()))
     });
     group.finish();
 }

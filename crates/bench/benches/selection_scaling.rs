@@ -192,5 +192,10 @@ fn bench_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_selection, bench_evaluation, bench_parallelism);
+criterion_group!(
+    benches,
+    bench_selection,
+    bench_evaluation,
+    bench_parallelism
+);
 criterion_main!(benches);

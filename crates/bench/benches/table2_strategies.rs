@@ -28,9 +28,7 @@ fn bench_table2(c: &mut Criterion) {
     ];
     for (name, m) in &strategies {
         group.bench_function(*name, |b| {
-            b.iter(|| {
-                std::hint::black_box(evaluate(&a, m, MaintenanceMode::SharedRecompute).total)
-            })
+            b.iter(|| std::hint::black_box(evaluate(&a, m, MaintenanceMode::SharedRecompute).total))
         });
     }
 

@@ -27,7 +27,9 @@ use mvdesign::core::{
 use mvdesign::cost::{
     CostEstimator, EstimationMode, NestedLoopCostModel, PaperCostModel, SortMergeCostModel,
 };
-use mvdesign::distributed::{DistributedEvaluator, FilterShipping, MarginalGreedy, Placement, Topology};
+use mvdesign::distributed::{
+    DistributedEvaluator, FilterShipping, MarginalGreedy, Placement, Topology,
+};
 use mvdesign::optimizer::{pull_up, Planner};
 use mvdesign::workload::{paper_example, paper_figure7_example, StarSchema, StarSchemaConfig};
 use mvdesign_bench::{join_node, paper_annotated, table2_rows};
@@ -359,7 +361,10 @@ fn fig9() {
                 );
             }
             TraceVerdict::SkippedParentsMaterialized => {
-                println!("{:<7} parents ∈ M → ignore (the paper's tmp1 case)", step.label);
+                println!(
+                    "{:<7} parents ∈ M → ignore (the paper's tmp1 case)",
+                    step.label
+                );
             }
             TraceVerdict::RemovedRedundant => {
                 println!("{:<7} D(v) ⊆ M → removed in cleanup", step.label);
@@ -460,7 +465,10 @@ fn ablation() {
     let (m, _) = GreedySelection::new().run(&a);
     for mode in [MaintenanceMode::SharedRecompute, MaintenanceMode::Isolated] {
         let c = evaluate(&a, &m, mode);
-        println!("maintenance {mode:?}: maintenance {:.0}, total {:.0}", c.maintenance, c.total);
+        println!(
+            "maintenance {mode:?}: maintenance {:.0}, total {:.0}",
+            c.maintenance, c.total
+        );
     }
     // 4. Maintenance-policy ablation: cheap incremental refreshes shift the
     // design toward materializing more (paper future work / its ref. [11]).
@@ -472,8 +480,18 @@ fn ablation() {
     );
     for (label, policy) in [
         ("recompute (paper)", MaintenancePolicy::Recompute),
-        ("incremental f=0.1", MaintenancePolicy::Incremental { update_fraction: 0.1 }),
-        ("incremental f=0.01", MaintenancePolicy::Incremental { update_fraction: 0.01 }),
+        (
+            "incremental f=0.1",
+            MaintenancePolicy::Incremental {
+                update_fraction: 0.1,
+            },
+        ),
+        (
+            "incremental f=0.01",
+            MaintenancePolicy::Incremental {
+                update_fraction: 0.01,
+            },
+        ),
     ] {
         let mvpp = generate_mvpps(
             &scenario2.workload,
@@ -494,12 +512,34 @@ fn ablation() {
     }
     // 5. Index ablation: declare indexes on the paper's selection columns.
     let mut indexed = paper_example();
-    indexed.catalog.add_index("Division", "city").expect("valid index");
-    indexed.catalog.add_index("Order", "quantity").expect("valid index");
-    indexed.catalog.add_index("Order", "date").expect("valid index");
-    for (label, s) in [("no indexes", &paper_example()), ("σ-column indexes", &indexed)] {
-        let est = CostEstimator::new(&s.catalog, EstimationMode::Calibrated, PaperCostModel::default());
-        let mvpp = generate_mvpps(&s.workload, &est, &Planner::new(), GenerateConfig { max_rotations: 1 }).remove(0);
+    indexed
+        .catalog
+        .add_index("Division", "city")
+        .expect("valid index");
+    indexed
+        .catalog
+        .add_index("Order", "quantity")
+        .expect("valid index");
+    indexed
+        .catalog
+        .add_index("Order", "date")
+        .expect("valid index");
+    for (label, s) in [
+        ("no indexes", &paper_example()),
+        ("σ-column indexes", &indexed),
+    ] {
+        let est = CostEstimator::new(
+            &s.catalog,
+            EstimationMode::Calibrated,
+            PaperCostModel::default(),
+        );
+        let mvpp = generate_mvpps(
+            &s.workload,
+            &est,
+            &Planner::new(),
+            GenerateConfig { max_rotations: 1 },
+        )
+        .remove(0);
         let a = AnnotatedMvpp::annotate(mvpp, &est, UpdateWeighting::Max);
         let (m, _) = GreedySelection::new().run(&a);
         let c = evaluate(&a, &m, MaintenanceMode::SharedRecompute);
@@ -577,7 +617,10 @@ fn algorithms() {
         Box::new(RandomSearch::default()),
         Box::new(SimulatedAnnealing::default()),
         Box::new(GeneticSelection::default()),
-        Box::new(ExhaustiveSelection { max_nodes: 14, ..ExhaustiveSelection::default() }),
+        Box::new(ExhaustiveSelection {
+            max_nodes: 14,
+            ..ExhaustiveSelection::default()
+        }),
     ];
 
     let star = StarSchema::with_config(StarSchemaConfig {
@@ -722,8 +765,8 @@ fn simulate() {
     })
     .database(&scenario.catalog);
 
-    let none = measured_period_cost(&scenario.workload, &ViewCatalog::new(), &db, 10.0)
-        .expect("runs");
+    let none =
+        measured_period_cost(&scenario.workload, &ViewCatalog::new(), &db, 10.0).expect("runs");
     let designed = measured_design_cost(&design, &db, 10.0).expect("runs");
     println!(
         "{:<28} {:>12} {:>12} {:>12}",
@@ -844,17 +887,29 @@ fn breakeven() {
 /// naive full re-evaluation (the straightforward implementation: one
 /// complete `evaluate` per candidate frontier). Both sides are asserted to
 /// return the *identical* selected set, so the speedup is free. Writes
-/// machine-readable results to `BENCH_selection.json`.
+/// machine-readable results to `BENCH_selection.json` as one labelled run
+/// (`repro perf <label>`, default `working-tree`) so before/after revisions
+/// can be recorded side by side.
 fn perf() {
     use std::time::Instant;
 
     section("Perf: memoized incremental search engine vs naive re-evaluation");
+    let label = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "working-tree".to_string());
     let mode = MaintenanceMode::SharedRecompute;
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows: Vec<String> = Vec::new();
     println!(
         "{:>8} {:>7} {:<14} {:>12} {:>12} {:>9} {:>10} {:>14}",
-        "queries", "nodes", "algorithm", "naive ms", "engine ms", "speedup", "evals", "engine eval/s"
+        "queries",
+        "nodes",
+        "algorithm",
+        "naive ms",
+        "engine ms",
+        "speedup",
+        "evals",
+        "engine eval/s"
     );
     for queries in [10usize, 20, 40] {
         let scenario = StarSchema::with_config(StarSchemaConfig {
@@ -889,8 +944,19 @@ fn perf() {
         let t = Instant::now();
         let (naive_pick, evals) = naive_exhaustive(&a, mode, 16);
         let naive_ms = t.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(engine_pick, naive_pick, "engine must return the naive optimum");
-        perf_row(&mut rows, queries, nodes, "exhaustive16", naive_ms, engine_ms, evals);
+        assert_eq!(
+            engine_pick, naive_pick,
+            "engine must return the naive optimum"
+        );
+        perf_row(
+            &mut rows,
+            queries,
+            nodes,
+            "exhaustive16",
+            naive_ms,
+            engine_ms,
+            evals,
+        );
 
         // Genetic algorithm, default knobs; both sides drive the identical
         // RNG stream, so the evolved populations match gene for gene.
@@ -905,14 +971,57 @@ fn perf() {
             engine_pick, naive_pick,
             "memoized GA must evolve the identical population"
         );
-        perf_row(&mut rows, queries, nodes, "genetic", naive_ms, engine_ms, evals);
+        perf_row(
+            &mut rows, queries, nodes, "genetic", naive_ms, engine_ms, evals,
+        );
     }
-    let json = format!(
-        "{{\n  \"host_cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+    let run = format!(
+        "    {{\n      \"rev\": \"{label}\",\n      \"results\": [\n{}\n      ]\n    }}",
         rows.join(",\n")
     );
+    // Append this run to any existing runs so a before/after pair can live
+    // in one committed file; a run with the same label replaces its
+    // predecessor.
+    let mut runs: Vec<String> = std::fs::read_to_string("BENCH_selection.json")
+        .ok()
+        .map(|old| extract_runs(&old))
+        .unwrap_or_default();
+    runs.retain(|r| !r.contains(&format!("\"rev\": \"{label}\"")));
+    runs.push(run);
+    let json = format!(
+        "{{\n  \"host_cores\": {cores},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        runs.join(",\n")
+    );
     std::fs::write("BENCH_selection.json", &json).expect("write BENCH_selection.json");
-    println!("\nwrote BENCH_selection.json ({cores} core(s) available)");
+    println!("\nwrote BENCH_selection.json run \"{label}\" ({cores} core(s) available)");
+}
+
+/// Pulls the serialized run objects back out of a `BENCH_selection.json`
+/// written by [`perf`] (no JSON parser in-tree; the format is our own,
+/// brace-balanced and two-space indented).
+fn extract_runs(old: &str) -> Vec<String> {
+    let Some(start) = old.find("\"runs\": [") else {
+        return Vec::new();
+    };
+    let mut runs = Vec::new();
+    let mut depth = 0i64;
+    let mut current = String::new();
+    for line in old[start..].lines().skip(1) {
+        if depth == 0 && line.trim_start().starts_with(']') {
+            break;
+        }
+        depth += line.matches(['{', '[']).count() as i64;
+        depth -= line.matches(['}', ']']).count() as i64;
+        if depth == 0 {
+            // End of one run object: drop only the inter-run separator.
+            current.push_str(line.trim_end_matches(','));
+            runs.push(std::mem::take(&mut current));
+        } else {
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    runs
 }
 
 fn perf_row(

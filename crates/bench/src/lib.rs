@@ -71,9 +71,8 @@ pub fn table2_rows(a: &AnnotatedMvpp) -> Vec<Table2Row> {
     let tmp2 = join_node(a, &["Division", "Product"]);
     let tmp4 = join_node(a, &["Customer", "Order"]);
     let tmp6 = join_node(a, &["Customer", "Division", "Order", "Product"]);
-    let set = |ids: &[Option<NodeId>]| -> BTreeSet<NodeId> {
-        ids.iter().flatten().copied().collect()
-    };
+    let set =
+        |ids: &[Option<NodeId>]| -> BTreeSet<NodeId> { ids.iter().flatten().copied().collect() };
     let all_queries: BTreeSet<NodeId> = a.mvpp().roots().iter().map(|r| r.2).collect();
 
     vec![
@@ -119,7 +118,11 @@ mod tests {
         // The paper's pick is the best of the five measured totals.
         let pick = rows[3].measured.total;
         for row in &rows {
-            assert!(pick <= row.measured.total + 1e-6, "{} beat the pick", row.label);
+            assert!(
+                pick <= row.measured.total + 1e-6,
+                "{} beat the pick",
+                row.label
+            );
         }
     }
 }

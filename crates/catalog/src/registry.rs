@@ -420,7 +420,10 @@ mod tests {
             .attr("x", AttrType::Int)
             .finish()
             .unwrap_err();
-        assert_eq!(err, CatalogError::DuplicateRelation(RelName::new("Product")));
+        assert_eq!(
+            err,
+            CatalogError::DuplicateRelation(RelName::new("Product"))
+        );
     }
 
     #[test]
@@ -505,5 +508,4 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, CatalogError::UnknownRelation(RelName::new("Ghost")));
     }
-
 }

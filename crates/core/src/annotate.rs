@@ -50,9 +50,7 @@ impl MaintenancePolicy {
     pub fn work_fraction(&self) -> f64 {
         match self {
             MaintenancePolicy::Recompute => 1.0,
-            MaintenancePolicy::Incremental { update_fraction } => {
-                update_fraction.clamp(0.0, 1.0)
-            }
+            MaintenancePolicy::Incremental { update_fraction } => update_fraction.clamp(0.0, 1.0),
         }
     }
 }
@@ -154,9 +152,7 @@ impl AnnotatedMvpp {
             let cm = match policy {
                 MaintenancePolicy::Recompute => ca,
                 MaintenancePolicy::Incremental { .. } if node.is_leaf() => 0.0,
-                MaintenancePolicy::Incremental { .. } => {
-                    policy.work_fraction() * ca + scan
-                }
+                MaintenancePolicy::Incremental { .. } => policy.work_fraction() * ca + scan,
             };
             // `Σ fq` over the queries using this node, in root order — same
             // order (and therefore same float sum) as `queries_using` gives.
@@ -348,7 +344,11 @@ mod tests {
         let mut m = Mvpp::new();
         m.insert_query("Q1", 10.0, &tmp2());
         let catalog = catalog();
-        let est = CostEstimator::new(&catalog, EstimationMode::Calibrated, PaperCostModel::default());
+        let est = CostEstimator::new(
+            &catalog,
+            EstimationMode::Calibrated,
+            PaperCostModel::default(),
+        );
         AnnotatedMvpp::annotate(m, &est, UpdateWeighting::Max)
     }
 
@@ -398,7 +398,11 @@ mod tests {
         let mut m = Mvpp::new();
         m.insert_query("Q1", 10.0, &tmp2());
         let catalog = catalog();
-        let est = CostEstimator::new(&catalog, EstimationMode::Calibrated, PaperCostModel::default());
+        let est = CostEstimator::new(
+            &catalog,
+            EstimationMode::Calibrated,
+            PaperCostModel::default(),
+        );
         let a = AnnotatedMvpp::annotate(m, &est, UpdateWeighting::Sum);
         let join = a.mvpp().find(&tmp2()).unwrap();
         assert_eq!(a.annotation(join).fu_weight, 2.0);
@@ -454,7 +458,9 @@ mod policy_tests {
             m,
             &est,
             UpdateWeighting::Max,
-            MaintenancePolicy::Incremental { update_fraction: 0.1 },
+            MaintenancePolicy::Incremental {
+                update_fraction: 0.1,
+            },
         );
         let v = rec.mvpp().interior()[0];
         assert!(inc.annotation(v).cm < rec.annotation(v).cm);
@@ -471,7 +477,9 @@ mod policy_tests {
             m,
             &est,
             UpdateWeighting::Max,
-            MaintenancePolicy::Incremental { update_fraction: 0.25 },
+            MaintenancePolicy::Incremental {
+                update_fraction: 0.25,
+            },
         );
         let v = a.mvpp().interior()[0];
         let ann = a.annotation(v);
@@ -481,11 +489,17 @@ mod policy_tests {
     #[test]
     fn update_fraction_is_clamped() {
         assert_eq!(
-            MaintenancePolicy::Incremental { update_fraction: 7.0 }.work_fraction(),
+            MaintenancePolicy::Incremental {
+                update_fraction: 7.0
+            }
+            .work_fraction(),
             1.0
         );
         assert_eq!(
-            MaintenancePolicy::Incremental { update_fraction: -1.0 }.work_fraction(),
+            MaintenancePolicy::Incremental {
+                update_fraction: -1.0
+            }
+            .work_fraction(),
             0.0
         );
         assert_eq!(MaintenancePolicy::Recompute.work_fraction(), 1.0);
@@ -497,7 +511,9 @@ mod policy_tests {
         let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
         for policy in [
             MaintenancePolicy::Recompute,
-            MaintenancePolicy::Incremental { update_fraction: 0.5 },
+            MaintenancePolicy::Incremental {
+                update_fraction: 0.5,
+            },
         ] {
             let a = AnnotatedMvpp::annotate_with(m.clone(), &est, UpdateWeighting::Max, policy);
             for leaf in a.mvpp().leaves() {

@@ -31,7 +31,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use mvdesign_algebra::{output_attrs, Expr, Predicate};
+use mvdesign_algebra::{output_attrs, Expr, ExprArena, Predicate};
 use mvdesign_catalog::Catalog;
 
 use crate::annotate::AnnotatedMvpp;
@@ -441,7 +441,11 @@ fn compare_breakdowns(
     other: &CostBreakdown,
 ) {
     for (field, x, y) in [
-        ("query_processing", reference.query_processing, other.query_processing),
+        (
+            "query_processing",
+            reference.query_processing,
+            other.query_processing,
+        ),
         ("maintenance", reference.maintenance, other.maintenance),
         ("total", reference.total, other.total),
     ] {
@@ -595,7 +599,10 @@ pub fn check_greedy_trace(a: &AnnotatedMvpp) -> AuditReport {
         );
     }
     if trace.initial_lv != ref_trace.initial_lv {
-        report.push("greedy-replay", "initial LV differs from reference".to_string());
+        report.push(
+            "greedy-replay",
+            "initial LV differs from reference".to_string(),
+        );
     }
     if trace.steps.len() != ref_trace.steps.len() {
         report.push(
@@ -673,13 +680,76 @@ pub fn check_greedy_trace(a: &AnnotatedMvpp) -> AuditReport {
     report
 }
 
+/// Differential oracle for the expression interner.
+///
+/// Re-interns every MVPP node expression into a *fresh* [`ExprArena`] and
+/// checks, pair by pair, that interned identity agrees with the independent
+/// canonical-string oracle: `intern(a) == intern(b)` ⇔
+/// `semantic_key(a) == semantic_key(b)`. Also checks that the arena's
+/// memoized hash matches [`Expr::semantic_hash`], that the MVPP's own arena
+/// resolves each node's expression back to that node, and — for every join —
+/// that a freshly commuted copy lands on the same class (the positive
+/// direction of the equivalence, which distinct MVPP nodes alone never
+/// exercise).
+pub fn check_arena(mvpp: &Mvpp) -> AuditReport {
+    let mut report = AuditReport::new();
+    let mut arena = ExprArena::new();
+    let interned: Vec<_> = mvpp
+        .nodes()
+        .iter()
+        .map(|n| (n, arena.intern(n.expr()), n.expr().semantic_key()))
+        .collect();
+    for (node, id, key) in &interned {
+        if arena.semantic_hash(*id) != node.expr().semantic_hash() {
+            report.push(
+                "arena-hash",
+                format!("{}: arena hash disagrees with semantic_hash", node.label()),
+            );
+        }
+        if mvpp.find(node.expr()) != Some(node.id()) {
+            report.push(
+                "arena-find",
+                format!("{}: MVPP arena does not resolve the node", node.label()),
+            );
+        }
+        if let Expr::Join { left, right, on } = &**node.expr() {
+            let commuted = Expr::join(Arc::clone(right), Arc::clone(left), on.clone());
+            if arena.intern(&commuted) != *id || commuted.semantic_key() != *key {
+                report.push(
+                    "arena-commute",
+                    format!("{}: commuted join left its class", node.label()),
+                );
+            }
+        }
+    }
+    for (i, (a, a_id, a_key)) in interned.iter().enumerate() {
+        for (b, b_id, b_key) in &interned[i + 1..] {
+            if (a_id == b_id) != (a_key == b_key) {
+                report.push(
+                    "arena-intern",
+                    format!(
+                        "{} vs {}: interned ids {} but semantic keys {}",
+                        a.label(),
+                        b.label(),
+                        if a_id == b_id { "agree" } else { "differ" },
+                        if a_key == b_key { "agree" } else { "differ" },
+                    ),
+                );
+            }
+        }
+    }
+    report
+}
+
 /// Runs the full in-core audit for one annotated MVPP: structural and schema
-/// validation, the greedy trace replay, and the differential cost oracle on
-/// a standard set of materialization choices (nothing, everything, each
-/// interior node alone, and the greedy's own pick).
+/// validation, the interner oracle, the greedy trace replay, and the
+/// differential cost oracle on a standard set of materialization choices
+/// (nothing, everything, each interior node alone, and the greedy's own
+/// pick).
 pub fn audit_annotated(a: &AnnotatedMvpp, catalog: &Catalog) -> AuditReport {
     let mut report = validate_mvpp(a.mvpp());
     report.merge(validate_schemas(a.mvpp(), catalog));
+    report.merge(check_arena(a.mvpp()));
     report.merge(check_greedy_trace(a));
 
     let mut choices: Vec<BTreeSet<NodeId>> = Vec::new();
@@ -765,7 +835,10 @@ mod tests {
         let rewritten = Expr::base("A");
         let report = check_query_rewrite(&original, &rewritten, &c);
         assert!(!report.is_clean());
-        assert!(report.violations().iter().any(|v| v.check == "rewrite-atoms"));
+        assert!(report
+            .violations()
+            .iter()
+            .any(|v| v.check == "rewrite-atoms"));
     }
 
     #[test]

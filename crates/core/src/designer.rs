@@ -14,9 +14,9 @@ use crate::annotate::{AnnotatedMvpp, MaintenancePolicy, UpdateWeighting};
 use crate::evaluate::{evaluate, CostBreakdown, MaintenanceMode};
 use crate::generate::{generate_mvpps, GenerateConfig};
 use crate::greedy::{GreedySelection, SelectionTrace};
+use crate::mvpp::NodeId;
 use crate::parallel;
 use crate::search::SelectionAlgorithm;
-use crate::mvpp::NodeId;
 use crate::workload::Workload;
 
 /// Errors from [`Designer::design`].
@@ -36,7 +36,10 @@ impl fmt::Display for DesignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DesignError::InvalidQuery { query, source } => {
-                write!(f, "query `{query}` is invalid against the catalog: {source}")
+                write!(
+                    f,
+                    "query `{query}` is invalid against the catalog: {source}"
+                )
             }
         }
     }
@@ -123,7 +126,11 @@ impl Designer {
     ///
     /// Returns [`DesignError::InvalidQuery`] when a query references
     /// unknown relations or attributes.
-    pub fn design(&self, catalog: &Catalog, workload: &Workload) -> Result<DesignResult, DesignError> {
+    pub fn design(
+        &self,
+        catalog: &Catalog,
+        workload: &Workload,
+    ) -> Result<DesignResult, DesignError> {
         self.design_with(catalog, workload, &GreedySelection::new())
     }
 
@@ -152,18 +159,27 @@ impl Designer {
         let planner = Planner::with_config(self.config.planner);
         let candidates = generate_mvpps(workload, &est, &planner, self.config.generate);
 
+        // Pre-warm the shared stats cache sequentially, in rotation order:
+        // every class a worker will read is then already filled, so the
+        // parallel fan-out below is read-only on the cache and the produced
+        // f64s cannot depend on thread interleaving.
+        for mvpp in &candidates {
+            for node in mvpp.nodes() {
+                est.stats(node.expr());
+            }
+        }
+
         // Candidate MVPPs are scored independently, so they fan out across
-        // threads; each worker builds its own estimator (the stats cache is
-        // not thread-shareable, and cached values are input-determined, so
-        // per-thread caches change nothing). The reduction below runs over
-        // the ordered results exactly as the sequential loop did.
+        // threads; the estimator's class-indexed cache sits behind a mutex,
+        // so every worker shares the one warm cache. The reduction below
+        // runs over the ordered results exactly as the sequential loop did.
         let threads = parallel::threads_for(self.config.parallelism, candidates.len());
         let config = self.config;
+        let est = &est;
         let scored = parallel::ordered_map(candidates, threads, &|_, mvpp| {
-            let est = CostEstimator::new(catalog, config.estimation, PaperCostModel::default());
             let annotated = AnnotatedMvpp::annotate_with(
                 mvpp,
-                &est,
+                est,
                 config.update_weighting,
                 config.maintenance_policy,
             );

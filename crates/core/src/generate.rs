@@ -26,7 +26,7 @@ use mvdesign_algebra::{AggExpr, AttrRef, Expr, JoinCondition, Predicate, Query, 
 use mvdesign_cost::{CostEstimator, CostModel};
 use mvdesign_optimizer::{pull_up, Planner};
 
-use crate::mvpp::Mvpp;
+use crate::mvpp::{Mvpp, NodeId};
 use crate::workload::Workload;
 
 /// Tuning knobs for [`generate_mvpps`].
@@ -101,8 +101,12 @@ pub fn generate_mvpps<M: CostModel>(
     let k = prepared.len().min(config.max_rotations).max(1);
     (0..k)
         .map(|r| {
-            let order: Vec<&PreparedQuery> =
-                prepared.iter().cycle().skip(r).take(prepared.len()).collect();
+            let order: Vec<&PreparedQuery> = prepared
+                .iter()
+                .cycle()
+                .skip(r)
+                .take(prepared.len())
+                .collect();
             merge_prepared(&order, &leaves, est)
         })
         .collect()
@@ -251,7 +255,9 @@ fn shared_leaves<M: CostModel>(
         // Figure 4, step 6: union of projected attributes plus predicate and
         // join attributes. `None` means "all attributes" (a query without a
         // projection).
-        let entry = needed.entry(rel.clone()).or_insert_with(|| Some(BTreeSet::new()));
+        let entry = needed
+            .entry(rel.clone())
+            .or_insert_with(|| Some(BTreeSet::new()));
         for q in prepared.iter().filter(|q| q.bases.contains(rel)) {
             let Some(set) = entry else { break };
             match &q.needs {
@@ -299,10 +305,7 @@ fn shared_leaves<M: CostModel>(
         }
         exprs.insert(rel.clone(), e);
     }
-    SharedLeaves {
-        exprs,
-        filters,
-    }
+    SharedLeaves { exprs, filters }
 }
 
 /// Figure 4, step 4: merge the prepared plans in order over shared leaves.
@@ -331,6 +334,14 @@ fn build_query_expr<M: CostModel>(
     // Step 4.3.1–4.3.2: cover the query's relations with existing join
     // nodes whose relations AND conditions agree, largest first.
     let q_conds: BTreeSet<(AttrRef, AttrRef)> = q.conds.iter().cloned().collect();
+    // Node ids of the shared leaf expressions in this MVPP (`None` while a
+    // leaf's class has no vertex yet). Computed once so the per-node leaf
+    // check below compares interned ids instead of building key strings.
+    let leaf_nodes: BTreeMap<&RelName, Option<NodeId>> = leaves
+        .exprs
+        .iter()
+        .map(|(rel, e)| (rel, mvpp.find(e)))
+        .collect();
     let mut candidates: Vec<(BTreeSet<RelName>, Arc<Expr>)> = Vec::new();
     for node in mvpp.nodes() {
         if !matches!(&**node.expr(), Expr::Join { .. }) {
@@ -352,7 +363,7 @@ fn build_query_expr<M: CostModel>(
             continue;
         }
         // The node must be built over this workload's shared leaves.
-        if !join_leaves_match(node.expr(), leaves) {
+        if !join_leaves_match(node.expr(), mvpp, &leaf_nodes) {
             continue;
         }
         candidates.push((bases, Arc::clone(node.expr())));
@@ -441,20 +452,28 @@ fn build_query_expr<M: CostModel>(
 
 /// Checks that every non-join subtree of a join node is one of the shared
 /// leaf expressions (so reusing the node cannot change any query's result).
-fn join_leaves_match(expr: &Arc<Expr>, leaves: &SharedLeaves) -> bool {
+///
+/// Equality is decided by interned identity: a subtree of an MVPP node is
+/// itself an MVPP node, so it matches the shared leaf exactly when both map
+/// to the same vertex.
+fn join_leaves_match(
+    expr: &Arc<Expr>,
+    mvpp: &Mvpp,
+    leaf_nodes: &BTreeMap<&RelName, Option<NodeId>>,
+) -> bool {
     match &**expr {
         Expr::Join { left, right, .. } => {
-            join_leaves_match(left, leaves) && join_leaves_match(right, leaves)
+            join_leaves_match(left, mvpp, leaf_nodes) && join_leaves_match(right, mvpp, leaf_nodes)
         }
         other => {
             let bases = other.base_relations();
             let Some(rel) = bases.iter().next() else {
                 return false;
             };
-            leaves
-                .exprs
-                .get(rel)
-                .is_some_and(|l| l.semantic_key() == expr.semantic_key())
+            match leaf_nodes.get(rel) {
+                Some(&Some(leaf)) => mvpp.find(expr) == Some(leaf),
+                _ => false,
+            }
         }
     }
 }
@@ -581,7 +600,12 @@ mod tests {
     fn generates_one_mvpp_per_rotation() {
         let c = catalog();
         let est = CostEstimator::new(&c, EstimationMode::Calibrated, PaperCostModel::default());
-        let mvpps = generate_mvpps(&workload(&c), &est, &Planner::new(), GenerateConfig::default());
+        let mvpps = generate_mvpps(
+            &workload(&c),
+            &est,
+            &Planner::new(),
+            GenerateConfig::default(),
+        );
         assert_eq!(mvpps.len(), 4);
         for m in &mvpps {
             assert_eq!(m.roots().len(), 4);
@@ -627,7 +651,12 @@ mod tests {
     fn leaf_filters_are_disjunctions() {
         let c = catalog();
         let est = CostEstimator::new(&c, EstimationMode::Calibrated, PaperCostModel::default());
-        let m = merge_queries(&workload(&c), &["Q4", "Q3", "Q2", "Q1"], &est, &Planner::new());
+        let m = merge_queries(
+            &workload(&c),
+            &["Q4", "Q3", "Q2", "Q1"],
+            &est,
+            &Planner::new(),
+        );
         // Ord is filtered by (date>… ∨ quantity>…) at the leaf.
         let ord_sigma = m
             .nodes()
@@ -665,7 +694,12 @@ mod tests {
     fn rotations_produce_structurally_different_dags() {
         let c = catalog();
         let est = CostEstimator::new(&c, EstimationMode::Calibrated, PaperCostModel::default());
-        let mvpps = generate_mvpps(&workload(&c), &est, &Planner::new(), GenerateConfig::default());
+        let mvpps = generate_mvpps(
+            &workload(&c),
+            &est,
+            &Planner::new(),
+            GenerateConfig::default(),
+        );
         let sizes: BTreeSet<usize> = mvpps.iter().map(Mvpp::len).collect();
         // Not all rotations need differ, but the machinery must not collapse
         // everything into one shape unless the workload forces it; here at

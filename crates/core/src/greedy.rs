@@ -311,7 +311,10 @@ mod tests {
         let (m, _) = GreedySelection::new().run(&a);
         let greedy_cost = evaluate(&a, &m, MaintenanceMode::SharedRecompute).total;
         let none_cost = evaluate(&a, &BTreeSet::new(), MaintenanceMode::SharedRecompute).total;
-        assert!(greedy_cost < none_cost, "greedy {greedy_cost} vs none {none_cost}");
+        assert!(
+            greedy_cost < none_cost,
+            "greedy {greedy_cost} vs none {none_cost}"
+        );
     }
 
     #[test]

@@ -368,16 +368,8 @@ mod tests {
                 .finish()
                 .unwrap();
         }
-        let q1 = parse_query_with(
-            "SELECT R.v FROM R, S WHERE R.k=S.k AND S.v=1",
-            &c,
-        )
-        .unwrap();
-        let q2 = parse_query_with(
-            "SELECT T.v FROM R, S, T WHERE R.k=S.k AND S.k=T.k",
-            &c,
-        )
-        .unwrap();
+        let q1 = parse_query_with("SELECT R.v FROM R, S WHERE R.k=S.k AND S.v=1", &c).unwrap();
+        let q2 = parse_query_with("SELECT T.v FROM R, S, T WHERE R.k=S.k AND S.k=T.k", &c).unwrap();
         let q3 = parse_query_with("SELECT S.v FROM S WHERE S.v=1", &c).unwrap();
         let w = Workload::new([
             Query::new("Q1", 8.0, q1),

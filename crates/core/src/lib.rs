@@ -71,13 +71,14 @@ mod workload;
 
 pub use crate::annotate::{AnnotatedMvpp, MaintenancePolicy, NodeAnnotation, UpdateWeighting};
 pub use crate::audit::{
-    audit_annotated, check_cost_paths, check_greedy_trace, check_query_rewrite, greedy_no_prune,
-    reference_greedy, validate_mvpp, validate_schemas, AuditReport, AuditViolation,
+    audit_annotated, check_arena, check_cost_paths, check_greedy_trace, check_query_rewrite,
+    greedy_no_prune, reference_greedy, validate_mvpp, validate_schemas, AuditReport,
+    AuditViolation,
 };
 pub use crate::designer::{DesignError, DesignResult, Designer, DesignerConfig};
 pub use crate::evaluate::{
-    break_even_update_weight, evaluate, evaluate_set, mqp_batch_cost, query_cost,
-    query_cost_set, CostBreakdown, MaintenanceMode,
+    break_even_update_weight, evaluate, evaluate_set, mqp_batch_cost, query_cost, query_cost_set,
+    CostBreakdown, MaintenanceMode,
 };
 pub use crate::generate::{generate_mvpps, merge_queries, GenerateConfig};
 pub use crate::greedy::{GreedySelection, SelectionTrace, TraceStep, TraceVerdict};

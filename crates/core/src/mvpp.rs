@@ -1,11 +1,11 @@
 //! The Multiple View Processing Plan: a DAG merging all query plans on
 //! common subexpressions.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
-use mvdesign_algebra::{Expr, RelName};
+use mvdesign_algebra::{Expr, ExprArena, ExprId, RelName};
 
 /// Index of a node within an [`Mvpp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -22,6 +22,7 @@ impl fmt::Display for NodeId {
 pub struct MvppNode {
     id: NodeId,
     expr: Arc<Expr>,
+    expr_id: ExprId,
     children: Vec<NodeId>,
     parents: Vec<NodeId>,
     label: String,
@@ -36,6 +37,13 @@ impl MvppNode {
     /// The full expression this node computes (its result relation `R(v)`).
     pub fn expr(&self) -> &Arc<Expr> {
         &self.expr
+    }
+
+    /// The node's semantic-equivalence class in [`Mvpp::arena`]. MVPP
+    /// interning *is* arena interning: two nodes are shared iff their
+    /// expressions landed on the same class.
+    pub fn expr_id(&self) -> ExprId {
+        self.expr_id
     }
 
     /// Direct inputs (`S(v)` in the paper).
@@ -67,13 +75,19 @@ impl MvppNode {
 /// Structurally: every vertex corresponds to one relational-algebra
 /// operation, leaf vertices are base relations, root vertices are the
 /// warehouse queries. Vertices are shared whenever two plans compute the
-/// same relation (equal [`Expr::semantic_key`]) — the paper's common
-/// subexpressions.
+/// same relation — the paper's common subexpressions. Sharing is decided by
+/// an owned [`ExprArena`]: each vertex corresponds to exactly one interned
+/// equivalence class ([`ExprId`]), so lookups are integer probes rather than
+/// canonical-string builds ([`Expr::semantic_key`] renders the same classes
+/// for debugging).
 #[derive(Debug, Clone, Default)]
 pub struct Mvpp {
     nodes: Vec<MvppNode>,
     roots: Vec<(String, f64, NodeId)>,
-    by_key: HashMap<String, NodeId>,
+    arena: ExprArena,
+    /// Node computing each arena class, indexed by [`ExprId`]; `None` for
+    /// classes the arena knows but no vertex computes.
+    node_of: Vec<Option<NodeId>>,
 }
 
 impl Mvpp {
@@ -96,8 +110,11 @@ impl Mvpp {
     /// Inserts an expression (and its whole subtree), sharing existing
     /// nodes; returns the node id computing it.
     pub fn intern(&mut self, expr: &Arc<Expr>) -> NodeId {
-        let key = expr.semantic_key();
-        if let Some(&id) = self.by_key.get(&key) {
+        let expr_id = self.arena.intern(expr);
+        if self.node_of.len() < self.arena.len() {
+            self.node_of.resize(self.arena.len(), None);
+        }
+        if let Some(id) = self.node_of[expr_id.index()] {
             return id;
         }
         let children: Vec<NodeId> = expr.children().iter().map(|c| self.intern(c)).collect();
@@ -109,6 +126,7 @@ impl Mvpp {
         self.nodes.push(MvppNode {
             id,
             expr: Arc::clone(expr),
+            expr_id,
             children: children.clone(),
             parents: Vec::new(),
             label,
@@ -116,7 +134,7 @@ impl Mvpp {
         for c in children {
             self.nodes[c.0].parents.push(id);
         }
-        self.by_key.insert(key, id);
+        self.node_of[expr_id.index()] = Some(id);
         self.relabel();
         id
     }
@@ -145,9 +163,17 @@ impl Mvpp {
         &self.nodes[id.0]
     }
 
-    /// Looks up the node computing an expression, if present.
+    /// Looks up the node computing an expression, if present. Non-mutating:
+    /// probes the arena without interning new classes.
     pub fn find(&self, expr: &Arc<Expr>) -> Option<NodeId> {
-        self.by_key.get(&expr.semantic_key()).copied()
+        let expr_id = self.arena.lookup(expr)?;
+        self.node_of.get(expr_id.index()).copied().flatten()
+    }
+
+    /// The interner deciding node sharing. Every node's
+    /// [`MvppNode::expr_id`] indexes into this arena.
+    pub fn arena(&self) -> &ExprArena {
+        &self.arena
     }
 
     /// The query roots: `(name, fq, node)` triples in insertion order.

@@ -130,10 +130,7 @@ impl NodeSet {
 
     /// Whether the two sets share at least one id.
     pub fn intersects(&self, other: &NodeSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Ids in ascending order — the same order `BTreeSet<NodeId>` iterates.
@@ -231,7 +228,10 @@ mod tests {
         let picked = ids(&[70, 3, 64, 0, 127, 65]);
         let s = NodeSet::from_ids(128, picked.iter().copied());
         let b: BTreeSet<NodeId> = picked.into_iter().collect();
-        assert_eq!(s.iter().collect::<Vec<_>>(), b.into_iter().collect::<Vec<_>>());
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            b.into_iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ where
 {
     let threads = threads.min(items.len()).max(1);
     if threads <= 1 {
-        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
     }
     let chunk_size = items.len().div_ceil(threads);
     let mut chunks: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
@@ -45,12 +49,7 @@ where
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .map(|(i, t)| f(i, t))
-                        .collect::<Vec<R>>()
-                })
+                scope.spawn(move || chunk.into_iter().map(|(i, t)| f(i, t)).collect::<Vec<R>>())
             })
             .collect();
         handles

@@ -49,10 +49,18 @@ pub fn render_trace(trace: &SelectionTrace, a: &AnnotatedMvpp) -> String {
                 );
             }
             TraceVerdict::SkippedParentsMaterialized => {
-                let _ = writeln!(out, "{:<9} parents already materialized — ignored", step.label);
+                let _ = writeln!(
+                    out,
+                    "{:<9} parents already materialized — ignored",
+                    step.label
+                );
             }
             TraceVerdict::RemovedRedundant => {
-                let _ = writeln!(out, "{:<9} all consumers materialized — dropped", step.label);
+                let _ = writeln!(
+                    out,
+                    "{:<9} all consumers materialized — dropped",
+                    step.label
+                );
             }
         }
     }
@@ -91,7 +99,11 @@ pub fn render_design(design: &DesignResult) -> String {
         );
     }
     let _ = writeln!(out, "cost per period (block accesses):");
-    let _ = writeln!(out, "  query processing {:>16.0}", design.cost.query_processing);
+    let _ = writeln!(
+        out,
+        "  query processing {:>16.0}",
+        design.cost.query_processing
+    );
     let _ = writeln!(out, "  view maintenance {:>16.0}", design.cost.maintenance);
     let _ = writeln!(out, "  total            {:>16.0}", design.cost.total);
     let none = evaluate(a, &BTreeSet::new(), MaintenanceMode::SharedRecompute);

@@ -7,22 +7,24 @@
 //! incoming queries — including *ad hoc* ones that were not in the design
 //! workload — through the stored views.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use mvdesign_algebra::{Expr, RelName};
+use mvdesign_algebra::{Expr, ExprArena, RelName};
 
 use crate::designer::DesignResult;
 
 /// A registry of materialized views: a stored name per view definition.
 ///
-/// Matching is by [`Expr::semantic_key`], so any expression equivalent up to
-/// join commutativity/associativity and predicate normalisation hits the
-/// view, not just syntactically identical ones.
+/// Matching is by interned semantic class ([`ExprArena`]), so any expression
+/// equivalent up to join commutativity/associativity and predicate
+/// normalisation hits the view, not just syntactically identical ones.
 #[derive(Debug, Clone, Default)]
 pub struct ViewCatalog {
     views: Vec<(RelName, Arc<Expr>)>,
-    by_key: HashMap<String, RelName>,
+    arena: ExprArena,
+    /// Stored name per arena class, indexed by [`mvdesign_algebra::ExprId`];
+    /// `None` for classes interned only as view subexpressions.
+    name_of: Vec<Option<RelName>>,
 }
 
 impl ViewCatalog {
@@ -36,12 +38,15 @@ impl ViewCatalog {
     /// Returns `false` (and keeps the existing entry) when an equivalent
     /// view is already registered.
     pub fn register(&mut self, name: impl Into<RelName>, definition: Arc<Expr>) -> bool {
-        let key = definition.semantic_key();
-        if self.by_key.contains_key(&key) {
+        let id = self.arena.intern(&definition);
+        if self.name_of.len() < self.arena.len() {
+            self.name_of.resize(self.arena.len(), None);
+        }
+        if self.name_of[id.index()].is_some() {
             return false;
         }
         let name = name.into();
-        self.by_key.insert(key, name.clone());
+        self.name_of[id.index()] = Some(name.clone());
         self.views.push((name, definition));
         true
     }
@@ -72,9 +77,11 @@ impl ViewCatalog {
         self.views.is_empty()
     }
 
-    /// The stored name answering `expr` exactly, if any.
+    /// The stored name answering `expr` exactly, if any. Non-mutating: the
+    /// probe never interns new classes.
     pub fn exact_match(&self, expr: &Arc<Expr>) -> Option<&RelName> {
-        self.by_key.get(&expr.semantic_key())
+        let id = self.arena.lookup(expr)?;
+        self.name_of.get(id.index())?.as_ref()
     }
 
     /// Rewrites `expr`, replacing every maximal subexpression that matches a

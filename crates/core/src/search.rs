@@ -185,7 +185,13 @@ impl SelectionAlgorithm for ExhaustiveSelection {
             });
             per_thread
                 .into_iter()
-                .reduce(|x, y| if y.0 < x.0 || (y.0 == x.0 && y.1 < x.1) { y } else { x })
+                .reduce(|x, y| {
+                    if y.0 < x.0 || (y.0 == x.0 && y.1 < x.1) {
+                        y
+                    } else {
+                        x
+                    }
+                })
                 .expect("at least one range")
         };
         mask_to_set(best.1, &candidates, a.mvpp().len()).to_btree()
@@ -513,10 +519,18 @@ mod tests {
                 .finish()
                 .unwrap();
         }
-        c.set_join_selectivity(AttrRef::new("A", "k"), AttrRef::new("B", "k"), 1.0 / 20_000.0)
-            .unwrap();
-        c.set_join_selectivity(AttrRef::new("B", "k"), AttrRef::new("C", "k"), 1.0 / 20_000.0)
-            .unwrap();
+        c.set_join_selectivity(
+            AttrRef::new("A", "k"),
+            AttrRef::new("B", "k"),
+            1.0 / 20_000.0,
+        )
+        .unwrap();
+        c.set_join_selectivity(
+            AttrRef::new("B", "k"),
+            AttrRef::new("C", "k"),
+            1.0 / 20_000.0,
+        )
+        .unwrap();
         c
     }
 
@@ -574,7 +588,9 @@ mod tests {
     fn genetic_never_loses_to_greedy() {
         // The GA is seeded with the greedy solution and is elitist.
         let a = annotated();
-        assert!(total(&a, &GeneticSelection::default()) <= total(&a, &GreedySelection::new()) + 1e-9);
+        assert!(
+            total(&a, &GeneticSelection::default()) <= total(&a, &GreedySelection::new()) + 1e-9
+        );
     }
 
     #[test]
@@ -585,10 +601,23 @@ mod tests {
             g.select(&a, MaintenanceMode::SharedRecompute),
             g.select(&a, MaintenanceMode::SharedRecompute)
         );
-        let other = GeneticSelection { seed: 1234, ..GeneticSelection::default() };
+        let other = GeneticSelection {
+            seed: 1234,
+            ..GeneticSelection::default()
+        };
         // Different seeds may coincide on tiny instances; costs must not worsen.
-        let ta = evaluate(&a, &g.select(&a, MaintenanceMode::SharedRecompute), MaintenanceMode::SharedRecompute).total;
-        let tb = evaluate(&a, &other.select(&a, MaintenanceMode::SharedRecompute), MaintenanceMode::SharedRecompute).total;
+        let ta = evaluate(
+            &a,
+            &g.select(&a, MaintenanceMode::SharedRecompute),
+            MaintenanceMode::SharedRecompute,
+        )
+        .total;
+        let tb = evaluate(
+            &a,
+            &other.select(&a, MaintenanceMode::SharedRecompute),
+            MaintenanceMode::SharedRecompute,
+        )
+        .total;
         assert!((ta - tb).abs() < 1e9); // both are finite, sane values
     }
 
@@ -596,7 +625,9 @@ mod tests {
     fn annealing_never_loses_to_greedy() {
         // Annealing starts from the greedy solution and keeps the best seen.
         let a = annotated();
-        assert!(total(&a, &SimulatedAnnealing::default()) <= total(&a, &GreedySelection::new()) + 1e-9);
+        assert!(
+            total(&a, &SimulatedAnnealing::default()) <= total(&a, &GreedySelection::new()) + 1e-9
+        );
     }
 
     #[test]
@@ -612,7 +643,9 @@ mod tests {
     #[test]
     fn materialize_none_is_empty() {
         let a = annotated();
-        assert!(MaterializeNone.select(&a, MaintenanceMode::SharedRecompute).is_empty());
+        assert!(MaterializeNone
+            .select(&a, MaintenanceMode::SharedRecompute)
+            .is_empty());
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Cardinality estimation for SPJ expressions.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use mvdesign_algebra::{output_attrs, Expr, Predicate, Rhs};
+use mvdesign_algebra::{output_attrs, Expr, ExprArena, ExprId, Predicate, Rhs};
 use mvdesign_catalog::{Catalog, RelationStats};
 
 use crate::model::CostModel;
@@ -22,29 +21,31 @@ pub enum EstimationMode {
     Calibrated,
 }
 
-/// A cached estimate together with the expression it was computed for.
-type CachedStats = (Arc<Expr>, RelationStats);
+/// The one stats cache: an [`ExprArena`] interning every estimated
+/// expression plus a dense vector of per-class results indexed by
+/// [`ExprId`]. Interning folds join commutativity/associativity and the
+/// other `semantic_key` normalisations away, so semantically equal
+/// expressions share one slot by construction.
+#[derive(Debug, Default)]
+struct StatsCache {
+    arena: ExprArena,
+    stats: Vec<Option<RelationStats>>,
+}
 
 /// Estimates output statistics (records/blocks) for every subexpression.
 ///
-/// Estimates are memoised at two levels. The fast path is keyed on the
-/// [`Arc`] pointer itself — MVPP nodes intern shared subexpressions, so hot
-/// callers re-estimate the *same* `Arc` over and over, and a pointer probe
-/// costs one hash of a machine word. On a pointer miss the estimate is
-/// looked up by [`Expr::semantic_hash`]; the full [`Expr::semantic_key`]
-/// string is built only when a hash bucket already holds another expression
-/// (to confirm the equivalence, or detect the ~2⁻⁶⁴ collision) — never on
-/// the per-call hot path.
+/// Estimates are memoised per semantic-equivalence class in a single
+/// arena-indexed cache behind a mutex, which makes the estimator [`Sync`]: one
+/// estimator can be shared by reference across worker threads (the
+/// `Designer` fan-out does exactly that), and every thread hits the same
+/// warm cache. Re-estimating a shared `Arc` costs one pointer-map probe
+/// inside the arena; a structurally fresh duplicate costs one bottom-up
+/// intern — never an O(n²) key-string build.
 #[derive(Debug)]
 pub struct CardinalityEstimator<'c> {
     catalog: &'c Catalog,
     mode: EstimationMode,
-    /// Pointer-identity fast path. The cached `Arc` keeps the allocation
-    /// alive, so a stored address can never be recycled by a new expression.
-    by_ptr: RefCell<HashMap<usize, CachedStats>>,
-    /// Structural-hash buckets; an entry carries its semantic key only once
-    /// a second expression lands in the bucket and a comparison is needed.
-    by_hash: RefCell<HashMap<u64, Vec<CachedStats>>>,
+    cache: Mutex<StatsCache>,
 }
 
 impl<'c> CardinalityEstimator<'c> {
@@ -53,8 +54,7 @@ impl<'c> CardinalityEstimator<'c> {
         Self {
             catalog,
             mode,
-            by_ptr: RefCell::new(HashMap::new()),
-            by_hash: RefCell::new(HashMap::new()),
+            cache: Mutex::new(StatsCache::default()),
         }
     }
 
@@ -63,133 +63,141 @@ impl<'c> CardinalityEstimator<'c> {
         self.catalog
     }
 
+    /// Locks the cache; a panic while holding the lock can only leave whole,
+    /// valid entries behind, so a poisoned mutex is safe to adopt.
+    fn cache(&self) -> MutexGuard<'_, StatsCache> {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Interns `expr`'s semantic-equivalence class in the shared cache and
+    /// returns its dense id (stable for this estimator's lifetime).
+    pub fn class_of(&self, expr: &Arc<Expr>) -> ExprId {
+        self.cache().arena.intern(expr)
+    }
+
+    /// Number of distinct semantic classes interned so far.
+    pub fn interned_classes(&self) -> usize {
+        self.cache().arena.len()
+    }
+
     /// Estimated statistics of the expression's result.
     ///
     /// Unknown base relations estimate as empty; run
     /// [`mvdesign_algebra::output_attrs`] first if you want hard errors.
     pub fn stats(&self, expr: &Arc<Expr>) -> RelationStats {
-        let ptr = Arc::as_ptr(expr) as usize;
-        if let Some((_, hit)) = self.by_ptr.borrow().get(&ptr) {
+        let mut cache = self.cache();
+        let id = cache.arena.intern(expr);
+        if let Some(Some(hit)) = cache.stats.get(id.index()) {
             return *hit;
         }
-        let hash = expr.semantic_hash();
-        let stats = if let Some(bucket) = self.by_hash.borrow().get(&hash) {
-            if bucket.len() == 1 && Arc::ptr_eq(&bucket[0].0, expr) {
-                Some(bucket[0].1)
-            } else if bucket.is_empty() {
-                None
-            } else {
-                // Another expression shares the hash: compare full semantic
-                // keys to separate "semantically equal" from a collision.
-                let key = expr.semantic_key();
-                bucket
-                    .iter()
-                    .find(|(e, _)| e.semantic_key() == key)
-                    .map(|(_, s)| s)
-                    .copied()
+        // Fill every missing class bottom-up along the memoized postorder —
+        // children strictly precede parents, so each step reads only
+        // already-present slots and the lock is never re-entered.
+        let StatsCache { arena, stats } = &mut *cache;
+        stats.resize(arena.len(), None);
+        for &step in arena.postorder(id) {
+            if stats[step.index()].is_none() {
+                stats[step.index()] =
+                    Some(compute_class(self.catalog, self.mode, arena, stats, step));
             }
-        } else {
-            None
-        };
-        let stats = match stats {
-            Some(s) => s,
-            None => {
-                let computed = self.compute(expr);
-                self.by_hash
-                    .borrow_mut()
-                    .entry(hash)
-                    .or_default()
-                    .push((Arc::clone(expr), computed));
-                computed
-            }
-        };
-        self.by_ptr
-            .borrow_mut()
-            .insert(ptr, (Arc::clone(expr), stats));
-        stats
+        }
+        stats[id.index()].expect("postorder ends at the requested class")
     }
+}
 
-    fn compute(&self, expr: &Arc<Expr>) -> RelationStats {
-        match &**expr {
-            Expr::Base(name) => self
-                .catalog
-                .stats(name.as_str())
-                .copied()
-                .unwrap_or_else(RelationStats::empty),
-            Expr::Select { input, predicate } => {
-                let s = predicate.selectivity(self.catalog);
-                self.stats(input).scaled(s)
-            }
-            Expr::Project { input, attrs } => {
-                let in_stats = self.stats(input);
-                // Projection keeps every record but narrows tuples: blocks
-                // shrink with the kept-attribute fraction.
-                let ratio = match output_attrs(input, self.catalog) {
-                    Ok(avail) if !avail.is_empty() => {
-                        (attrs.len() as f64 / avail.len() as f64).clamp(0.0, 1.0)
-                    }
-                    _ => 1.0,
-                };
-                RelationStats::new(in_stats.records, in_stats.blocks * ratio)
-            }
-            Expr::Aggregate {
-                input,
-                group_by,
-                aggs,
-            } => {
-                let in_stats = self.stats(input);
-                // Number of groups: bounded by the product of the grouping
-                // attributes' domain sizes (the reciprocal of a registered
-                // equality selectivity is the domain-size proxy used across
-                // the workspace) and by the input cardinality itself.
-                let mut groups = 1.0_f64;
-                for g in group_by {
-                    let s = self.catalog.selectivity(g.relation.as_str(), g.attr.as_str());
-                    let domain = if s > 0.0 { 1.0 / s } else { in_stats.records };
-                    groups *= domain.max(1.0);
-                    if groups > in_stats.records {
-                        break;
-                    }
+/// Computes one class's statistics from its representative expression and
+/// its children's already-cached statistics.
+fn compute_class(
+    catalog: &Catalog,
+    mode: EstimationMode,
+    arena: &ExprArena,
+    stats: &[Option<RelationStats>],
+    id: ExprId,
+) -> RelationStats {
+    let of = |child: ExprId| stats[child.index()].expect("children computed before parents");
+    let expr = arena.expr(id);
+    let children = arena.children(id);
+    match &**expr {
+        Expr::Base(name) => catalog
+            .stats(name.as_str())
+            .copied()
+            .unwrap_or_else(RelationStats::empty),
+        Expr::Select { predicate, .. } => {
+            let s = predicate.selectivity(catalog);
+            of(children[0]).scaled(s)
+        }
+        Expr::Project { input, attrs } => {
+            let in_stats = of(children[0]);
+            // Projection keeps every record but narrows tuples: blocks
+            // shrink with the kept-attribute fraction.
+            let ratio = match output_attrs(input, catalog) {
+                Ok(avail) if !avail.is_empty() => {
+                    (attrs.len() as f64 / avail.len() as f64).clamp(0.0, 1.0)
                 }
-                let records = groups.min(in_stats.records).max(if in_stats.records > 0.0 { 1.0 } else { 0.0 });
-                // Output tuples carry the group keys plus one value per
-                // aggregate; approximate the width by the kept-attribute
-                // fraction, as projection does.
-                let width_attrs = (group_by.len() + aggs.len()).max(1) as f64;
-                let in_arity = match output_attrs(input, self.catalog) {
-                    Ok(avail) if !avail.is_empty() => avail.len() as f64,
-                    _ => width_attrs,
-                };
-                let ratio = (width_attrs / in_arity).clamp(0.0, 1.0);
-                let per_block = in_stats.blocking_factor() / ratio.max(1e-9);
-                RelationStats::new(records, records / per_block.max(1.0))
-            }
-            Expr::Join { left, right, on } => {
-                if self.mode == EstimationMode::Calibrated {
-                    if let Some(o) = self.catalog.size_override(&expr.base_relations()) {
-                        let s = subtree_selection_selectivity(expr, self.catalog);
-                        return o.stats.scaled(s);
-                    }
+                _ => 1.0,
+            };
+            RelationStats::new(in_stats.records, in_stats.blocks * ratio)
+        }
+        Expr::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let in_stats = of(children[0]);
+            // Number of groups: bounded by the product of the grouping
+            // attributes' domain sizes (the reciprocal of a registered
+            // equality selectivity is the domain-size proxy used across
+            // the workspace) and by the input cardinality itself.
+            let mut groups = 1.0_f64;
+            for g in group_by {
+                let s = catalog.selectivity(g.relation.as_str(), g.attr.as_str());
+                let domain = if s > 0.0 { 1.0 / s } else { in_stats.records };
+                groups *= domain.max(1.0);
+                if groups > in_stats.records {
+                    break;
                 }
-                let l = self.stats(left);
-                let r = self.stats(right);
-                let js: f64 = if on.is_cross() {
-                    1.0
-                } else {
-                    on.pairs()
-                        .iter()
-                        .map(|(a, b)| self.catalog.join_selectivity_or_default(a, b))
-                        .product()
-                };
-                // Saturate instead of overflowing: astronomically large (but
-                // valid) inputs would otherwise push the product to ∞ and
-                // panic `RelationStats::new`.
-                let records = (l.records * r.records * js).min(f64::MAX);
-                // Output tuples are as wide as both inputs together; widths
-                // are the reciprocal blocking factors.
-                let width = 1.0 / l.blocking_factor() + 1.0 / r.blocking_factor();
-                RelationStats::new(records, (records * width).min(f64::MAX))
             }
+            let records =
+                groups
+                    .min(in_stats.records)
+                    .max(if in_stats.records > 0.0 { 1.0 } else { 0.0 });
+            // Output tuples carry the group keys plus one value per
+            // aggregate; approximate the width by the kept-attribute
+            // fraction, as projection does.
+            let width_attrs = (group_by.len() + aggs.len()).max(1) as f64;
+            let in_arity = match output_attrs(input, catalog) {
+                Ok(avail) if !avail.is_empty() => avail.len() as f64,
+                _ => width_attrs,
+            };
+            let ratio = (width_attrs / in_arity).clamp(0.0, 1.0);
+            let per_block = in_stats.blocking_factor() / ratio.max(1e-9);
+            RelationStats::new(records, records / per_block.max(1.0))
+        }
+        Expr::Join { on, .. } => {
+            if mode == EstimationMode::Calibrated {
+                if let Some(o) = catalog.size_override(&expr.base_relations()) {
+                    let s = subtree_selection_selectivity(expr, catalog);
+                    return o.stats.scaled(s);
+                }
+            }
+            let l = of(children[0]);
+            let r = of(children[1]);
+            let js: f64 = if on.is_cross() {
+                1.0
+            } else {
+                on.pairs()
+                    .iter()
+                    .map(|(a, b)| catalog.join_selectivity_or_default(a, b))
+                    .product()
+            };
+            // Saturate instead of overflowing: astronomically large (but
+            // valid) inputs would otherwise push the product to ∞ and
+            // panic `RelationStats::new`.
+            let records = (l.records * r.records * js).min(f64::MAX);
+            // Output tuples are as wide as both inputs together; widths
+            // are the reciprocal blocking factors.
+            let width = 1.0 / l.blocking_factor() + 1.0 / r.blocking_factor();
+            RelationStats::new(records, (records * width).min(f64::MAX))
         }
     }
 }
@@ -283,16 +291,16 @@ impl<'c, M: CostModel> CostEstimator<'c, M> {
     /// uses `σ city='LA' (Division)` twice recomputes it once), matching the
     /// DAG semantics of an MVPP.
     pub fn tree_cost(&self, expr: &Arc<Expr>) -> f64 {
-        let mut seen = HashMap::new();
+        let mut seen = HashSet::new();
         self.tree_cost_inner(expr, &mut seen)
     }
 
-    fn tree_cost_inner(&self, expr: &Arc<Expr>, seen: &mut HashMap<String, ()>) -> f64 {
-        let key = expr.semantic_key();
-        if seen.contains_key(&key) {
+    fn tree_cost_inner(&self, expr: &Arc<Expr>, seen: &mut HashSet<ExprId>) -> f64 {
+        // Equivalence classes come from the shared arena, so "seen" means
+        // "semantically identical", not merely "same allocation".
+        if !seen.insert(self.cards.class_of(expr)) {
             return 0.0;
         }
-        seen.insert(key, ());
         let mut total = self.op_cost(expr);
         for c in expr.children() {
             total += self.tree_cost_inner(c, seen);
@@ -360,7 +368,10 @@ mod tests {
         Expr::join(
             Expr::base("Product"),
             tmp1(),
-            JoinCondition::on(AttrRef::new("Product", "Did"), AttrRef::new("Division", "Did")),
+            JoinCondition::on(
+                AttrRef::new("Product", "Did"),
+                AttrRef::new("Division", "Did"),
+            ),
         )
     }
 
@@ -511,29 +522,41 @@ mod tests {
         let a = e.stats(&tmp2());
         let b = e.stats(&tmp2());
         assert_eq!(a, b);
-        // Division, σ, Product, join — one semantic entry each, even though
+        // Division, σ, Product, join — one interned class each, even though
         // the two `tmp2()` calls built distinct trees.
-        let entries: usize = e.by_hash.borrow().values().map(Vec::len).sum();
-        assert_eq!(entries, 4);
+        assert_eq!(e.interned_classes(), 4);
     }
 
     #[test]
-    fn repeated_arcs_hit_the_pointer_fast_path() {
+    fn semantically_equal_trees_share_one_class() {
         let c = catalog();
         let e = CardinalityEstimator::new(&c, EstimationMode::Analytic);
         let shared = tmp2();
         let first = e.stats(&shared);
-        let ptrs = e.by_ptr.borrow().len();
-        // Same Arc again: answered from the pointer map, nothing new cached.
+        let classes = e.interned_classes();
+        // Same Arc again: answered through the arena's pointer fast path.
         assert_eq!(e.stats(&shared), first);
-        assert_eq!(e.by_ptr.borrow().len(), ptrs);
-        // A structurally fresh but semantically equal tree reuses the stats
-        // and only adds a pointer entry, not a semantic one.
-        let semantic: usize = e.by_hash.borrow().values().map(Vec::len).sum();
-        assert_eq!(e.stats(&tmp2()), first);
-        let semantic_after: usize = e.by_hash.borrow().values().map(Vec::len).sum();
-        assert_eq!(semantic, semantic_after);
-        assert_eq!(e.by_ptr.borrow().len(), ptrs + 1);
+        assert_eq!(e.interned_classes(), classes);
+        // A structurally fresh but semantically equal tree reuses the cached
+        // stats without minting any new class.
+        let fresh = tmp2();
+        assert!(!Arc::ptr_eq(&shared, &fresh));
+        assert_eq!(e.stats(&fresh), first);
+        assert_eq!(e.interned_classes(), classes);
+        assert_eq!(e.class_of(&fresh), e.class_of(&shared));
+    }
+
+    #[test]
+    fn estimator_is_shareable_across_threads() {
+        let c = catalog();
+        let e = CardinalityEstimator::new(&c, EstimationMode::Analytic);
+        let warm = e.stats(&tmp2());
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| assert_eq!(e.stats(&tmp2()), warm));
+            }
+        });
+        assert_eq!(e.interned_classes(), 4);
     }
 }
 
@@ -606,7 +629,10 @@ mod index_tests {
         let narrowed = Expr::select(
             Expr::project(
                 Expr::base("Order"),
-                [AttrRef::new("Order", "quantity"), AttrRef::new("Order", "Cid")],
+                [
+                    AttrRef::new("Order", "quantity"),
+                    AttrRef::new("Order", "Cid"),
+                ],
             ),
             Predicate::cmp(AttrRef::new("Order", "quantity"), CompareOp::Gt, 100),
         );

@@ -75,7 +75,14 @@ fn render<M: CostModel>(
         format!("{prefix}│  ")
     };
     for (i, child) in children.iter().enumerate() {
-        render(child, est, &child_prefix, i + 1 == children.len(), false, out);
+        render(
+            child,
+            est,
+            &child_prefix,
+            i + 1 == children.len(),
+            false,
+            out,
+        );
     }
 }
 

@@ -15,6 +15,16 @@
 //! * [`CostEstimator`] — combines both to give per-operator and whole-tree
 //!   costs (`Ca(v)` in the paper's notation).
 //!
+//! Estimates are memoised per *semantic-equivalence class*: the estimator
+//! interns every expression into an
+//! [`ExprArena`](mvdesign_algebra::ExprArena) and keeps one dense
+//! `Vec<Option<RelationStats>>` indexed by
+//! [`ExprId`](mvdesign_algebra::ExprId). (Earlier revisions layered a
+//! thread-local pointer map over string-keyed hash buckets; the arena
+//! replaces both.) The cache sits behind a mutex, so a single estimator is
+//! `Sync` and can be shared by reference across search worker threads — all
+//! of them warm, and profit from, the same cache.
+//!
 //! # Example
 //!
 //! ```

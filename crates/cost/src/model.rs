@@ -17,12 +17,7 @@ pub trait CostModel: Debug {
 
     /// Cost of joining `left` (outer) with `right` (inner), producing
     /// `output`.
-    fn join(
-        &self,
-        left: &RelationStats,
-        right: &RelationStats,
-        output: &RelationStats,
-    ) -> f64;
+    fn join(&self, left: &RelationStats, right: &RelationStats, output: &RelationStats) -> f64;
 
     /// Cost of an *indexed* selection: probe the index (logarithmic in the
     /// input blocks) and fetch only the matching blocks.
@@ -159,7 +154,11 @@ mod tests {
         let m = PaperCostModel::default();
         // Order (6k blocks) ⋈ Customer (2k blocks) → 5k output blocks: the
         // 12.005M block accesses behind the paper's `Ca(tmp4) ≈ 12.03M`.
-        let c = m.join(&st(50_000.0, 6_000.0), &st(20_000.0, 2_000.0), &st(25_000.0, 5_000.0));
+        let c = m.join(
+            &st(50_000.0, 6_000.0),
+            &st(20_000.0, 2_000.0),
+            &st(25_000.0, 5_000.0),
+        );
         assert_eq!(c, 12_005_000.0);
     }
 
@@ -171,7 +170,9 @@ mod tests {
 
     #[test]
     fn write_output_toggle() {
-        let m = PaperCostModel { write_output: false };
+        let m = PaperCostModel {
+            write_output: false,
+        };
         let c = m.join(&st(10.0, 1.0), &st(10.0, 1.0), &st(100.0, 10.0));
         assert_eq!(c, 1.0);
     }

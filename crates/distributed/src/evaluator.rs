@@ -68,9 +68,7 @@ impl<'a> DistributedEvaluator<'a> {
             .next()
             .expect("a leaf is a base relation");
         let home = self.placement.home(rel.as_str());
-        let link = self
-            .topology
-            .link_cost(home, self.placement.warehouse());
+        let link = self.topology.link_cost(home, self.placement.warehouse());
         if link == 0.0 {
             return 0.0;
         }
@@ -82,10 +80,7 @@ impl<'a> DistributedEvaluator<'a> {
                 let mut best = self.annotated.annotation(leaf).stats.blocks;
                 for p in node.parents() {
                     let parent = mvpp.node(*p);
-                    if matches!(
-                        &**parent.expr(),
-                        mvdesign_algebra::Expr::Select { .. }
-                    ) {
+                    if matches!(&**parent.expr(), mvdesign_algebra::Expr::Select { .. }) {
                         best = best.min(self.annotated.annotation(*p).stats.blocks);
                     }
                 }
@@ -444,9 +439,9 @@ impl MarginalGreedy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mvdesign_core::{evaluate, AnnotatedMvpp, GreedySelection, Mvpp, UpdateWeighting};
     use mvdesign_algebra::{AttrRef, CompareOp, Expr, JoinCondition, Predicate};
     use mvdesign_catalog::{AttrType, Catalog};
+    use mvdesign_core::{evaluate, AnnotatedMvpp, GreedySelection, Mvpp, UpdateWeighting};
     use mvdesign_cost::{CostEstimator, EstimationMode, PaperCostModel};
 
     fn catalog() -> Catalog {
@@ -569,10 +564,11 @@ mod tests {
             placement.clone(),
             FilterShipping::AtWarehouse,
         );
-        let source =
-            DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtSource);
+        let source = DistributedEvaluator::new(&a, topo, placement, FilterShipping::AtSource);
         let m = BTreeSet::new();
-        let cw = warehouse.evaluate(&m, MaintenanceMode::SharedRecompute).total;
+        let cw = warehouse
+            .evaluate(&m, MaintenanceMode::SharedRecompute)
+            .total;
         let cs = source.evaluate(&m, MaintenanceMode::SharedRecompute).total;
         assert!(cs < cw, "source {cs} should beat warehouse {cw}");
     }
@@ -617,7 +613,11 @@ mod tests {
             .evaluate_placed(&m, &best, MaintenanceMode::SharedRecompute)
             .total;
         let warehouse_only = eval
-            .evaluate_placed(&m, &ViewPlacement::all_at_warehouse(), MaintenanceMode::SharedRecompute)
+            .evaluate_placed(
+                &m,
+                &ViewPlacement::all_at_warehouse(),
+                MaintenanceMode::SharedRecompute,
+            )
             .total;
         assert!(placed <= warehouse_only + 1e-9);
     }

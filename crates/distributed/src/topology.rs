@@ -114,10 +114,7 @@ impl Placement {
 
     /// A relation's home site (the warehouse when unassigned).
     pub fn home(&self, relation: &str) -> SiteId {
-        self.homes
-            .get(relation)
-            .copied()
-            .unwrap_or(self.warehouse)
+        self.homes.get(relation).copied().unwrap_or(self.warehouse)
     }
 }
 

@@ -37,8 +37,7 @@ impl Default for GeneratorConfig {
 /// * the two endpoints of a registered join selectivity `js = 1/d` share a
 ///   domain of `d` values, so the equi-join yields ≈`|L|·|R|/d` rows;
 /// * other attributes draw from a domain the size of the relation.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Generator {
     config: GeneratorConfig,
 }
@@ -121,7 +120,6 @@ impl Generator {
         out
     }
 }
-
 
 fn draw(rng: &mut StdRng, ty: AttrType, domain: u64) -> Value {
     let k = rng.gen_range(0..domain.max(1));

@@ -91,7 +91,10 @@ pub fn execute_with(expr: &Arc<Expr>, db: &Database, algo: JoinAlgo) -> Result<T
             let t = execute_with(input, db, algo)?;
             let idx: Vec<usize> = attrs
                 .iter()
-                .map(|a| t.index_of(a).ok_or_else(|| ExecError::MissingAttr(a.clone())))
+                .map(|a| {
+                    t.index_of(a)
+                        .ok_or_else(|| ExecError::MissingAttr(a.clone()))
+                })
                 .collect::<Result<_, _>>()?;
             let rows = t
                 .rows()
@@ -132,7 +135,10 @@ pub fn execute_with(expr: &Arc<Expr>, db: &Database, algo: JoinAlgo) -> Result<T
             let t = execute_with(input, db, algo)?;
             let gidx: Vec<usize> = group_by
                 .iter()
-                .map(|a| t.index_of(a).ok_or_else(|| ExecError::MissingAttr(a.clone())))
+                .map(|a| {
+                    t.index_of(a)
+                        .ok_or_else(|| ExecError::MissingAttr(a.clone()))
+                })
                 .collect::<Result<_, _>>()?;
             let aidx: Vec<Option<usize>> = aggs
                 .iter()
@@ -314,17 +320,17 @@ impl AggState {
             AggFunc::Sum => Value::Int(self.sum),
             AggFunc::Min => self.min.clone().unwrap_or(Value::Int(0)),
             AggFunc::Max => self.max.clone().unwrap_or(Value::Int(0)),
-            AggFunc::Avg => Value::Int(if self.count > 0 { self.sum / self.count } else { 0 }),
+            AggFunc::Avg => Value::Int(if self.count > 0 {
+                self.sum / self.count
+            } else {
+                0
+            }),
         }
     }
 }
 
 /// Evaluates a predicate on one row.
-pub(crate) fn eval_predicate(
-    p: &Predicate,
-    t: &Table,
-    row: &[Value],
-) -> Result<bool, ExecError> {
+pub(crate) fn eval_predicate(p: &Predicate, t: &Table, row: &[Value]) -> Result<bool, ExecError> {
     match p {
         Predicate::True => Ok(true),
         Predicate::Cmp(c) => {
@@ -401,16 +407,10 @@ mod tests {
 
     #[test]
     fn paper_query1_shape_executes() {
-        let q = parse_query(
-            "SELECT Pd.name FROM Pd, Div WHERE Div.city='LA' AND Pd.Did=Div.Did",
-        )
-        .unwrap();
+        let q = parse_query("SELECT Pd.name FROM Pd, Div WHERE Div.city='LA' AND Pd.Did=Div.Did")
+            .unwrap();
         let out = execute(&q, &db()).unwrap();
-        let mut names: Vec<String> = out
-            .rows()
-            .iter()
-            .map(|r| r[0].to_string())
-            .collect();
+        let mut names: Vec<String> = out.rows().iter().map(|r| r[0].to_string()).collect();
         names.sort();
         assert_eq!(names, ["'sprocket'", "'widget'"]);
     }
@@ -584,17 +584,28 @@ mod join_algo_tests {
             mvdesign_algebra::JoinCondition::on(AttrRef::new("A", "k"), AttrRef::new("B", "k")),
         );
         for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::SortMerge] {
-            assert_eq!(execute_with(&e, &db, algo).expect("executes").len(), 4, "{algo:?}");
+            assert_eq!(
+                execute_with(&e, &db, algo).expect("executes").len(),
+                4,
+                "{algo:?}"
+            );
         }
     }
 
     #[test]
     fn empty_inputs_yield_empty_joins() {
         let mut db = db();
-        db.insert_table(Table::new("L", [AttrRef::new("L", "id"), AttrRef::new("L", "k")], vec![]));
+        db.insert_table(Table::new(
+            "L",
+            [AttrRef::new("L", "id"), AttrRef::new("L", "k")],
+            vec![],
+        ));
         let e = join_expr();
         for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::SortMerge] {
-            assert!(execute_with(&e, &db, algo).expect("executes").is_empty(), "{algo:?}");
+            assert!(
+                execute_with(&e, &db, algo).expect("executes").is_empty(),
+                "{algo:?}"
+            );
         }
     }
 }

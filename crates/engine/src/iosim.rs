@@ -66,7 +66,9 @@ fn run(
 ) -> Result<Table, ExecError> {
     match &**expr {
         Expr::Base(_) => execute(expr, db),
-        Expr::Select { input, .. } | Expr::Project { input, .. } | Expr::Aggregate { input, .. } => {
+        Expr::Select { input, .. }
+        | Expr::Project { input, .. }
+        | Expr::Aggregate { input, .. } => {
             let in_table = run(input, db, bf, report)?;
             report.blocks_read += blocks(in_table.len(), bf);
             let out = shallow_execute(expr, &in_table, None, db)?;
@@ -188,11 +190,7 @@ mod tests {
             Expr::join(Expr::base("R"), Expr::base("S"), on.clone()),
             filter.clone(),
         );
-        let early = Expr::join(
-            Expr::select(Expr::base("R"), filter),
-            Expr::base("S"),
-            on,
-        );
+        let early = Expr::join(Expr::select(Expr::base("R"), filter), Expr::base("S"), on);
         let (a, io_late) = measure(&late, &db(), 10.0).unwrap();
         let (b, io_early) = measure(&early, &db(), 10.0).unwrap();
         assert_eq!(a.canonicalized().rows(), b.canonicalized().rows());

@@ -95,7 +95,10 @@ fn detect_join_selectivities(db: &Database, catalog: &mut Catalog) -> Result<(),
     for (_, table) in db.iter() {
         for (idx, attr) in table.attrs().iter().enumerate() {
             if matches!(column_type(table, idx), AttrType::Int) {
-                by_name.entry(attr.attr.as_str()).or_default().push((table, idx));
+                by_name
+                    .entry(attr.attr.as_str())
+                    .or_default()
+                    .push((table, idx));
             }
         }
     }
@@ -223,7 +226,11 @@ mod tests {
             0.0,
         );
         let actual = crate::exec::execute(&q, &database).expect("executes").len() as f64;
-        assert!((est.records - actual).abs() <= 1.0, "est {} vs actual {actual}", est.records);
+        assert!(
+            (est.records - actual).abs() <= 1.0,
+            "est {} vs actual {actual}",
+            est.records
+        );
     }
 
     #[test]
@@ -232,6 +239,9 @@ mod tests {
         database.insert_table(Table::new("Empty", [AttrRef::new("Empty", "x")], vec![]));
         let c = profile_database(&database, &ProfileConfig::default()).expect("profiles");
         assert_eq!(c.stats("Empty").unwrap().records, 0.0);
-        assert_eq!(c.schema("Empty").unwrap().attribute("x").unwrap().ty, AttrType::Int);
+        assert_eq!(
+            c.schema("Empty").unwrap().attribute("x").unwrap().ty,
+            AttrType::Int
+        );
     }
 }

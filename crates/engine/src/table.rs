@@ -207,7 +207,9 @@ mod tests {
 
     #[test]
     fn display_truncates() {
-        let rows = (0..30).map(|i| vec![Value::Int(i), Value::text("v")]).collect();
+        let rows = (0..30)
+            .map(|i| vec![Value::Int(i), Value::text("v")])
+            .collect();
         let t = Table::new("R", [AttrRef::new("R", "a"), AttrRef::new("R", "b")], rows);
         let s = t.to_string();
         assert!(s.contains("… 10 more"));

@@ -83,7 +83,11 @@ impl Warehouse {
     ///
     /// Returns [`WarehouseError::Exec`] when a view definition cannot be
     /// evaluated over `db`.
-    pub fn new(catalog: Catalog, db: Database, design: &DesignResult) -> Result<Self, WarehouseError> {
+    pub fn new(
+        catalog: Catalog,
+        db: Database,
+        design: &DesignResult,
+    ) -> Result<Self, WarehouseError> {
         let views = ViewCatalog::from_design(design);
         let mut warehouse = Self {
             catalog,
@@ -298,7 +302,10 @@ mod tests {
         assert!(!w.is_stale());
         assert_eq!(w.refreshes(), 1);
         for (name, _) in w.views().views() {
-            assert!(w.database().table(name.as_str()).is_some(), "view {name} missing");
+            assert!(
+                w.database().table(name.as_str()).is_some(),
+                "view {name} missing"
+            );
         }
     }
 
@@ -310,7 +317,10 @@ mod tests {
             let direct = execute(q.root(), w.database())
                 .expect("direct executes")
                 .canonicalized();
-            let via = w.query_expr(q.root()).expect("warehouse answers").canonicalized();
+            let via = w
+                .query_expr(q.root())
+                .expect("warehouse answers")
+                .canonicalized();
             assert_eq!(direct.rows(), via.rows(), "{} differs", q.name());
         }
     }
@@ -331,10 +341,7 @@ mod tests {
                 _ => Value::text("fresh"),
             })
             .collect();
-        let before = w
-            .query("SELECT name FROM Customer")
-            .expect("counts")
-            .len();
+        let before = w.query("SELECT name FROM Customer").expect("counts").len();
         w.append("Customer", vec![row]).expect("appends");
         assert!(w.is_stale());
         let after = w.query("SELECT name FROM Customer").expect("counts").len();

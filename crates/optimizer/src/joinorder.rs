@@ -23,10 +23,7 @@ impl JoinGraph {
     /// no leaves, more than 63 leaves, a leaf that is not rooted in exactly
     /// one base relation, or two leaves over the same base relation
     /// (self-joins keep their original order instead).
-    pub fn new(
-        leaves: Vec<Arc<Expr>>,
-        conds: Vec<(AttrRef, AttrRef)>,
-    ) -> Option<Self> {
+    pub fn new(leaves: Vec<Arc<Expr>>, conds: Vec<(AttrRef, AttrRef)>) -> Option<Self> {
         if leaves.is_empty() || leaves.len() > 63 {
             return None;
         }
@@ -42,7 +39,11 @@ impl JoinGraph {
         if unique.len() != rels.len() {
             return None;
         }
-        Some(Self { leaves, rels, conds })
+        Some(Self {
+            leaves,
+            rels,
+            conds,
+        })
     }
 
     /// Number of leaves.
@@ -99,7 +100,11 @@ impl JoinGraph {
         r: &(f64, Arc<Expr>),
         pairs: Vec<(AttrRef, AttrRef)>,
     ) -> (f64, Arc<Expr>) {
-        let expr = Expr::join(Arc::clone(&l.1), Arc::clone(&r.1), JoinCondition::new(pairs));
+        let expr = Expr::join(
+            Arc::clone(&l.1),
+            Arc::clone(&r.1),
+            JoinCondition::new(pairs),
+        );
         let cost = l.0 + r.0 + est.op_cost(&expr);
         (cost, expr)
     }
@@ -136,7 +141,8 @@ impl JoinGraph {
                             saw_connected = true;
                         }
                         if (pass == 0) == connected {
-                            if let (Some(l), Some(r)) = (&best[sub as usize], &best[other as usize]) {
+                            if let (Some(l), Some(r)) = (&best[sub as usize], &best[other as usize])
+                            {
                                 let cand = self.join_of(est, l, r, pairs);
                                 if candidate.as_ref().is_none_or(|c| cand.0 < c.0) {
                                     candidate = Some(cand);

@@ -62,7 +62,11 @@ impl Planner {
     /// Queries the machinery cannot restructure (self-joins, non-base
     /// leaves) fall back to plain selection push-down. The returned plan is
     /// never costlier than `expr` under `est`.
-    pub fn optimize<M: CostModel>(&self, expr: &Arc<Expr>, est: &CostEstimator<'_, M>) -> Arc<Expr> {
+    pub fn optimize<M: CostModel>(
+        &self,
+        expr: &Arc<Expr>,
+        est: &CostEstimator<'_, M>,
+    ) -> Arc<Expr> {
         let candidate = self.restructure(expr, est);
         let candidate = if self.config.projection_pushdown {
             push_projections(&candidate, est.cardinalities().catalog())
@@ -93,8 +97,11 @@ impl Planner {
             other => vec![other],
         };
         'outer: for conjunct in conjuncts {
-            let rels: std::collections::BTreeSet<_> =
-                conjunct.attrs().iter().map(|a| a.relation.clone()).collect();
+            let rels: std::collections::BTreeSet<_> = conjunct
+                .attrs()
+                .iter()
+                .map(|a| a.relation.clone())
+                .collect();
             if rels.len() == 1 {
                 let rel = rels.into_iter().next().expect("len checked");
                 for (i, leaf) in leaves.iter().enumerate() {

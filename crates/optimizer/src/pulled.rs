@@ -126,7 +126,10 @@ mod tests {
             JoinCondition::on(AttrRef::new("Pd", "Did"), AttrRef::new("Div", "Did")),
         );
         Expr::project(
-            Expr::select(j, Predicate::cmp(AttrRef::new("Pd", "qty"), CompareOp::Gt, 100)),
+            Expr::select(
+                j,
+                Predicate::cmp(AttrRef::new("Pd", "qty"), CompareOp::Gt, 100),
+            ),
             [AttrRef::new("Pd", "name")],
         )
     }
@@ -141,8 +144,17 @@ mod tests {
             }
         });
         assert_eq!(non_join, 0);
-        assert_eq!(p.projection.as_deref(), Some(&[AttrRef::new("Pd", "name")][..]));
-        assert_eq!(p.predicate, Predicate::and([la(), Predicate::cmp(AttrRef::new("Pd", "qty"), CompareOp::Gt, 100)]));
+        assert_eq!(
+            p.projection.as_deref(),
+            Some(&[AttrRef::new("Pd", "name")][..])
+        );
+        assert_eq!(
+            p.predicate,
+            Predicate::and([
+                la(),
+                Predicate::cmp(AttrRef::new("Pd", "qty"), CompareOp::Gt, 100)
+            ])
+        );
     }
 
     #[test]

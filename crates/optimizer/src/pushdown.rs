@@ -35,7 +35,8 @@ fn push(expr: &Arc<Expr>, pending: Predicate) -> Arc<Expr> {
             // Selections arriving from above may reference aggregate
             // outputs, so they stay above the γ; the γ's input is pushed
             // independently.
-            let rebuilt = Expr::aggregate(push(input, Predicate::True), group_by.clone(), aggs.clone());
+            let rebuilt =
+                Expr::aggregate(push(input, Predicate::True), group_by.clone(), aggs.clone());
             Expr::select(rebuilt, pending)
         }
         Expr::Join { left, right, on } => {
@@ -144,7 +145,11 @@ fn narrow(expr: &Arc<Expr>, needed: &BTreeSet<AttrRef>, catalog: &Catalog) -> Ar
         } => {
             let mut below: BTreeSet<AttrRef> = group_by.iter().cloned().collect();
             below.extend(aggs.iter().filter_map(|a| a.input.clone()));
-            Expr::aggregate(narrow(input, &below, catalog), group_by.clone(), aggs.clone())
+            Expr::aggregate(
+                narrow(input, &below, catalog),
+                group_by.clone(),
+                aggs.clone(),
+            )
         }
         Expr::Join { left, right, on } => {
             let mut below = needed.clone();

@@ -1,7 +1,8 @@
 //! Cross-crate correctness-audit harness (C-VERIFY).
 //!
-//! [`mvdesign_core::audit`] can only cross-check what lives *inside* the
-//! core crate. This harness layers the remaining two oracles on top:
+//! The core audit layer ([`mvdesign_core::audit_annotated`]) can only
+//! cross-check what lives *inside* the core crate. This harness layers the
+//! remaining two oracles on top:
 //!
 //! - **distributed differential** ([`check_distributed_zero_link`]): at zero
 //!   link cost the shipping-aware [`DistributedEvaluator`] must reproduce the
@@ -29,9 +30,9 @@ use rand::{Rng, SeedableRng};
 
 use mvdesign_catalog::Catalog;
 use mvdesign_core::{
-    audit_annotated, check_query_rewrite, evaluate, generate_mvpps, greedy_no_prune,
-    AnnotatedMvpp, AuditReport, GenerateConfig, GreedySelection, MaintenanceMode,
-    MaintenancePolicy, NodeId, UpdateWeighting, ViewCatalog, Workload,
+    audit_annotated, check_query_rewrite, evaluate, generate_mvpps, greedy_no_prune, AnnotatedMvpp,
+    AuditReport, GenerateConfig, GreedySelection, MaintenanceMode, MaintenancePolicy, NodeId,
+    UpdateWeighting, ViewCatalog, Workload,
 };
 use mvdesign_cost::{CostEstimator, EstimationMode, PaperCostModel};
 use mvdesign_distributed::{DistributedEvaluator, FilterShipping, Placement, Topology};
@@ -69,10 +70,7 @@ pub fn standard_choices(a: &AnnotatedMvpp, seed: u64, extra: usize) -> Vec<BTree
 /// At zero link cost the distributed evaluator adds no shipping anywhere, so
 /// its breakdown must equal the core [`evaluate`] **bit-for-bit** on every
 /// choice, maintenance mode and filter-shipping strategy.
-pub fn check_distributed_zero_link(
-    a: &AnnotatedMvpp,
-    choices: &[BTreeSet<NodeId>],
-) -> AuditReport {
+pub fn check_distributed_zero_link(a: &AnnotatedMvpp, choices: &[BTreeSet<NodeId>]) -> AuditReport {
     let mut report = AuditReport::new();
     let topo = Topology::uniform(3, 0.0);
     let warehouse = topo.site(0).expect("site 0 exists");
@@ -84,7 +82,11 @@ pub fn check_distributed_zero_link(
                 let core = evaluate(a, m, mode);
                 let dist = eval.evaluate(m, mode);
                 for (field, x, y) in [
-                    ("query_processing", core.query_processing, dist.query_processing),
+                    (
+                        "query_processing",
+                        core.query_processing,
+                        dist.query_processing,
+                    ),
                     ("maintenance", core.maintenance, dist.maintenance),
                     ("total", core.total, dist.total),
                 ] {
@@ -177,7 +179,10 @@ pub fn check_semantics(
     if let Some(views) = views {
         for (name, definition) in views.views() {
             if let Err(e) = materialize_view(name.clone(), definition, &mut db) {
-                report.push("semantics", format!("view {name} failed to materialize: {e}"));
+                report.push(
+                    "semantics",
+                    format!("view {name} failed to materialize: {e}"),
+                );
                 return report;
             }
         }
@@ -302,8 +307,7 @@ pub fn audit_scenario(scenario: &Scenario, config: &AuditConfig) -> AuditReport 
                 update_fraction: 0.25,
             },
         ] {
-            let a =
-                AnnotatedMvpp::annotate_with(mvpp.clone(), &est, UpdateWeighting::Max, policy);
+            let a = AnnotatedMvpp::annotate_with(mvpp.clone(), &est, UpdateWeighting::Max, policy);
             report.merge(audit_annotated(&a, &scenario.catalog));
             report.merge(check_prune_safety(&a));
             let choices = standard_choices(&a, config.seed, config.random_choices);
@@ -333,7 +337,10 @@ pub fn audit_scenario(scenario: &Scenario, config: &AuditConfig) -> AuditReport 
 /// per scenario.
 pub fn audit_standard_scenarios(config: &AuditConfig) -> Vec<(String, AuditReport)> {
     let mut results = Vec::new();
-    results.push(("paper".to_string(), audit_scenario(&paper_example(), config)));
+    results.push((
+        "paper".to_string(),
+        audit_scenario(&paper_example(), config),
+    ));
     let star = StarSchema::with_config(StarSchemaConfig {
         queries: 6,
         ..StarSchemaConfig::default()

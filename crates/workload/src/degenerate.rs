@@ -42,8 +42,12 @@ fn two_relation_catalog(r_records: f64, r_blocks: f64) -> Catalog {
         .selectivity("y", 0.2)
         .finish()
         .expect("S is valid");
-    c.set_join_selectivity(AttrRef::new("R", "k"), AttrRef::new("S", "k"), 1.0 / 5_000.0)
-        .expect("join selectivity is valid");
+    c.set_join_selectivity(
+        AttrRef::new("R", "k"),
+        AttrRef::new("S", "k"),
+        1.0 / 5_000.0,
+    )
+    .expect("join selectivity is valid");
     c
 }
 
@@ -66,9 +70,8 @@ pub fn empty_relation() -> Scenario {
         join_rs(),
         Predicate::cmp(AttrRef::new("S", "y"), CompareOp::Gt, 3),
     );
-    let workload =
-        Workload::new([Query::new("Q1", 10.0, q), Query::new("Q2", 2.0, join_rs())])
-            .expect("two queries");
+    let workload = Workload::new([Query::new("Q1", 10.0, q), Query::new("Q2", 2.0, join_rs())])
+        .expect("two queries");
     Scenario { catalog, workload }
 }
 

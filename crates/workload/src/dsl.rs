@@ -73,7 +73,11 @@ impl fmt::Display for DslError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DslError::Syntax { line, message } => write!(f, "line {line}: {message}"),
-            DslError::Sql { line, query, source } => {
+            DslError::Sql {
+                line,
+                query,
+                source,
+            } => {
                 write!(f, "line {line}: query `{query}`: {source}")
             }
             DslError::Catalog { line, source } => write!(f, "line {line}: {source}"),
@@ -120,7 +124,10 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, DslError> {
                 let js = number(words[3], lineno)?;
                 catalog
                     .set_join_selectivity(a, b, js)
-                    .map_err(|source| DslError::Catalog { line: lineno, source })?;
+                    .map_err(|source| DslError::Catalog {
+                        line: lineno,
+                        source,
+                    })?;
             }
             "joint_size" => {
                 if words.len() < 5 {
@@ -131,7 +138,10 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, DslError> {
                 let rels = words[1..words.len() - 2].iter().map(|r| (*r).into());
                 catalog
                     .set_size_override(rels, RelationStats::new(records, blocks))
-                    .map_err(|source| DslError::Catalog { line: lineno, source })?;
+                    .map_err(|source| DslError::Catalog {
+                        line: lineno,
+                        source,
+                    })?;
             }
             "index" => {
                 if words.len() != 2 {
@@ -140,7 +150,10 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, DslError> {
                 let a = attr_ref(words[1], lineno)?;
                 catalog
                     .add_index(a.relation, a.attr)
-                    .map_err(|source| DslError::Catalog { line: lineno, source })?;
+                    .map_err(|source| DslError::Catalog {
+                        line: lineno,
+                        source,
+                    })?;
             }
             "default_selectivity" => {
                 if words.len() != 2 {
@@ -149,7 +162,10 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, DslError> {
                 let s = number(words[1], lineno)?;
                 catalog
                     .set_default_selectivity(s)
-                    .map_err(|source| DslError::Catalog { line: lineno, source })?;
+                    .map_err(|source| DslError::Catalog {
+                        line: lineno,
+                        source,
+                    })?;
             }
             "query" => {
                 if words.len() != 4 || words[3] != "{" {
@@ -235,9 +251,7 @@ fn parse_relation(
                     "int" => AttrType::Int,
                     "text" => AttrType::Text,
                     "date" => AttrType::Date,
-                    other => {
-                        return Err(syntax(lineno, &format!("unknown type `{other}`")))
-                    }
+                    other => return Err(syntax(lineno, &format!("unknown type `{other}`"))),
                 };
                 attrs.push((words[1].to_string(), ty));
             }
@@ -250,9 +264,7 @@ fn parse_relation(
                 }
                 selectivities.push((words[1].to_string(), number(words[2], lineno)?));
             }
-            other => {
-                return Err(syntax(lineno, &format!("unknown relation field `{other}`")))
-            }
+            other => return Err(syntax(lineno, &format!("unknown relation field `{other}`"))),
         }
     }
     let mut builder = catalog.relation(name);
@@ -263,9 +275,10 @@ fn parse_relation(
     for (attr, s) in selectivities {
         builder = builder.selectivity(attr, s);
     }
-    builder
-        .finish()
-        .map_err(|source| DslError::Catalog { line: start, source })?;
+    builder.finish().map_err(|source| DslError::Catalog {
+        line: start,
+        source,
+    })?;
     Ok(i)
 }
 
@@ -312,7 +325,11 @@ fn attr_ref(text: &str, line: usize) -> Result<AttrRef, DslError> {
 pub fn render_catalog(catalog: &Catalog) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "default_selectivity {}\n", catalog.default_selectivity());
+    let _ = writeln!(
+        out,
+        "default_selectivity {}\n",
+        catalog.default_selectivity()
+    );
     for (name, meta) in catalog.iter() {
         let _ = writeln!(out, "relation {name} {{");
         for a in meta.schema.attributes() {
@@ -393,7 +410,10 @@ query by_city 25 {
         assert_eq!(s.catalog.default_selectivity(), 0.2);
         let key: std::collections::BTreeSet<_> =
             ["Sales".into(), "Stores".into()].into_iter().collect();
-        assert_eq!(s.catalog.size_override(&key).unwrap().stats.blocks, 20_000.0);
+        assert_eq!(
+            s.catalog.size_override(&key).unwrap().stats.blocks,
+            20_000.0
+        );
     }
 
     #[test]
@@ -474,10 +494,8 @@ query by_city 25 {
         assert!(s.catalog.has_index("R", "a"));
         let rendered = render_catalog(&s.catalog);
         assert!(rendered.contains("index R.a"), "{rendered}");
-        let reparsed = parse_scenario(&format!(
-            "{rendered}\nquery q 1 {{\nSELECT a FROM R\n}}"
-        ))
-        .expect("round-trips");
+        let reparsed = parse_scenario(&format!("{rendered}\nquery q 1 {{\nSELECT a FROM R\n}}"))
+            .expect("round-trips");
         assert_eq!(s.catalog, reparsed.catalog);
     }
 

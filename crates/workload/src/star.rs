@@ -1,6 +1,8 @@
 //! Synthetic star-schema workload generation for scaling studies.
 
-use mvdesign_algebra::{AggExpr, AggFunc, AttrRef, CompareOp, Expr, JoinCondition, Predicate, Query};
+use mvdesign_algebra::{
+    AggExpr, AggFunc, AttrRef, CompareOp, Expr, JoinCondition, Predicate, Query,
+};
 use mvdesign_catalog::{AttrType, Catalog};
 use mvdesign_core::Workload;
 use rand::rngs::StdRng;
@@ -58,8 +60,7 @@ impl Default for StarSchemaConfig {
 /// Generates star-schema design problems: one fact table `Fact(d0…dk,
 /// measure)` with a foreign key per dimension, dimensions `Dim0…Dimk(id,
 /// category, region)`, and a workload of random SPJ queries over them.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StarSchema {
     config: StarSchemaConfig,
 }
@@ -211,7 +212,6 @@ impl StarSchema {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,10 +222,7 @@ mod tests {
         let a = StarSchema::new().scenario();
         let b = StarSchema::new().scenario();
         assert_eq!(a.catalog, b.catalog);
-        assert_eq!(
-            a.workload.queries().len(),
-            b.workload.queries().len()
-        );
+        assert_eq!(a.workload.queries().len(), b.workload.queries().len());
         for (qa, qb) in a.workload.queries().iter().zip(b.workload.queries()) {
             assert_eq!(qa.root().semantic_key(), qb.root().semantic_key());
             assert_eq!(qa.frequency(), qb.frequency());

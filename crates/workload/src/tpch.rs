@@ -216,7 +216,11 @@ mod tests {
         use mvdesign_optimizer::Planner;
 
         let s = tpch_lite();
-        let est = CostEstimator::new(&s.catalog, EstimationMode::Analytic, PaperCostModel::default());
+        let est = CostEstimator::new(
+            &s.catalog,
+            EstimationMode::Analytic,
+            PaperCostModel::default(),
+        );
         let mvpp = &mvdesign_core::generate_mvpps(
             &s.workload,
             &est,

@@ -6,8 +6,7 @@
 
 use mvdesign::core::{
     evaluate, generate_mvpps, AnnotatedMvpp, GenerateConfig, GeneticSelection, GreedySelection,
-    MaintenanceMode, MaintenancePolicy, SelectionAlgorithm, UpdateWeighting, ViewCatalog,
-    Workload,
+    MaintenanceMode, MaintenancePolicy, SelectionAlgorithm, UpdateWeighting, ViewCatalog, Workload,
 };
 use mvdesign::cost::{CostEstimator, EstimationMode, PaperCostModel};
 use mvdesign::engine::{execute, materialize_view, Generator, GeneratorConfig};
@@ -98,7 +97,11 @@ fn main() {
 
     println!("== aggregation dashboard: 4 GROUP BY queries, hourly fact loads ==\n");
 
-    let est = CostEstimator::new(&catalog, EstimationMode::Analytic, PaperCostModel::default());
+    let est = CostEstimator::new(
+        &catalog,
+        EstimationMode::Analytic,
+        PaperCostModel::default(),
+    );
     let mvpp = generate_mvpps(&workload, &est, &Planner::new(), GenerateConfig::default())
         .into_iter()
         .next()
@@ -115,7 +118,9 @@ fn main() {
         ("recompute, greedy", MaintenancePolicy::Recompute),
         (
             "incremental 5%, greedy",
-            MaintenancePolicy::Incremental { update_fraction: 0.05 },
+            MaintenancePolicy::Incremental {
+                update_fraction: 0.05,
+            },
         ),
     ] {
         let a = AnnotatedMvpp::annotate_with(mvpp.clone(), &est, UpdateWeighting::Max, policy);
@@ -133,7 +138,9 @@ fn main() {
         mvpp.clone(),
         &est,
         UpdateWeighting::Max,
-        MaintenancePolicy::Incremental { update_fraction: 0.05 },
+        MaintenancePolicy::Incremental {
+            update_fraction: 0.05,
+        },
     );
     let ga = GeneticSelection::default();
     let m = ga.select(&a, MaintenanceMode::SharedRecompute);

@@ -13,7 +13,9 @@ use mvdesign::core::{
     UpdateWeighting,
 };
 use mvdesign::cost::{CostEstimator, EstimationMode, PaperCostModel};
-use mvdesign::distributed::{DistributedEvaluator, FilterShipping, MarginalGreedy, Placement, Topology};
+use mvdesign::distributed::{
+    DistributedEvaluator, FilterShipping, MarginalGreedy, Placement, Topology,
+};
 use mvdesign::optimizer::Planner;
 use mvdesign::workload::paper_example;
 
@@ -48,12 +50,7 @@ fn main() {
     placement.assign("Division", manufacturing);
     placement.assign("Part", manufacturing);
 
-    let eval = DistributedEvaluator::new(
-        &annotated,
-        topology,
-        placement,
-        FilterShipping::AtSource,
-    );
+    let eval = DistributedEvaluator::new(&annotated, topology, placement, FilterShipping::AtSource);
 
     println!("== distributed warehouse: 3 sites, link cost 3 per block ==\n");
 
@@ -108,7 +105,9 @@ fn main() {
     let central_under_shipping = eval
         .evaluate(&central_set, MaintenanceMode::SharedRecompute)
         .total;
-    let aware = eval.evaluate(&dist_set, MaintenanceMode::SharedRecompute).total;
+    let aware = eval
+        .evaluate(&dist_set, MaintenanceMode::SharedRecompute)
+        .total;
     println!(
         "\nshipping-aware selection saves {:.0} block-equivalents over the \
          centralized design ({:.1}%).",

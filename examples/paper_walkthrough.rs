@@ -91,7 +91,10 @@ fn main() {
     for step in &trace.steps {
         match &step.verdict {
             TraceVerdict::Materialized => {
-                println!("  {:<6} Cs = {:>13.0} > 0 → materialize", step.label, step.cs);
+                println!(
+                    "  {:<6} Cs = {:>13.0} > 0 → materialize",
+                    step.label, step.cs
+                );
             }
             TraceVerdict::Rejected { pruned } => {
                 let names: Vec<String> = pruned
@@ -109,7 +112,10 @@ fn main() {
                 println!("  {:<6} parents already materialized → ignore", step.label);
             }
             TraceVerdict::RemovedRedundant => {
-                println!("  {:<6} all consumers materialized → drop from M", step.label);
+                println!(
+                    "  {:<6} all consumers materialized → drop from M",
+                    step.label
+                );
             }
         }
     }
@@ -117,7 +123,11 @@ fn main() {
         .iter()
         .map(|id| {
             let n = annotated.mvpp().node(*id);
-            format!("{} ({})", n.label(), describe(annotated.mvpp().node(*id).expr()))
+            format!(
+                "{} ({})",
+                n.label(),
+                describe(annotated.mvpp().node(*id).expr())
+            )
         })
         .collect();
     println!("  M = {{{}}}", labels.join(", "));

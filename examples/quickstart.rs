@@ -124,7 +124,10 @@ fn main() {
 
     // 4. Compare with the two trivial strategies.
     for (label, algo) in [
-        ("materialize nothing", &MaterializeNone as &dyn SelectionAlgorithm),
+        (
+            "materialize nothing",
+            &MaterializeNone as &dyn SelectionAlgorithm,
+        ),
         ("materialize all queries", &MaterializeAll),
     ] {
         let m = algo.select(&design.mvpp, MaintenanceMode::SharedRecompute);

@@ -29,8 +29,16 @@ fn main() {
         "  {} relations, {} queries (Zipf frequencies {:.1} … {:.1})\n",
         scenario.catalog.len(),
         scenario.workload.len(),
-        scenario.workload.queries().first().map_or(0.0, |q| q.frequency()),
-        scenario.workload.queries().last().map_or(0.0, |q| q.frequency()),
+        scenario
+            .workload
+            .queries()
+            .first()
+            .map_or(0.0, |q| q.frequency()),
+        scenario
+            .workload
+            .queries()
+            .last()
+            .map_or(0.0, |q| q.frequency()),
     );
 
     let est = CostEstimator::new(
@@ -44,7 +52,10 @@ fn main() {
         &Planner::new(),
         GenerateConfig::default(),
     );
-    println!("generated {} candidate MVPPs; using the best per algorithm\n", mvpps.len());
+    println!(
+        "generated {} candidate MVPPs; using the best per algorithm\n",
+        mvpps.len()
+    );
 
     let annotated: Vec<AnnotatedMvpp> = mvpps
         .into_iter()
@@ -57,7 +68,10 @@ fn main() {
         Box::new(GreedySelection::new()),
         Box::new(RandomSearch::default()),
         Box::new(SimulatedAnnealing::default()),
-        Box::new(ExhaustiveSelection { max_nodes: 14, ..ExhaustiveSelection::default() }),
+        Box::new(ExhaustiveSelection {
+            max_nodes: 14,
+            ..ExhaustiveSelection::default()
+        }),
     ];
 
     println!(
@@ -71,12 +85,7 @@ fn main() {
             let m = algo.select(a, MaintenanceMode::SharedRecompute);
             let cost = evaluate(a, &m, MaintenanceMode::SharedRecompute);
             if best.is_none_or(|(_, _, t, _)| cost.total < t) {
-                best = Some((
-                    cost.query_processing,
-                    cost.maintenance,
-                    cost.total,
-                    m.len(),
-                ));
+                best = Some((cost.query_processing, cost.maintenance, cost.total, m.len()));
             }
         }
         let (qp, maint, total, size) = best.expect("candidates exist");

@@ -12,8 +12,14 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: release build =="
 cargo build --release --workspace
 
+echo "== tier-1: formatting =="
+cargo fmt --all -- --check
+
 echo "== tier-1: clippy =="
 cargo clippy --workspace -- -D warnings
+
+echo "== tier-1: docs (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "== tier-1: tests =="
 cargo test -q --workspace

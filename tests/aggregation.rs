@@ -63,7 +63,10 @@ fn tiny_db() -> Database {
     ));
     db.insert_table(Table::new(
         "Stores",
-        [AttrRef::new("Stores", "store"), AttrRef::new("Stores", "city")],
+        [
+            AttrRef::new("Stores", "store"),
+            AttrRef::new("Stores", "city"),
+        ],
         vec![
             vec![Value::Int(1), Value::text("LA")],
             vec![Value::Int(2), Value::text("LA")],
@@ -178,8 +181,8 @@ fn engine_groups_and_aggregates_correctly() {
 #[test]
 fn global_aggregate_without_group_by() {
     let c = catalog();
-    let q = parse_query_with("SELECT COUNT(*) AS n, SUM(amount) AS s FROM Sales", &c)
-        .expect("parses");
+    let q =
+        parse_query_with("SELECT COUNT(*) AS n, SUM(amount) AS s FROM Sales", &c).expect("parses");
     let out = execute(&q, &tiny_db()).expect("executes");
     assert_eq!(out.len(), 1);
     assert_eq!(out.rows()[0][0], Value::Int(5));
@@ -239,7 +242,12 @@ fn two_aggregate_queries_share_their_spj_core_in_the_mvpp() {
     )
     .expect("parses");
     let w = Workload::new([Query::new("A", 5.0, q1), Query::new("B", 2.0, q2)]).expect("valid");
-    let mvpp = &generate_mvpps(&w, &est, &Planner::new(), GenerateConfig { max_rotations: 1 })[0];
+    let mvpp = &generate_mvpps(
+        &w,
+        &est,
+        &Planner::new(),
+        GenerateConfig { max_rotations: 1 },
+    )[0];
     // The Sales⋈Stores join is computed once, feeding both aggregations.
     let shared = mvpp
         .nodes()
@@ -252,8 +260,12 @@ fn two_aggregate_queries_share_their_spj_core_in_the_mvpp() {
     let db = tiny_db();
     for (name, _, root) in mvpp.roots() {
         let original = w.query(name).expect("known query");
-        let a = execute(original.root(), &db).expect("original").canonicalized();
-        let b = execute(mvpp.node(*root).expr(), &db).expect("merged").canonicalized();
+        let a = execute(original.root(), &db)
+            .expect("original")
+            .canonicalized();
+        let b = execute(mvpp.node(*root).expr(), &db)
+            .expect("merged")
+            .canonicalized();
         assert_eq!(a.rows(), b.rows(), "merge changed {name}");
     }
 }
@@ -312,10 +324,7 @@ fn aggregates_over_generated_data_roundtrip_through_measure() {
     .expect("parses");
     let (table, io) = mvdesign::engine::measure(&q, &db, 10.0).expect("measures");
     let plain = execute(&q, &db).expect("executes");
-    assert_eq!(
-        table.canonicalized().rows(),
-        plain.canonicalized().rows()
-    );
+    assert_eq!(table.canonicalized().rows(), plain.canonicalized().rows());
     assert!(io.total() > 0.0);
 }
 
@@ -382,8 +391,8 @@ fn having_queries_survive_the_designer() {
         &c,
     )
     .expect("parses");
-    let w = Workload::new([Query::new("H", 5.0, q1.clone()), Query::new("R", 1.0, q2)])
-        .expect("valid");
+    let w =
+        Workload::new([Query::new("H", 5.0, q1.clone()), Query::new("R", 1.0, q2)]).expect("valid");
     let design = Designer::new().design(&c, &w).expect("designs");
     assert!(design.cost.total.is_finite());
     // The HAVING query's merged plan still returns the right rows.
@@ -410,7 +419,11 @@ fn nested_aggregate_under_join_is_preserved_by_merge() {
     let per_store = Expr::aggregate(
         Expr::base("Sales"),
         [AttrRef::new("Sales", "store")],
-        [AggExpr::new(AggFunc::Sum, AttrRef::new("Sales", "amount"), "total")],
+        [AggExpr::new(
+            AggFunc::Sum,
+            AttrRef::new("Sales", "amount"),
+            "total",
+        )],
     );
     let joined = Expr::join(
         per_store,
@@ -431,12 +444,21 @@ fn nested_aggregate_under_join_is_preserved_by_merge() {
     ])
     .expect("valid");
     let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
-    let mvpp = &generate_mvpps(&w, &est, &Planner::new(), GenerateConfig { max_rotations: 1 })[0];
+    let mvpp = &generate_mvpps(
+        &w,
+        &est,
+        &Planner::new(),
+        GenerateConfig { max_rotations: 1 },
+    )[0];
     let db = tiny_db();
     for (name, _, root) in mvpp.roots() {
         let original = w.query(name).expect("known");
-        let a = execute(original.root(), &db).expect("direct").canonicalized();
-        let b = execute(mvpp.node(*root).expr(), &db).expect("merged").canonicalized();
+        let a = execute(original.root(), &db)
+            .expect("direct")
+            .canonicalized();
+        let b = execute(mvpp.node(*root).expr(), &db)
+            .expect("merged")
+            .canonicalized();
         assert_eq!(a.rows(), b.rows(), "merge changed {name}");
     }
 }

@@ -1,0 +1,228 @@
+//! Property and regression tests for the hash-consing expression arena.
+//!
+//! [`ExprArena`] decides semantic identity by interning; the canonical
+//! string [`Expr::semantic_key`] is an independent oracle for the same
+//! equivalence (join commutativity/associativity, predicate normalisation,
+//! set-semantics projections). These tests drive random expression pairs —
+//! and random semantics-preserving scrambles of one expression — through
+//! both and require exact agreement.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mvdesign::algebra::{AttrRef, CompareOp, Expr, ExprArena, JoinCondition, Predicate};
+
+const RELS: [&str; 4] = ["A", "B", "C", "D"];
+
+/// Builds a random SPJ expression from a byte recipe (a tiny stack
+/// machine: push leaf / wrap select / wrap project / join top two). Schema
+/// validity is irrelevant here: the arena and the key oracle are purely
+/// syntactic.
+fn build(recipe: &[u8]) -> Arc<Expr> {
+    let rel = |op: u8| RELS[(op as usize / 4) % RELS.len()];
+    let mut stack: Vec<Arc<Expr>> = vec![Expr::base(RELS[0])];
+    for &op in recipe {
+        match op % 4 {
+            0 => stack.push(Expr::base(rel(op))),
+            1 => {
+                let e = stack.pop().expect("stack never empties");
+                let p = Predicate::cmp(
+                    AttrRef::new(rel(op), "x"),
+                    CompareOp::Gt,
+                    i64::from(op / 16) % 4,
+                );
+                stack.push(Expr::select(e, p));
+            }
+            2 => {
+                let e = stack.pop().expect("stack never empties");
+                stack.push(Expr::project(
+                    e,
+                    [AttrRef::new(rel(op), "k"), AttrRef::new(rel(op), "x")],
+                ));
+            }
+            _ if stack.len() >= 2 => {
+                let r = stack.pop().expect("len >= 2");
+                let l = stack.pop().expect("len >= 2");
+                let cond = if op & 4 == 0 {
+                    JoinCondition::cross()
+                } else {
+                    JoinCondition::on(AttrRef::new("A", "k"), AttrRef::new("B", "k"))
+                };
+                stack.push(Expr::join(l, r, cond));
+            }
+            _ => stack.push(Expr::base(rel(op))),
+        }
+    }
+    while stack.len() > 1 {
+        let r = stack.pop().expect("len > 1");
+        let l = stack.pop().expect("len > 1");
+        stack.push(Expr::join(l, r, JoinCondition::cross()));
+    }
+    stack.pop().expect("exactly one root remains")
+}
+
+/// Rebuilds `e` with semantics-preserving syntactic noise: joins commute on
+/// the given bit pattern and projection attribute lists reverse. The result
+/// must stay in the same equivalence class.
+fn scramble(e: &Arc<Expr>, flip: u64) -> Arc<Expr> {
+    match &**e {
+        Expr::Base(_) => Arc::clone(e),
+        Expr::Select { input, predicate } => Arc::new(Expr::Select {
+            input: scramble(input, flip >> 1),
+            predicate: predicate.clone(),
+        }),
+        Expr::Project { input, attrs } => {
+            let mut attrs = attrs.clone();
+            attrs.reverse();
+            Arc::new(Expr::Project {
+                input: scramble(input, flip >> 1),
+                attrs,
+            })
+        }
+        Expr::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Arc::new(Expr::Aggregate {
+            input: scramble(input, flip >> 1),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        }),
+        Expr::Join { left, right, on } => {
+            let l = scramble(left, flip >> 1);
+            let r = scramble(right, flip >> 2);
+            if flip & 1 == 1 {
+                Expr::join(r, l, on.clone())
+            } else {
+                Expr::join(l, r, on.clone())
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Interned identity must agree with the semantic-key oracle on
+    /// arbitrary pairs — including every subexpression pair, which is where
+    /// shared classes actually occur — and the memoized hash with
+    /// [`Expr::semantic_hash`].
+    #[test]
+    fn arena_agrees_with_semantic_key(
+        ra in proptest::collection::vec(any::<u8>(), 0..32),
+        rb in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let (a, b) = (build(&ra), build(&rb));
+        let mut arena = ExprArena::new();
+        let mut seen: Vec<(_, String)> = Vec::new();
+        for e in mvdesign::algebra::collect_subexprs(&a)
+            .iter()
+            .chain(mvdesign::algebra::collect_subexprs(&b).iter())
+        {
+            let id = arena.intern(e);
+            prop_assert_eq!(arena.semantic_hash(id), e.semantic_hash());
+            let key = e.semantic_key();
+            for (other_id, other_key) in &seen {
+                prop_assert_eq!(id == *other_id, &key == other_key);
+            }
+            seen.push((id, key));
+        }
+    }
+
+    /// A scrambled copy (commuted joins, reversed projection lists) always
+    /// lands on the class of the original.
+    #[test]
+    fn scrambled_expressions_share_a_class(
+        recipe in proptest::collection::vec(any::<u8>(), 0..32),
+        flip in any::<u64>(),
+    ) {
+        let e = build(&recipe);
+        let noisy = scramble(&e, flip);
+        prop_assert_eq!(noisy.semantic_key(), e.semantic_key());
+        let mut arena = ExprArena::new();
+        prop_assert_eq!(arena.intern(&e), arena.intern(&noisy));
+    }
+
+    /// Non-mutating lookup agrees with interning: the same id after, even
+    /// for a differently-shaped member of the class.
+    #[test]
+    fn lookup_matches_intern(
+        recipe in proptest::collection::vec(any::<u8>(), 0..32),
+        flip in any::<u64>(),
+    ) {
+        let e = build(&recipe);
+        let mut arena = ExprArena::new();
+        let id = arena.intern(&e);
+        let noisy = scramble(&e, flip);
+        prop_assert_eq!(arena.lookup(&noisy), Some(id));
+    }
+}
+
+fn tmp1() -> Arc<Expr> {
+    Expr::select(
+        Expr::base("Div"),
+        Predicate::cmp(AttrRef::new("Div", "city"), CompareOp::Eq, "LA"),
+    )
+}
+
+#[test]
+fn join_commutation_lands_on_the_same_exprid() {
+    let on = JoinCondition::on(AttrRef::new("Pd", "Did"), AttrRef::new("Div", "Did"));
+    let a = Expr::join(Expr::base("Pd"), tmp1(), on.clone());
+    let b = Expr::join(tmp1(), Expr::base("Pd"), on);
+    let mut arena = ExprArena::new();
+    assert_eq!(arena.intern(&a), arena.intern(&b));
+}
+
+/// The designer's shared warm stats cache must make the produced design a
+/// pure function of its inputs: the same workload at parallelism 0 (all
+/// cores), 1 (sequential) and 4 yields bit-identical costs and view sets.
+#[test]
+fn paper_design_is_bit_identical_across_parallelism() {
+    use mvdesign::core::{Designer, DesignerConfig};
+    use mvdesign::workload::paper_example;
+
+    let scenario = paper_example();
+    let designs: Vec<_> = [0usize, 1, 4]
+        .into_iter()
+        .map(|parallelism| {
+            let designer = Designer::with_config(DesignerConfig {
+                parallelism,
+                ..Default::default()
+            });
+            designer
+                .design(&scenario.catalog, &scenario.workload)
+                .expect("paper workload designs")
+        })
+        .collect();
+    let baseline = &designs[0];
+    for d in &designs[1..] {
+        assert_eq!(d.materialized, baseline.materialized);
+        assert_eq!(d.candidate_index, baseline.candidate_index);
+        assert_eq!(d.cost.total.to_bits(), baseline.cost.total.to_bits());
+        assert_eq!(
+            d.cost.query_processing.to_bits(),
+            baseline.cost.query_processing.to_bits()
+        );
+        assert_eq!(
+            d.cost.maintenance.to_bits(),
+            baseline.cost.maintenance.to_bits()
+        );
+        let pairs = d.candidate_costs.iter().zip(&baseline.candidate_costs);
+        assert_eq!(d.candidate_costs.len(), baseline.candidate_costs.len());
+        for (a, b) in pairs {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn select_predicate_reordering_lands_on_the_same_exprid() {
+    let p = Predicate::cmp(AttrRef::new("Div", "city"), CompareOp::Eq, "LA");
+    let q = Predicate::cmp(AttrRef::new("Div", "size"), CompareOp::Gt, 10);
+    let a = Expr::select(Expr::base("Div"), Predicate::and([p.clone(), q.clone()]));
+    let b = Expr::select(Expr::base("Div"), Predicate::and([q, p]));
+    let mut arena = ExprArena::new();
+    assert_eq!(arena.intern(&a), arena.intern(&b));
+}

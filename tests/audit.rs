@@ -10,12 +10,12 @@
 use proptest::prelude::*;
 
 use mvdesign::catalog::CatalogError;
-use mvdesign::core::{
-    evaluate, generate_mvpps, AnnotatedMvpp, ExhaustiveSelection, GenerateConfig,
-    GeneticSelection, GreedySelection, MaintenanceMode, MaintenancePolicy, MaterializeAll,
-    MaterializeNone, RandomSearch, SelectionAlgorithm, SimulatedAnnealing, UpdateWeighting,
-};
 use mvdesign::core::{audit_annotated, check_greedy_trace, validate_mvpp, validate_schemas};
+use mvdesign::core::{
+    evaluate, generate_mvpps, AnnotatedMvpp, ExhaustiveSelection, GenerateConfig, GeneticSelection,
+    GreedySelection, MaintenanceMode, MaintenancePolicy, MaterializeAll, MaterializeNone,
+    RandomSearch, SelectionAlgorithm, SimulatedAnnealing, UpdateWeighting,
+};
 use mvdesign::cost::{CostEstimator, EstimationMode, PaperCostModel};
 use mvdesign::optimizer::Planner;
 use mvdesign::workload::{

@@ -76,7 +76,9 @@ fn at_source_filtering_never_ships_more() {
         GreedySelection::new().run(&a).0,
         a.mvpp().interior().into_iter().collect(),
     ] {
-        let w = warehouse.evaluate(&m, MaintenanceMode::SharedRecompute).total;
+        let w = warehouse
+            .evaluate(&m, MaintenanceMode::SharedRecompute)
+            .total;
         let s = source.evaluate(&m, MaintenanceMode::SharedRecompute).total;
         assert!(s <= w + 1e-9, "source {s} > warehouse {w}");
     }
@@ -106,7 +108,10 @@ fn optimal_placement_helps_when_views_are_refresh_heavy() {
     // Crank update frequencies so refresh shipping dominates.
     let mut scenario = paper_example();
     for rel in ["Product", "Division", "Order", "Customer", "Part"] {
-        scenario.catalog.set_update_frequency(rel, 20.0).expect("known");
+        scenario
+            .catalog
+            .set_update_frequency(rel, 20.0)
+            .expect("known");
     }
     let est = CostEstimator::new(
         &scenario.catalog,
@@ -132,7 +137,11 @@ fn optimal_placement_helps_when_views_are_refresh_heavy() {
         .evaluate_placed(&m, &optimal, MaintenanceMode::SharedRecompute)
         .total;
     let at_wh = eval
-        .evaluate_placed(&m, &ViewPlacement::all_at_warehouse(), MaintenanceMode::SharedRecompute)
+        .evaluate_placed(
+            &m,
+            &ViewPlacement::all_at_warehouse(),
+            MaintenanceMode::SharedRecompute,
+        )
         .total;
     assert!(placed <= at_wh + 1e-9);
 }
@@ -159,7 +168,11 @@ fn design_with_alternative_algorithms_is_exposed_on_the_designer() {
     use mvdesign::core::{Designer, GeneticSelection, MaterializeNone};
     let scenario = paper_example();
     let genetic = Designer::new()
-        .design_with(&scenario.catalog, &scenario.workload, &GeneticSelection::default())
+        .design_with(
+            &scenario.catalog,
+            &scenario.workload,
+            &GeneticSelection::default(),
+        )
         .expect("designs");
     let greedy = Designer::new()
         .design(&scenario.catalog, &scenario.workload)

@@ -97,10 +97,7 @@ fn deep_selection_chains_fuse_and_survive() {
     let c = minimal_catalog();
     let mut e = Expr::base("R");
     for i in 0..64 {
-        e = Expr::select(
-            e,
-            Predicate::cmp(AttrRef::new("R", "x"), CompareOp::Ge, i),
-        );
+        e = Expr::select(e, Predicate::cmp(AttrRef::new("R", "x"), CompareOp::Ge, i));
     }
     // Selects over selects fuse into one predicate node.
     assert!(e.node_count() <= 3, "node count {}", e.node_count());
@@ -138,7 +135,11 @@ fn many_relation_query_falls_back_gracefully() {
     for i in 1..16 {
         conds.push(format!("T{}.k = T{i}.k", i - 1));
     }
-    let sql = format!("SELECT T0.k FROM {} WHERE {}", from.join(", "), conds.join(" AND "));
+    let sql = format!(
+        "SELECT T0.k FROM {} WHERE {}",
+        from.join(", "),
+        conds.join(" AND ")
+    );
     let q = parse_query_with(&sql, &c).expect("parses");
     let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
     let plan = Planner::new().optimize(&q, &est);
@@ -187,9 +188,18 @@ fn duplicate_rows_and_text_aggregation_are_stable() {
         "R",
         [AttrRef::new("R", "k"), AttrRef::new("R", "t")],
         vec![
-            vec![mvdesign::algebra::Value::Int(1), mvdesign::algebra::Value::text("b")],
-            vec![mvdesign::algebra::Value::Int(1), mvdesign::algebra::Value::text("a")],
-            vec![mvdesign::algebra::Value::Int(1), mvdesign::algebra::Value::text("a")],
+            vec![
+                mvdesign::algebra::Value::Int(1),
+                mvdesign::algebra::Value::text("b"),
+            ],
+            vec![
+                mvdesign::algebra::Value::Int(1),
+                mvdesign::algebra::Value::text("a"),
+            ],
+            vec![
+                mvdesign::algebra::Value::Int(1),
+                mvdesign::algebra::Value::text("a"),
+            ],
         ],
     ));
     // MIN/MAX over text, SUM over text (contributes zero), COUNT.
@@ -231,7 +241,12 @@ fn identical_predicates_across_queries_share_leaf_filters_exactly() {
     let q2 = parse_query_with(sql, &c).expect("parses");
     let w = Workload::new([Query::new("A", 2.0, q1), Query::new("B", 5.0, q2)]).expect("valid");
     let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
-    let mvpp = &generate_mvpps(&w, &est, &Planner::new(), GenerateConfig { max_rotations: 1 })[0];
+    let mvpp = &generate_mvpps(
+        &w,
+        &est,
+        &Planner::new(),
+        GenerateConfig { max_rotations: 1 },
+    )[0];
     let sigma_count = mvpp
         .nodes()
         .iter()
@@ -291,11 +306,7 @@ fn nan_and_negative_statistics_are_rejected_at_the_boundary() {
     assert!(c2.set_default_selectivity(f64::INFINITY).is_err());
     assert!(c2.set_update_frequency("R", -1.0).is_err());
     assert!(c2
-        .set_join_selectivity(
-            AttrRef::new("R", "x"),
-            AttrRef::new("R", "x"),
-            f64::NAN
-        )
+        .set_join_selectivity(AttrRef::new("R", "x"), AttrRef::new("R", "x"), f64::NAN)
         .is_err());
 }
 
@@ -316,7 +327,12 @@ fn mvpp_of_sixty_queries_stays_tractable() {
         .collect();
     let w = Workload::new(queries).expect("valid");
     let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
-    let mvpps = generate_mvpps(&w, &est, &Planner::new(), GenerateConfig { max_rotations: 2 });
+    let mvpps = generate_mvpps(
+        &w,
+        &est,
+        &Planner::new(),
+        GenerateConfig { max_rotations: 2 },
+    );
     assert_eq!(mvpps.len(), 2);
     let a = AnnotatedMvpp::annotate(mvpps[0].clone(), &est, UpdateWeighting::Max);
     let (m, _) = GreedySelection::new().run(&a);

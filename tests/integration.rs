@@ -38,8 +38,8 @@ fn optimizer_preserves_query_results_on_real_data() {
     let db = paper_db();
     let planner = Planner::new();
     for q in scenario.workload.queries() {
-        let naive = execute(q.root(), &db)
-            .unwrap_or_else(|e| panic!("{} naive failed: {e}", q.name()));
+        let naive =
+            execute(q.root(), &db).unwrap_or_else(|e| panic!("{} naive failed: {e}", q.name()));
         let optimized_plan = planner.optimize(q.root(), &est);
         let optimized = execute(&optimized_plan, &db)
             .unwrap_or_else(|e| panic!("{} optimized failed: {e}", q.name()));
@@ -130,9 +130,7 @@ fn designer_end_to_end_on_paper_example() {
     assert!(design.cost.total < all_cost.total);
     // Candidate bookkeeping is consistent.
     assert_eq!(design.candidate_costs.len(), 4);
-    assert!(
-        (design.candidate_costs[design.candidate_index] - design.cost.total).abs() < 1e-6
-    );
+    assert!((design.candidate_costs[design.candidate_index] - design.cost.total).abs() < 1e-6);
 }
 
 #[test]
@@ -176,7 +174,11 @@ fn star_schema_pipeline_runs_and_greedy_helps() {
     let annotated = AnnotatedMvpp::annotate(mvpps[0].clone(), &est, UpdateWeighting::Max);
     let (set, _) = GreedySelection::new().run(&annotated);
     let greedy = evaluate(&annotated, &set, MaintenanceMode::SharedRecompute);
-    let none = evaluate(&annotated, &BTreeSet::new(), MaintenanceMode::SharedRecompute);
+    let none = evaluate(
+        &annotated,
+        &BTreeSet::new(),
+        MaintenanceMode::SharedRecompute,
+    );
     assert!(greedy.total <= none.total);
 }
 
@@ -229,10 +231,16 @@ fn workload_with_disjoint_queries_still_designs() {
         EstimationMode::Calibrated,
         PaperCostModel::default(),
     );
-    let q1 = parse_query_with("SELECT name FROM Part WHERE supplier = 'acme'", &scenario.catalog)
-        .expect("parses");
-    let q2 = parse_query_with("SELECT name FROM Customer WHERE city = 'LA'", &scenario.catalog)
-        .expect("parses");
+    let q1 = parse_query_with(
+        "SELECT name FROM Part WHERE supplier = 'acme'",
+        &scenario.catalog,
+    )
+    .expect("parses");
+    let q2 = parse_query_with(
+        "SELECT name FROM Customer WHERE city = 'LA'",
+        &scenario.catalog,
+    )
+    .expect("parses");
     let w = Workload::new([
         mvdesign::algebra::Query::new("A", 3.0, q1),
         mvdesign::algebra::Query::new("B", 4.0, q2),
@@ -271,7 +279,12 @@ fn identical_duplicate_queries_share_everything() {
         EstimationMode::Calibrated,
         PaperCostModel::default(),
     );
-    let mvpp = &generate_mvpps(&w, &est, &Planner::new(), GenerateConfig { max_rotations: 1 })[0];
+    let mvpp = &generate_mvpps(
+        &w,
+        &est,
+        &Planner::new(),
+        GenerateConfig { max_rotations: 1 },
+    )[0];
     // Both queries resolve to the same root node.
     let roots: BTreeSet<_> = mvpp.roots().iter().map(|r| r.2).collect();
     assert_eq!(roots.len(), 1);

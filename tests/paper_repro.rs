@@ -7,8 +7,8 @@ use std::collections::BTreeSet;
 
 use mvdesign::algebra::{Expr, Predicate};
 use mvdesign::core::{
-    evaluate, generate_mvpps, AnnotatedMvpp, GenerateConfig, MaintenanceMode,
-    NodeId, TraceVerdict, UpdateWeighting,
+    evaluate, generate_mvpps, AnnotatedMvpp, GenerateConfig, MaintenanceMode, NodeId, TraceVerdict,
+    UpdateWeighting,
 };
 use mvdesign::cost::{CostEstimator, EstimationMode, PaperCostModel};
 use mvdesign::optimizer::Planner;
@@ -21,9 +21,7 @@ fn join_node(a: &AnnotatedMvpp, rels: &[&str]) -> Option<NodeId> {
     a.mvpp()
         .nodes()
         .iter()
-        .find(|n| {
-            matches!(&**n.expr(), Expr::Join { .. }) && n.expr().base_relations() == want
-        })
+        .find(|n| matches!(&**n.expr(), Expr::Join { .. }) && n.expr().base_relations() == want)
         .map(|n| n.id())
 }
 
@@ -61,8 +59,14 @@ fn table2_strategy_ordering_holds() {
     let all_queries: BTreeSet<_> = mvpp.mvpp().roots().iter().map(|r| r.2).collect();
     let all = evaluate(&mvpp, &all_queries, mode).total;
 
-    assert!(chosen < all, "{{tmp2,tmp4}} ({chosen}) must beat all-queries ({all})");
-    assert!(all < none, "all-queries ({all}) must beat all-virtual ({none})");
+    assert!(
+        chosen < all,
+        "{{tmp2,tmp4}} ({chosen}) must beat all-queries ({all})"
+    );
+    assert!(
+        all < none,
+        "all-queries ({all}) must beat all-virtual ({none})"
+    );
 
     // {tmp2, tmp4} + Q3's four-way join node: strictly more maintenance,
     // no additional sharing → no better (paper's 97.82M row).
@@ -259,7 +263,11 @@ fn greedy_is_near_exhaustive_optimum_on_the_paper_example() {
     let (mvpp, m) = best_design();
     let mode = MaintenanceMode::SharedRecompute;
     let greedy = evaluate(&mvpp, &m, mode).total;
-    let opt_set = ExhaustiveSelection { max_nodes: 16, ..ExhaustiveSelection::default() }.select(&mvpp, mode);
+    let opt_set = ExhaustiveSelection {
+        max_nodes: 16,
+        ..ExhaustiveSelection::default()
+    }
+    .select(&mvpp, mode);
     let optimum = evaluate(&mvpp, &opt_set, mode).total;
     assert!(greedy >= optimum - 1e-6);
     assert!(

@@ -45,7 +45,7 @@ fn make_catalog(sizes: [u32; 3], sel: f64) -> Catalog {
 /// optional selections and a projection.
 #[derive(Debug, Clone)]
 struct QuerySpec {
-    joins: usize,          // 0..=2 extra relations
+    joins: usize,                 // 0..=2 extra relations
     select_on: Vec<(usize, i64)>, // (relation index, literal)
     project: bool,
 }

@@ -102,6 +102,16 @@ fn measured_ordering_matches_estimated_ordering() {
     // The estimator said: design < all-queries < none (on the paper
     // example). Measured I/O on generated data must preserve that ordering.
     let (none, designed, all) = strategies();
-    assert!(designed.total_io <= all.total_io * 1.05, "design {} vs all {}", designed.total_io, all.total_io);
-    assert!(all.total_io < none.total_io, "all {} vs none {}", all.total_io, none.total_io);
+    assert!(
+        designed.total_io <= all.total_io * 1.05,
+        "design {} vs all {}",
+        designed.total_io,
+        all.total_io
+    );
+    assert!(
+        all.total_io < none.total_io,
+        "all {} vs none {}",
+        all.total_io,
+        none.total_io
+    );
 }

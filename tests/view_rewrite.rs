@@ -47,9 +47,18 @@ fn rewritten_queries_match_and_cost_less() {
             assert_ne!(rewritten.semantic_key(), merged.semantic_key());
         }
 
-        let expected = execute(q.root(), &db).expect("original executes").canonicalized();
-        let got = execute(&rewritten, &db).expect("rewritten executes").canonicalized();
-        assert_eq!(expected.rows(), got.rows(), "{} changed after rewrite", q.name());
+        let expected = execute(q.root(), &db)
+            .expect("original executes")
+            .canonicalized();
+        let got = execute(&rewritten, &db)
+            .expect("rewritten executes")
+            .canonicalized();
+        assert_eq!(
+            expected.rows(),
+            got.rows(),
+            "{} changed after rewrite",
+            q.name()
+        );
 
         // Reading the stored view must not cost more than recomputing it.
         let (_, io_merged) = measure(merged, &db, 10.0).expect("merged measures");
