@@ -1,0 +1,75 @@
+//! Engine throughput benchmarks: the columnar batch kernels against the
+//! preserved tuple-at-a-time reference on star-schema data.
+//!
+//! The per-kernel before/after numbers published in `BENCH_engine.json` come
+//! from `repro perf-engine`; this harness tracks the same kernels under
+//! criterion for regression detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvdesign::algebra::{AggExpr, AggFunc, AttrRef, CompareOp, Expr, JoinCondition, Predicate};
+use mvdesign::engine::{
+    execute_with, row_reference, Database, Generator, GeneratorConfig, JoinAlgo,
+};
+use mvdesign::workload::{StarSchema, StarSchemaConfig};
+
+fn star_db() -> Database {
+    let scenario = StarSchema::with_config(StarSchemaConfig {
+        dimensions: 4,
+        queries: 4,
+        ..StarSchemaConfig::default()
+    })
+    .scenario();
+    Generator::with_config(GeneratorConfig {
+        seed: 0xBA7C4,
+        scale: 0.02,
+        max_rows: 2_000,
+    })
+    .database(&scenario.catalog)
+}
+
+fn bench_batch_kernels(c: &mut Criterion) {
+    let db = star_db();
+    let scan = Expr::select(
+        Expr::base("Fact"),
+        Predicate::cmp(AttrRef::new("Fact", "measure"), CompareOp::Gt, 50),
+    );
+    let join = Expr::join(
+        Expr::base("Fact"),
+        Expr::base("Dim0"),
+        JoinCondition::on(AttrRef::new("Fact", "d0"), AttrRef::new("Dim0", "id")),
+    );
+    let aggregate = Expr::aggregate(
+        Expr::base("Fact"),
+        [AttrRef::new("Fact", "d1")],
+        [
+            AggExpr::new(AggFunc::Sum, AttrRef::new("Fact", "measure"), "total"),
+            AggExpr::count_star("n"),
+        ],
+    );
+
+    let mut group = c.benchmark_group("engine_batch");
+    for (name, expr, algo) in [
+        ("scan_filter", &scan, JoinAlgo::NestedLoop),
+        ("join_nested_loop", &join, JoinAlgo::NestedLoop),
+        ("join_hash", &join, JoinAlgo::Hash),
+        ("join_sort_merge", &join, JoinAlgo::SortMerge),
+        ("hash_aggregate", &aggregate, JoinAlgo::NestedLoop),
+    ] {
+        group.bench_function(format!("batch/{name}"), |b| {
+            b.iter(|| std::hint::black_box(execute_with(expr, &db, algo).expect("executes").len()))
+        });
+        group.bench_function(format!("row_reference/{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    row_reference::execute_with(expr, &db, algo)
+                        .expect("executes")
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_kernels);
+criterion_main!(benches);

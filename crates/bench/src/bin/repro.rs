@@ -11,9 +11,15 @@
 //! `mqp` (§3.2 comparison), `scale` (workload growth), `simulate`
 //! (engine-measured I/O), `tpch` (TPC-H-lite design), `breakeven`
 //! (closed-form U*), `perf` (memoized search engine vs naive re-evaluation;
-//! writes `BENCH_selection.json`), `audit` (the correctness battery:
-//! structural invariants, differential cost oracles, executable semantics
-//! over the paper/star/TPC-H/degenerate scenarios).
+//! writes `BENCH_selection.json`), `perf-engine` (columnar batch engine vs
+//! the tuple-at-a-time reference on star-schema scan/join/aggregate
+//! microbenchmarks; writes `BENCH_engine.json`), `audit` (the correctness
+//! battery: structural invariants, differential cost oracles, executable
+//! semantics over the paper/star/TPC-H/degenerate scenarios).
+//!
+//! `perf` and `perf-engine` take an optional label (`repro perf <label>`,
+//! default `working-tree`); re-running a label replaces that entry in the
+//! artifact instead of appending a duplicate.
 
 use std::collections::BTreeSet;
 
@@ -91,6 +97,9 @@ fn main() {
     }
     if want("perf") {
         perf();
+    }
+    if want("perf-engine") {
+        perf_engine();
     }
     if want("audit") {
         audit();
@@ -975,53 +984,149 @@ fn perf() {
             &mut rows, queries, nodes, "genetic", naive_ms, engine_ms, evals,
         );
     }
+    write_bench_artifact("BENCH_selection.json", &label, cores, &rows);
+}
+
+/// Upserts one labelled run into a `BENCH_*.json` artifact: existing runs
+/// survive, a re-run label replaces its previous entry (exact match — no
+/// unbounded duplicate growth), and the file is rewritten whole.
+fn write_bench_artifact(path: &str, label: &str, cores: usize, rows: &[String]) {
     let run = format!(
         "    {{\n      \"rev\": \"{label}\",\n      \"results\": [\n{}\n      ]\n    }}",
         rows.join(",\n")
     );
-    // Append this run to any existing runs so a before/after pair can live
-    // in one committed file; a run with the same label replaces its
-    // predecessor.
-    let mut runs: Vec<String> = std::fs::read_to_string("BENCH_selection.json")
-        .ok()
-        .map(|old| extract_runs(&old))
-        .unwrap_or_default();
-    runs.retain(|r| !r.contains(&format!("\"rev\": \"{label}\"")));
-    runs.push(run);
-    let json = format!(
-        "{{\n  \"host_cores\": {cores},\n  \"runs\": [\n{}\n  ]\n}}\n",
-        runs.join(",\n")
-    );
-    std::fs::write("BENCH_selection.json", &json).expect("write BENCH_selection.json");
-    println!("\nwrote BENCH_selection.json run \"{label}\" ({cores} core(s) available)");
+    let runs = mvdesign_bench::upsert_run(mvdesign_bench::load_runs(path), label, run);
+    let json = mvdesign_bench::render_bench_file(cores, &runs);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path} run \"{label}\" ({cores} core(s) available)");
 }
 
-/// Pulls the serialized run objects back out of a `BENCH_selection.json`
-/// written by [`perf`] (no JSON parser in-tree; the format is our own,
-/// brace-balanced and two-space indented).
-fn extract_runs(old: &str) -> Vec<String> {
-    let Some(start) = old.find("\"runs\": [") else {
-        return Vec::new();
-    };
-    let mut runs = Vec::new();
-    let mut depth = 0i64;
-    let mut current = String::new();
-    for line in old[start..].lines().skip(1) {
-        if depth == 0 && line.trim_start().starts_with(']') {
-            break;
-        }
-        depth += line.matches(['{', '[']).count() as i64;
-        depth -= line.matches(['}', ']']).count() as i64;
-        if depth == 0 {
-            // End of one run object: drop only the inter-run separator.
-            current.push_str(line.trim_end_matches(','));
-            runs.push(std::mem::take(&mut current));
-        } else {
-            current.push_str(line);
-            current.push('\n');
-        }
+/// Wall-clock comparison of the columnar batch engine against the preserved
+/// tuple-at-a-time reference (`mvdesign::engine::row_reference`) on
+/// star-schema scan, join (nested-loop and hash) and aggregation
+/// microbenchmarks over generated data. Both sides are asserted bag-equal
+/// before timing. Writes `BENCH_engine.json` as one labelled run
+/// (`repro perf-engine <label>`, default `working-tree`).
+fn perf_engine() {
+    use mvdesign::algebra::{AggExpr, AggFunc, AttrRef, CompareOp, JoinCondition, Predicate};
+    use mvdesign::engine::{execute_with, row_reference, Generator, GeneratorConfig, JoinAlgo};
+
+    section("Perf: columnar batch engine vs tuple-at-a-time reference");
+    let label = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "working-tree".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Star schema at a size where the row engine's nested loop is painful
+    // but not intolerable: 8 000 fact rows × 800 rows per dimension.
+    let scenario = StarSchema::with_config(StarSchemaConfig {
+        dimensions: 4,
+        queries: 4,
+        ..StarSchemaConfig::default()
+    })
+    .scenario();
+    let db = Generator::with_config(GeneratorConfig {
+        seed: 0xC0111,
+        scale: 0.08,
+        max_rows: 8_000,
+    })
+    .database(&scenario.catalog);
+    let fact_rows = db.table("Fact").expect("fact").len();
+    let dim_rows = db.table("Dim0").expect("dim").len();
+
+    // `measure` draws from a two-value domain (selectivity 0.5), so this
+    // keeps about half the fact table.
+    let scan = Expr::select(
+        Expr::base("Fact"),
+        Predicate::cmp(AttrRef::new("Fact", "measure"), CompareOp::Gt, 0),
+    );
+    let join = Expr::join(
+        Expr::base("Fact"),
+        Expr::base("Dim0"),
+        JoinCondition::on(AttrRef::new("Fact", "d0"), AttrRef::new("Dim0", "id")),
+    );
+    let aggregate = Expr::aggregate(
+        Expr::base("Fact"),
+        [AttrRef::new("Fact", "d1")],
+        [
+            AggExpr::new(AggFunc::Sum, AttrRef::new("Fact", "measure"), "total"),
+            AggExpr::count_star("n"),
+        ],
+    );
+    let cases: Vec<(&str, &std::sync::Arc<Expr>, JoinAlgo, usize)> = vec![
+        ("scan-filter", &scan, JoinAlgo::NestedLoop, fact_rows),
+        (
+            "join-nested-loop",
+            &join,
+            JoinAlgo::NestedLoop,
+            fact_rows + dim_rows,
+        ),
+        ("join-hash", &join, JoinAlgo::Hash, fact_rows + dim_rows),
+        (
+            "join-sort-merge",
+            &join,
+            JoinAlgo::SortMerge,
+            fact_rows + dim_rows,
+        ),
+        (
+            "hash-aggregate",
+            &aggregate,
+            JoinAlgo::NestedLoop,
+            fact_rows,
+        ),
+    ];
+
+    println!(
+        "{:<18} {:>9} {:>9} {:>12} {:>12} {:>9} {:>16}",
+        "kernel", "rows in", "rows out", "row ms", "batch ms", "speedup", "batch rows/s"
+    );
+    let mut rows_json: Vec<String> = Vec::new();
+    for (kernel, expr, algo, rows_in) in cases {
+        let reference = row_reference::execute_with(expr, &db, algo)
+            .expect("reference executes")
+            .canonicalized();
+        let batch = execute_with(expr, &db, algo)
+            .expect("batch executes")
+            .canonicalized();
+        assert_eq!(
+            reference.rows(),
+            batch.rows(),
+            "{kernel}: batch and reference engines disagree"
+        );
+        let rows_out = batch.len();
+        let row_ms = time_ms(|| {
+            row_reference::execute_with(expr, &db, algo)
+                .expect("reference executes")
+                .len()
+        });
+        let batch_ms = time_ms(|| execute_with(expr, &db, algo).expect("batch executes").len());
+        let speedup = row_ms / batch_ms.max(1e-9);
+        let throughput = rows_in as f64 / (batch_ms / 1e3).max(1e-9);
+        println!(
+            "{kernel:<18} {rows_in:>9} {rows_out:>9} {row_ms:>12.3} {batch_ms:>12.3} {speedup:>8.1}x {throughput:>16.0}"
+        );
+        rows_json.push(format!(
+            "    {{\"kernel\": \"{kernel}\", \"rows_in\": {rows_in}, \"rows_out\": {rows_out}, \
+             \"row_ms\": {row_ms:.4}, \"batch_ms\": {batch_ms:.4}, \"speedup\": {speedup:.2}, \
+             \"batch_rows_per_sec\": {throughput:.0}}}"
+        ));
     }
-    runs
+    write_bench_artifact("BENCH_engine.json", &label, cores, &rows_json);
+}
+
+/// Milliseconds per execution, measured over enough repetitions to fill
+/// ~200 ms of wall clock (one calibration pass, then the timed loop).
+fn time_ms(mut f: impl FnMut() -> usize) -> f64 {
+    use std::time::Instant;
+    let t = Instant::now();
+    std::hint::black_box(f());
+    let once = t.elapsed().as_secs_f64();
+    let iters = ((0.2 / once.max(1e-9)) as usize).clamp(1, 500);
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    t.elapsed().as_secs_f64() * 1e3 / iters as f64
 }
 
 fn perf_row(

@@ -104,9 +104,115 @@ pub fn table2_rows(a: &AnnotatedMvpp) -> Vec<Table2Row> {
     ]
 }
 
+/// Pulls the serialized run objects back out of a `BENCH_*.json` artifact
+/// written by [`render_bench_file`] (no JSON parser in-tree; the format is
+/// our own, brace-balanced and two-space indented).
+pub fn extract_runs(old: &str) -> Vec<String> {
+    let Some(start) = old.find("\"runs\": [") else {
+        return Vec::new();
+    };
+    let mut runs = Vec::new();
+    let mut depth = 0i64;
+    let mut current = String::new();
+    for line in old[start..].lines().skip(1) {
+        if depth == 0 && line.trim_start().starts_with(']') {
+            break;
+        }
+        depth += line.matches(['{', '[']).count() as i64;
+        depth -= line.matches(['}', ']']).count() as i64;
+        if depth == 0 {
+            // End of one run object: drop only the inter-run separator.
+            current.push_str(line.trim_end_matches(','));
+            runs.push(std::mem::take(&mut current));
+        } else {
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    runs
+}
+
+/// The value of a serialized run's `"rev"` field.
+pub fn run_label(run: &str) -> Option<&str> {
+    let rest = &run[run.find("\"rev\": \"")? + 8..];
+    rest.split('"').next()
+}
+
+/// Replaces the run labelled exactly `label`, or appends when absent —
+/// re-running a label updates its entry instead of growing the artifact
+/// unboundedly.
+pub fn upsert_run(mut runs: Vec<String>, label: &str, run: String) -> Vec<String> {
+    runs.retain(|r| run_label(r) != Some(label));
+    runs.push(run);
+    runs
+}
+
+/// The runs already recorded in the artifact at `path` (empty when the file
+/// does not exist yet).
+pub fn load_runs(path: &str) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .ok()
+        .map(|old| extract_runs(&old))
+        .unwrap_or_default()
+}
+
+/// Renders a complete `BENCH_*.json` artifact around the given runs.
+pub fn render_bench_file(host_cores: usize, runs: &[String]) -> String {
+    format!(
+        "{{\n  \"host_cores\": {host_cores},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        runs.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn run_object(label: &str, body: &str) -> String {
+        format!(
+            "    {{\n      \"rev\": \"{label}\",\n      \"results\": [\n{body}\n      ]\n    }}"
+        )
+    }
+
+    #[test]
+    fn bench_runs_round_trip_through_the_rendered_file() {
+        let a = run_object("before", "        {\"x\": 1}");
+        let b = run_object("after", "        {\"x\": 2}");
+        let file = render_bench_file(8, &[a.clone(), b.clone()]);
+        assert_eq!(extract_runs(&file), vec![a, b]);
+    }
+
+    #[test]
+    fn upsert_replaces_only_the_exact_label() {
+        let runs = vec![
+            run_object("pr3", "        {\"x\": 1}"),
+            run_object("pr3-arena", "        {\"x\": 2}"),
+        ];
+        // Re-running "pr3" must replace its entry without touching the run
+        // whose label merely starts with the same prefix.
+        let updated = upsert_run(runs, "pr3", run_object("pr3", "        {\"x\": 9}"));
+        assert_eq!(updated.len(), 2);
+        assert_eq!(run_label(&updated[0]), Some("pr3-arena"));
+        assert_eq!(run_label(&updated[1]), Some("pr3"));
+        assert!(updated[1].contains("\"x\": 9"));
+        // Repeating the upsert leaves the count stable — no unbounded growth.
+        let again = upsert_run(updated, "pr3", run_object("pr3", "        {\"x\": 10}"));
+        assert_eq!(again.len(), 2);
+    }
+
+    #[test]
+    fn upsert_appends_new_labels() {
+        let runs = upsert_run(Vec::new(), "first", run_object("first", "        {}"));
+        let runs = upsert_run(runs, "second", run_object("second", "        {}"));
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn extract_from_garbage_is_empty() {
+        assert!(extract_runs("not json at all").is_empty());
+        assert!(extract_runs("{\"runs\": [\n  ]\n}").is_empty());
+        assert_eq!(run_label("    {\"results\": []}"), None);
+    }
 
     #[test]
     fn table2_has_five_strategies_and_finds_the_paper_nodes() {

@@ -1,0 +1,515 @@
+//! Columnar storage: typed value vectors ([`Column`]) and record batches
+//! ([`Batch`]).
+//!
+//! The batch engine executes every operator over whole columns instead of
+//! one tuple at a time: attribute offsets are resolved once per operator,
+//! predicates and join keys run as tight loops over `&[i64]`/`&[Arc<str>]`
+//! slices, and row movement happens through a single typed `gather` kernel.
+//! Columns are held behind [`Arc`], so operators that keep a column intact
+//! (projection, base-table scans) share it instead of copying.
+//!
+//! Columns keep a *canonical* representation: a column is a typed vector
+//! ([`Column::Int`], [`Column::Text`], [`Column::Date`]) exactly when all of
+//! its values share one [`Value`] variant, and degrades to the heterogeneous
+//! [`Column::Mixed`] fallback otherwise. Two columns built from the same
+//! value sequence are therefore representation-equal, which keeps the
+//! derived `PartialEq` meaningful.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use mvdesign_algebra::{AttrRef, CompareOp, Value};
+
+/// A typed vector of values — one attribute of a [`Batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Column {
+    /// All values are [`Value::Int`].
+    Int(Vec<i64>),
+    /// All values are [`Value::Text`].
+    Text(Vec<Arc<str>>),
+    /// All values are [`Value::Date`].
+    Date(Vec<i64>),
+    /// Heterogeneous fallback: the variants genuinely differ.
+    Mixed(Vec<Value>),
+}
+
+impl Column {
+    /// An empty integer column (the canonical empty column — profiling
+    /// types empty columns as integers too).
+    pub fn empty() -> Self {
+        Column::Int(Vec::new())
+    }
+
+    /// Builds a column from a value sequence, choosing the canonical
+    /// representation: typed when homogeneous, [`Column::Mixed`] otherwise.
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Self {
+        let mut col = Column::empty();
+        for (i, v) in values.into_iter().enumerate() {
+            if i == 0 {
+                col = match v {
+                    Value::Int(x) => Column::Int(vec![x]),
+                    Value::Text(s) => Column::Text(vec![s]),
+                    Value::Date(d) => Column::Date(vec![d]),
+                };
+            } else {
+                col.push(v);
+            }
+        }
+        col
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) | Column::Date(v) => v.len(),
+            Column::Text(v) => v.len(),
+            Column::Mixed(v) => v.len(),
+        }
+    }
+
+    /// Whether the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `i` (cheap: integers copy, text bumps an [`Arc`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[i]),
+            Column::Text(v) => Value::Text(Arc::clone(&v[i])),
+            Column::Date(v) => Value::Date(v[i]),
+            Column::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Appends one value, keeping the canonical representation: an empty
+    /// typed column re-types itself, a non-empty typed column degrades to
+    /// [`Column::Mixed`] on a variant mismatch.
+    pub fn push(&mut self, v: Value) {
+        if self.is_empty() {
+            *self = Column::from_values([v]);
+            return;
+        }
+        match (&mut *self, v) {
+            (Column::Int(vec), Value::Int(x)) => vec.push(x),
+            (Column::Text(vec), Value::Text(s)) => vec.push(s),
+            (Column::Date(vec), Value::Date(d)) => vec.push(d),
+            (Column::Mixed(vec), v) => vec.push(v),
+            (_, v) => {
+                let mut values: Vec<Value> = (0..self.len()).map(|i| self.value(i)).collect();
+                values.push(v);
+                *self = Column::Mixed(values);
+            }
+        }
+    }
+
+    /// A new column holding `self[idx[0]], self[idx[1]], …` — the shared
+    /// row-movement kernel of every batch operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of bounds.
+    #[must_use]
+    pub fn gather(&self, idx: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(idx.iter().map(|&i| v[i]).collect()),
+            Column::Text(v) => Column::Text(idx.iter().map(|&i| Arc::clone(&v[i])).collect()),
+            Column::Date(v) => Column::Date(idx.iter().map(|&i| v[i]).collect()),
+            Column::Mixed(v) => {
+                // Re-canonicalise: a gather can drop the values that made
+                // the column heterogeneous.
+                Column::from_values(idx.iter().map(|&i| v[i].clone()))
+            }
+        }
+    }
+
+    /// Compares `self[i]` with `other[j]` under [`Value`]'s total order
+    /// (typed fast path; cross-variant comparisons order by variant tag).
+    pub fn cmp_at(&self, i: usize, other: &Column, j: usize) -> Ordering {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => a[i].cmp(&b[j]),
+            (Column::Text(a), Column::Text(b)) => a[i].cmp(&b[j]),
+            (Column::Date(a), Column::Date(b)) => a[i].cmp(&b[j]),
+            _ => self.value(i).cmp(&other.value(j)),
+        }
+    }
+
+    /// Whether `self[i] == other[j]` (typed fast path).
+    pub fn eq_at(&self, i: usize, other: &Column, j: usize) -> bool {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) => a[i] == b[j],
+            (Column::Text(a), Column::Text(b)) => a[i] == b[j],
+            (Column::Date(a), Column::Date(b)) => a[i] == b[j],
+            (Column::Int(_) | Column::Text(_) | Column::Date(_), Column::Mixed(_))
+            | (Column::Mixed(_), _) => self.value(i) == other.value(j),
+            // Distinct typed variants can never hold equal values.
+            _ => false,
+        }
+    }
+
+    /// ANDs `op(self[row], literal)` into `mask` for every still-set row —
+    /// the vectorised comparison kernel behind selection predicates.
+    pub fn compare_literal_and(&self, op: CompareOp, lit: &Value, mask: &mut [bool]) {
+        debug_assert_eq!(mask.len(), self.len());
+        match (self, lit) {
+            (Column::Int(v), Value::Int(x)) | (Column::Date(v), Value::Date(x)) => {
+                for (m, a) in mask.iter_mut().zip(v) {
+                    *m = *m && op.eval(a, x);
+                }
+            }
+            (Column::Text(v), Value::Text(x)) => {
+                for (m, a) in mask.iter_mut().zip(v) {
+                    *m = *m && op.eval(a, x);
+                }
+            }
+            (Column::Mixed(v), _) => {
+                for (m, a) in mask.iter_mut().zip(v) {
+                    *m = *m && op.eval(a, lit);
+                }
+            }
+            // Variant mismatch on a typed column: every value compares to
+            // the literal by variant tag alone, so the outcome is constant.
+            _ => {
+                if !self.is_empty() && !op.eval(&self.value(0), lit) {
+                    mask.fill(false);
+                }
+            }
+        }
+    }
+
+    /// ANDs `op(self[row], other[row])` into `mask` — the attribute-versus-
+    /// attribute comparison kernel.
+    pub fn compare_column_and(&self, op: CompareOp, other: &Column, mask: &mut [bool]) {
+        debug_assert_eq!(self.len(), other.len());
+        debug_assert_eq!(mask.len(), self.len());
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) | (Column::Date(a), Column::Date(b)) => {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m && op.eval(&a[i], &b[i]);
+                }
+            }
+            (Column::Text(a), Column::Text(b)) => {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m && op.eval(&a[i], &b[i]);
+                }
+            }
+            _ => {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m && op.eval(&self.value(i), &other.value(i));
+                }
+            }
+        }
+    }
+}
+
+/// A header plus one column per attribute — the unit every batch operator
+/// consumes and produces.
+///
+/// The row count is stored explicitly so zero-column batches (which cannot
+/// arise from well-formed plans, but keep the type total) stay meaningful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    attrs: Vec<AttrRef>,
+    columns: Vec<Arc<Column>>,
+    rows: usize,
+}
+
+impl Batch {
+    /// Creates a batch from a header and matching columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column count differs from the header's arity or the
+    /// columns disagree on length.
+    pub fn new(attrs: Vec<AttrRef>, columns: Vec<Arc<Column>>) -> Self {
+        assert_eq!(
+            attrs.len(),
+            columns.len(),
+            "batch has {} column(s) but the header has {} attribute(s)",
+            columns.len(),
+            attrs.len()
+        );
+        let rows = columns.first().map_or(0, |c| c.len());
+        for (i, c) in columns.iter().enumerate() {
+            assert_eq!(
+                c.len(),
+                rows,
+                "column {i} has {} value(s) but column 0 has {rows}",
+                c.len()
+            );
+        }
+        Self {
+            attrs,
+            columns,
+            rows,
+        }
+    }
+
+    /// An empty batch with the given header.
+    pub fn empty(attrs: Vec<AttrRef>) -> Self {
+        let columns = attrs.iter().map(|_| Arc::new(Column::empty())).collect();
+        Self::new(attrs, columns)
+    }
+
+    /// Builds a batch by transposing row-major tuples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's arity differs from the header's.
+    pub fn from_rows(attrs: Vec<AttrRef>, rows: Vec<Vec<Value>>) -> Self {
+        let mut columns: Vec<Column> = attrs.iter().map(|_| Column::empty()).collect();
+        let n = rows.len();
+        for (i, row) in rows.into_iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                attrs.len(),
+                "row {i} has arity {} but the header has {}",
+                row.len(),
+                attrs.len()
+            );
+            for (col, v) in columns.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+        Self {
+            attrs,
+            columns: columns.into_iter().map(Arc::new).collect(),
+            rows: n,
+        }
+    }
+
+    /// Appends one row-major tuple, pushing each value onto its column
+    /// (copy-on-write: shared columns are cloned once, then extended in
+    /// place).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row's arity differs from the header's.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.attrs.len(),
+            "row has arity {} but the header has {}",
+            row.len(),
+            self.attrs.len()
+        );
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            Arc::make_mut(col).push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Materialises row-major tuples (for display, legacy callers and the
+    /// row-reference differential).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.rows)
+            .map(|i| self.columns.iter().map(|c| c.value(i)).collect())
+            .collect()
+    }
+
+    /// The qualified attribute header.
+    pub fn attrs(&self) -> &[AttrRef] {
+        &self.attrs
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The columns, in header order.
+    pub fn columns(&self) -> &[Arc<Column>] {
+        &self.columns
+    }
+
+    /// The column at `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Index of an attribute in the header.
+    pub fn index_of(&self, attr: &AttrRef) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// Keeps the rows whose mask entry is `true` (the selection kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mask length differs from the row count.
+    #[must_use]
+    pub fn filter(&self, mask: &[bool]) -> Batch {
+        assert_eq!(mask.len(), self.rows, "mask length mismatch");
+        let idx: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, keep)| keep.then_some(i))
+            .collect();
+        self.gather(&idx)
+    }
+
+    /// A batch holding the rows `idx`, in order (duplicates allowed — bag
+    /// semantics).
+    #[must_use]
+    pub fn gather(&self, idx: &[usize]) -> Batch {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Arc::new(c.gather(idx)))
+            .collect();
+        Batch {
+            attrs: self.attrs.clone(),
+            columns,
+            rows: idx.len(),
+        }
+    }
+
+    /// Reorders the header to `idx` without touching the data — projection
+    /// is O(#attrs), never O(#rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of bounds.
+    #[must_use]
+    pub fn select_columns(&self, idx: &[usize]) -> Batch {
+        Batch {
+            attrs: idx.iter().map(|&i| self.attrs[i].clone()).collect(),
+            columns: idx.iter().map(|&i| Arc::clone(&self.columns[i])).collect(),
+            rows: self.rows,
+        }
+    }
+
+    /// Glues two equal-length batches side by side (the join output shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row counts differ.
+    #[must_use]
+    pub fn hstack(left: &Batch, right: &Batch) -> Batch {
+        assert_eq!(left.rows, right.rows, "hstack row count mismatch");
+        let mut attrs = left.attrs.clone();
+        attrs.extend(right.attrs.iter().cloned());
+        let mut columns = left.columns.clone();
+        columns.extend(right.columns.iter().cloned());
+        Batch {
+            attrs,
+            columns,
+            rows: left.rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col(vals: &[i64]) -> Column {
+        Column::Int(vals.to_vec())
+    }
+
+    #[test]
+    fn from_values_is_canonical() {
+        let homo = Column::from_values([Value::Int(1), Value::Int(2)]);
+        assert_eq!(homo, Column::Int(vec![1, 2]));
+        let hetero = Column::from_values([Value::Int(1), Value::text("x")]);
+        assert!(matches!(hetero, Column::Mixed(_)));
+        assert_eq!(Column::from_values([]), Column::Int(vec![]));
+    }
+
+    #[test]
+    fn push_retypes_empty_and_degrades_on_mismatch() {
+        let mut c = Column::empty();
+        c.push(Value::text("a"));
+        assert!(matches!(c, Column::Text(_)));
+        c.push(Value::Int(1));
+        assert!(matches!(c, Column::Mixed(_)));
+        assert_eq!(c.value(0), Value::text("a"));
+        assert_eq!(c.value(1), Value::Int(1));
+    }
+
+    #[test]
+    fn gather_recanonicalises_mixed() {
+        let c = Column::from_values([Value::Int(1), Value::text("x"), Value::Int(3)]);
+        let g = c.gather(&[0, 2]);
+        assert_eq!(g, Column::Int(vec![1, 3]));
+    }
+
+    #[test]
+    fn compare_literal_matches_value_semantics() {
+        let c = int_col(&[1, 5, 9]);
+        let mut mask = vec![true; 3];
+        c.compare_literal_and(CompareOp::Ge, &Value::Int(5), &mut mask);
+        assert_eq!(mask, [false, true, true]);
+        // Cross-variant: Int column vs Text literal orders by tag (Int < Text).
+        let mut mask = vec![true; 3];
+        c.compare_literal_and(CompareOp::Lt, &Value::text("z"), &mut mask);
+        assert_eq!(mask, [true, true, true]);
+    }
+
+    #[test]
+    fn eq_at_across_representations() {
+        let typed = int_col(&[7]);
+        let mixed = Column::from_values([Value::Int(7), Value::text("x")]);
+        assert!(typed.eq_at(0, &mixed, 0));
+        assert!(!typed.eq_at(0, &mixed, 1));
+        let text = Column::from_values([Value::text("x")]);
+        assert!(!typed.eq_at(0, &text, 0));
+    }
+
+    #[test]
+    fn batch_round_trips_rows() {
+        let attrs = vec![AttrRef::new("R", "a"), AttrRef::new("R", "b")];
+        let rows = vec![
+            vec![Value::Int(1), Value::text("x")],
+            vec![Value::Int(2), Value::text("y")],
+        ];
+        let b = Batch::from_rows(attrs, rows.clone());
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn select_columns_shares_data() {
+        let attrs = vec![AttrRef::new("R", "a"), AttrRef::new("R", "b")];
+        let b = Batch::from_rows(attrs, vec![vec![Value::Int(1), Value::Int(2)]]);
+        let p = b.select_columns(&[1]);
+        assert!(Arc::ptr_eq(&b.columns()[1], &p.columns()[0]));
+        assert_eq!(p.attrs(), [AttrRef::new("R", "b")]);
+    }
+
+    #[test]
+    fn filter_and_hstack() {
+        let attrs = vec![AttrRef::new("R", "a")];
+        let b = Batch::from_rows(
+            attrs,
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(3)],
+            ],
+        );
+        let f = b.filter(&[true, false, true]);
+        assert_eq!(f.rows(), 2);
+        let h = Batch::hstack(&f, &f);
+        assert_eq!(h.attrs().len(), 2);
+        assert_eq!(h.rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn ragged_rows_panic() {
+        let _ = Batch::from_rows(
+            vec![AttrRef::new("R", "a")],
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        );
+    }
+}

@@ -1,12 +1,19 @@
 //! Synthetic database generation matched to catalog statistics.
+//!
+//! Generation writes typed columns directly — no intermediate row tuples.
+//! The RNG is still consumed in row-major order (rows outer, attributes
+//! inner, exactly one draw per cell), so every seed produces the same data
+//! the tuple-building generator did.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mvdesign_algebra::{AttrRef, Value};
 use mvdesign_catalog::{AttrType, Catalog};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::batch::{Batch, Column};
 use crate::table::{Database, Table};
 
 /// Configuration for [`Generator`].
@@ -77,16 +84,21 @@ impl Generator {
                 .iter()
                 .map(|a| domains.get(a).copied().unwrap_or(n as u64).max(1))
                 .collect();
-            let rows = (0..n)
-                .map(|_| {
-                    attrs
-                        .iter()
-                        .enumerate()
-                        .map(|(i, _)| draw(&mut rng, types[i], doms[i]))
-                        .collect()
+            let mut columns: Vec<Column> = types
+                .iter()
+                .map(|ty| match ty {
+                    AttrType::Int => Column::Int(Vec::with_capacity(n)),
+                    AttrType::Text => Column::Text(Vec::with_capacity(n)),
+                    AttrType::Date => Column::Date(Vec::with_capacity(n)),
                 })
                 .collect();
-            db.insert_table(Table::new(name.clone(), attrs, rows));
+            for _ in 0..n {
+                for (i, col) in columns.iter_mut().enumerate() {
+                    draw_into(&mut rng, col, doms[i]);
+                }
+            }
+            let columns = columns.into_iter().map(Arc::new).collect();
+            db.insert_table(Table::from_batch(name.clone(), Batch::new(attrs, columns)));
         }
         db
     }
@@ -121,20 +133,24 @@ impl Generator {
     }
 }
 
-fn draw(rng: &mut StdRng, ty: AttrType, domain: u64) -> Value {
+/// Draws one cell straight into typed column storage — exactly one
+/// `gen_range` call per cell, keeping the RNG stream identical to the old
+/// row-building generator.
+fn draw_into(rng: &mut StdRng, col: &mut Column, domain: u64) {
     let k = rng.gen_range(0..domain.max(1));
-    match ty {
-        AttrType::Int => Value::Int(k as i64),
-        AttrType::Text => Value::text(format!("v{k}")),
-        AttrType::Date => {
+    match col {
+        Column::Int(v) => v.push(k as i64),
+        Column::Text(v) => v.push(Arc::from(format!("v{k}").as_str())),
+        Column::Date(v) => {
             // Spread across 1996 so `date > 7/1/96` keeps about half.
             let start = match Value::date(1996, 1, 1) {
                 Value::Date(d) => d,
                 _ => unreachable!("Value::date returns Date"),
             };
             let span = 372; // one simplified year
-            Value::Date(start + (k as i64 * span / domain.max(1) as i64))
+            v.push(start + (k as i64 * span / domain.max(1) as i64));
         }
+        Column::Mixed(_) => unreachable!("generator pre-types every column"),
     }
 }
 

@@ -1,13 +1,23 @@
-//! Expression evaluation over in-memory tables.
+//! Expression evaluation over in-memory tables — columnar batch execution.
+//!
+//! Every operator is a *batch kernel*: attribute offsets are resolved once
+//! per operator (not once per row), predicates evaluate as vectorised
+//! comparisons over typed columns, and joins produce index vectors that a
+//! single typed [`Batch::gather`] turns into output columns. The
+//! tuple-at-a-time implementation this replaced survives unchanged in
+//! [`crate::row_reference`] as the differential baseline; both engines are
+//! property-tested to produce identical bags.
 
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use std::collections::BTreeMap;
+use mvdesign_algebra::{
+    AggExpr, AggFunc, AttrRef, Expr, JoinCondition, Predicate, RelName, Rhs, Value,
+};
 
-use mvdesign_algebra::{AggFunc, AttrRef, Expr, Predicate, RelName, Rhs, Value};
-
+use crate::batch::{Batch, Column};
 use crate::table::{Database, Table};
 
 /// Errors raised while executing an expression.
@@ -52,7 +62,8 @@ pub enum JoinAlgo {
 ///
 /// Selection is a linear scan, join is a naive nested loop, projection keeps
 /// duplicates — exactly the operator algorithms the paper's cost model
-/// assumes. Use [`execute_with`] to pick a different join algorithm.
+/// assumes, executed as columnar batch kernels. Use [`execute_with`] to pick
+/// a different join algorithm.
 ///
 /// # Errors
 ///
@@ -74,115 +85,323 @@ pub fn execute_with(expr: &Arc<Expr>, db: &Database, algo: JoinAlgo) -> Result<T
             .table(name.as_str())
             .cloned()
             .ok_or_else(|| ExecError::UnknownRelation(name.clone())),
+        _ => {
+            let batch = exec_batch(expr, db, algo)?;
+            Ok(Table::from_batch(op_label(expr), batch))
+        }
+    }
+}
+
+/// The operator glyph used as the result-table name (matches the paper's
+/// notation and the row engine's historical output).
+pub(crate) fn op_label(expr: &Expr) -> &'static str {
+    match expr {
+        Expr::Base(_) => "scan",
+        Expr::Select { .. } => "σ",
+        Expr::Project { .. } => "π",
+        Expr::Join { .. } => "⋈",
+        Expr::Aggregate { .. } => "γ",
+    }
+}
+
+/// Recursive batch evaluation — the engine's spine.
+pub(crate) fn exec_batch(
+    expr: &Arc<Expr>,
+    db: &Database,
+    algo: JoinAlgo,
+) -> Result<Batch, ExecError> {
+    match &**expr {
+        Expr::Base(name) => db
+            .table(name.as_str())
+            .map(|t| t.batch().clone())
+            .ok_or_else(|| ExecError::UnknownRelation(name.clone())),
         Expr::Select { input, predicate } => {
-            let t = execute_with(input, db, algo)?;
-            let rows = t
-                .rows()
-                .iter()
-                .filter_map(|row| match eval_predicate(predicate, &t, row) {
-                    Ok(true) => Some(Ok(row.clone())),
-                    Ok(false) => None,
-                    Err(e) => Some(Err(e)),
-                })
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(Table::new("σ", t.attrs().to_vec(), rows))
+            let b = exec_batch(input, db, algo)?;
+            select_batch(&b, predicate)
         }
         Expr::Project { input, attrs } => {
-            let t = execute_with(input, db, algo)?;
-            let idx: Vec<usize> = attrs
-                .iter()
-                .map(|a| {
-                    t.index_of(a)
-                        .ok_or_else(|| ExecError::MissingAttr(a.clone()))
-                })
-                .collect::<Result<_, _>>()?;
-            let rows = t
-                .rows()
-                .iter()
-                .map(|row| idx.iter().map(|&i| row[i].clone()).collect())
-                .collect();
-            Ok(Table::new("π", attrs.clone(), rows))
+            let b = exec_batch(input, db, algo)?;
+            project_batch(&b, attrs)
         }
         Expr::Join { left, right, on } => {
-            let l = execute_with(left, db, algo)?;
-            let r = execute_with(right, db, algo)?;
-            // Resolve each condition pair to (left index, right index).
-            let mut pairs = Vec::with_capacity(on.pairs().len());
-            for (a, b) in on.pairs() {
-                let resolved = match (l.index_of(a), r.index_of(b)) {
-                    (Some(la), Some(rb)) => (la, rb),
-                    _ => match (l.index_of(b), r.index_of(a)) {
-                        (Some(lb), Some(ra)) => (lb, ra),
-                        _ => return Err(ExecError::MissingAttr(a.clone())),
-                    },
-                };
-                pairs.push(resolved);
-            }
-            let mut attrs = l.attrs().to_vec();
-            attrs.extend(r.attrs().iter().cloned());
-            let rows = match algo {
-                JoinAlgo::NestedLoop => nested_loop_join(&l, &r, &pairs),
-                JoinAlgo::Hash => hash_join(&l, &r, &pairs),
-                JoinAlgo::SortMerge => sort_merge_join(&l, &r, &pairs),
-            };
-            Ok(Table::new("⋈", attrs, rows))
+            let l = exec_batch(left, db, algo)?;
+            let r = exec_batch(right, db, algo)?;
+            join_batch(&l, &r, on, algo)
         }
         Expr::Aggregate {
             input,
             group_by,
             aggs,
         } => {
-            let t = execute_with(input, db, algo)?;
-            let gidx: Vec<usize> = group_by
-                .iter()
-                .map(|a| {
-                    t.index_of(a)
-                        .ok_or_else(|| ExecError::MissingAttr(a.clone()))
-                })
-                .collect::<Result<_, _>>()?;
-            let aidx: Vec<Option<usize>> = aggs
-                .iter()
-                .map(|a| match &a.input {
-                    Some(attr) => t
-                        .index_of(attr)
-                        .map(Some)
-                        .ok_or_else(|| ExecError::MissingAttr(attr.clone())),
-                    None => Ok(None),
-                })
-                .collect::<Result<_, _>>()?;
-
-            let mut groups: BTreeMap<Vec<Value>, Vec<AggState>> = BTreeMap::new();
-            for row in t.rows() {
-                let key: Vec<Value> = gidx.iter().map(|&i| row[i].clone()).collect();
-                let states = groups
-                    .entry(key)
-                    .or_insert_with(|| vec![AggState::default(); aggs.len()]);
-                for (state, idx) in states.iter_mut().zip(&aidx) {
-                    state.feed(idx.map(|i| &row[i]));
-                }
-            }
-
-            let mut attrs = group_by.clone();
-            attrs.extend(aggs.iter().map(|a| a.output_attr()));
-            let rows = groups
-                .into_iter()
-                .map(|(key, states)| {
-                    let mut row = key;
-                    for (state, agg) in states.iter().zip(aggs) {
-                        row.push(state.finish(agg.func));
-                    }
-                    row
-                })
-                .collect();
-            Ok(Table::new("γ", attrs, rows))
+            let b = exec_batch(input, db, algo)?;
+            aggregate_batch(&b, group_by, aggs)
         }
     }
+}
+
+/// Selection kernel: one vectorised predicate pass, one gather.
+pub(crate) fn select_batch(batch: &Batch, predicate: &Predicate) -> Result<Batch, ExecError> {
+    let mask = predicate_mask(predicate, batch)?;
+    Ok(batch.filter(&mask))
+}
+
+/// Projection kernel: resolves attribute offsets once and re-shares the
+/// picked columns — O(#attrs), no row movement at all.
+pub(crate) fn project_batch(batch: &Batch, attrs: &[AttrRef]) -> Result<Batch, ExecError> {
+    let idx: Vec<usize> = attrs
+        .iter()
+        .map(|a| {
+            batch
+                .index_of(a)
+                .ok_or_else(|| ExecError::MissingAttr(a.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(batch.select_columns(&idx))
+}
+
+/// Join kernel: resolves the condition to column offsets once, produces
+/// matching (left, right) index vectors under the requested algorithm, then
+/// gathers both sides and glues them.
+pub(crate) fn join_batch(
+    l: &Batch,
+    r: &Batch,
+    on: &JoinCondition,
+    algo: JoinAlgo,
+) -> Result<Batch, ExecError> {
+    // Resolve each condition pair to (left index, right index).
+    let mut pairs = Vec::with_capacity(on.pairs().len());
+    for (a, b) in on.pairs() {
+        let resolved = match (l.index_of(a), r.index_of(b)) {
+            (Some(la), Some(rb)) => (la, rb),
+            _ => match (l.index_of(b), r.index_of(a)) {
+                (Some(lb), Some(ra)) => (lb, ra),
+                _ => return Err(ExecError::MissingAttr(a.clone())),
+            },
+        };
+        pairs.push(resolved);
+    }
+    let lcols: Vec<&Column> = pairs.iter().map(|&(li, _)| l.column(li)).collect();
+    let rcols: Vec<&Column> = pairs.iter().map(|&(_, ri)| r.column(ri)).collect();
+    let (lidx, ridx) = match algo {
+        JoinAlgo::NestedLoop => nested_loop_indices(l.rows(), r.rows(), &lcols, &rcols),
+        JoinAlgo::Hash => hash_indices(l.rows(), r.rows(), &lcols, &rcols),
+        JoinAlgo::SortMerge => sort_merge_indices(l.rows(), r.rows(), &lcols, &rcols),
+    };
+    Ok(Batch::hstack(&l.gather(&lidx), &r.gather(&ridx)))
+}
+
+/// Nested loop over row indices; the single-key integer case runs over raw
+/// `&[i64]` slices.
+fn nested_loop_indices(
+    ln: usize,
+    rn: usize,
+    lcols: &[&Column],
+    rcols: &[&Column],
+) -> (Vec<usize>, Vec<usize>) {
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
+    if let [(lk, rk)] = int_keys(lcols, rcols).as_slice() {
+        for (i, a) in lk.iter().enumerate() {
+            for (j, b) in rk.iter().enumerate() {
+                if a == b {
+                    lidx.push(i);
+                    ridx.push(j);
+                }
+            }
+        }
+        return (lidx, ridx);
+    }
+    for i in 0..ln {
+        for j in 0..rn {
+            if lcols.iter().zip(rcols).all(|(lc, rc)| lc.eq_at(i, rc, j)) {
+                lidx.push(i);
+                ridx.push(j);
+            }
+        }
+    }
+    (lidx, ridx)
+}
+
+/// Hash join over row indices: build on the right, probe with the left. A
+/// cross join hashes everything under the empty key, degenerating
+/// gracefully. The single-key integer case hashes raw `i64`s.
+fn hash_indices(
+    ln: usize,
+    rn: usize,
+    lcols: &[&Column],
+    rcols: &[&Column],
+) -> (Vec<usize>, Vec<usize>) {
+    use std::collections::HashMap;
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
+    if let [(lk, rk)] = int_keys(lcols, rcols).as_slice() {
+        let mut built: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (j, b) in rk.iter().enumerate() {
+            built.entry(*b).or_default().push(j);
+        }
+        for (i, a) in lk.iter().enumerate() {
+            if let Some(matches) = built.get(a) {
+                for &j in matches {
+                    lidx.push(i);
+                    ridx.push(j);
+                }
+            }
+        }
+        return (lidx, ridx);
+    }
+    let mut built: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for j in 0..rn {
+        let key: Vec<Value> = rcols.iter().map(|c| c.value(j)).collect();
+        built.entry(key).or_default().push(j);
+    }
+    for i in 0..ln {
+        let key: Vec<Value> = lcols.iter().map(|c| c.value(i)).collect();
+        if let Some(matches) = built.get(&key) {
+            for &j in matches {
+                lidx.push(i);
+                ridx.push(j);
+            }
+        }
+    }
+    (lidx, ridx)
+}
+
+/// Sort-merge join over row indices: sorts index permutations of both sides
+/// by their key columns, then merges group × group.
+fn sort_merge_indices(
+    ln: usize,
+    rn: usize,
+    lcols: &[&Column],
+    rcols: &[&Column],
+) -> (Vec<usize>, Vec<usize>) {
+    if lcols.is_empty() {
+        // No key to sort on: fall back to the nested loop (cross product).
+        return nested_loop_indices(ln, rn, lcols, rcols);
+    }
+    let key_cmp = |xcols: &[&Column], x: usize, ycols: &[&Column], y: usize| {
+        xcols
+            .iter()
+            .zip(ycols)
+            .map(|(xc, yc)| xc.cmp_at(x, yc, y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    };
+    let mut ls: Vec<usize> = (0..ln).collect();
+    let mut rs: Vec<usize> = (0..rn).collect();
+    ls.sort_by(|&a, &b| key_cmp(lcols, a, lcols, b));
+    rs.sort_by(|&a, &b| key_cmp(rcols, a, rcols, b));
+
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < ls.len() && j < rs.len() {
+        match key_cmp(lcols, ls[i], rcols, rs[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Emit the full group × group block.
+                let gi_end = (i..ls.len())
+                    .take_while(|&x| key_cmp(lcols, ls[x], lcols, ls[i]).is_eq())
+                    .last()
+                    .expect("group is non-empty")
+                    + 1;
+                let gj_end = (j..rs.len())
+                    .take_while(|&x| key_cmp(rcols, rs[x], rcols, rs[j]).is_eq())
+                    .last()
+                    .expect("group is non-empty")
+                    + 1;
+                for &li in &ls[i..gi_end] {
+                    for &rj in &rs[j..gj_end] {
+                        lidx.push(li);
+                        ridx.push(rj);
+                    }
+                }
+                i = gi_end;
+                j = gj_end;
+            }
+        }
+    }
+    (lidx, ridx)
+}
+
+/// When every key pair is a same-variant integer-backed pair (`Int`/`Int` or
+/// `Date`/`Date`), returns the raw slices; empty otherwise. Kernels use the
+/// single-pair case as their fast path.
+fn int_keys<'a>(lcols: &[&'a Column], rcols: &[&'a Column]) -> Vec<(&'a [i64], &'a [i64])> {
+    let mut out = Vec::with_capacity(lcols.len());
+    for (lc, rc) in lcols.iter().zip(rcols) {
+        match (lc, rc) {
+            (Column::Int(a), Column::Int(b)) | (Column::Date(a), Column::Date(b)) => {
+                out.push((a.as_slice(), b.as_slice()));
+            }
+            _ => return Vec::new(),
+        }
+    }
+    out
+}
+
+/// Hash-aggregation kernel: offsets resolved once, keys and accumulator
+/// feeds read straight from the columns, output built column-wise.
+pub(crate) fn aggregate_batch(
+    batch: &Batch,
+    group_by: &[AttrRef],
+    aggs: &[AggExpr],
+) -> Result<Batch, ExecError> {
+    let gcols: Vec<&Column> = group_by
+        .iter()
+        .map(|a| {
+            batch
+                .index_of(a)
+                .map(|i| batch.column(i))
+                .ok_or_else(|| ExecError::MissingAttr(a.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    let acols: Vec<Option<&Column>> = aggs
+        .iter()
+        .map(|a| match &a.input {
+            Some(attr) => batch
+                .index_of(attr)
+                .map(|i| Some(batch.column(i)))
+                .ok_or_else(|| ExecError::MissingAttr(attr.clone())),
+            None => Ok(None),
+        })
+        .collect::<Result<_, _>>()?;
+
+    // BTreeMap keeps group output deterministic (sorted by key), matching
+    // the row reference.
+    let mut groups: BTreeMap<Vec<Value>, Vec<AggState>> = BTreeMap::new();
+    for i in 0..batch.rows() {
+        let key: Vec<Value> = gcols.iter().map(|c| c.value(i)).collect();
+        let states = groups
+            .entry(key)
+            .or_insert_with(|| vec![AggState::default(); aggs.len()]);
+        for (state, col) in states.iter_mut().zip(&acols) {
+            state.feed(col.map(|c| c.value(i)));
+        }
+    }
+
+    let mut attrs = group_by.to_vec();
+    attrs.extend(aggs.iter().map(|a| a.output_attr()));
+    let mut columns: Vec<Column> = attrs.iter().map(|_| Column::empty()).collect();
+    let n_groups = groups.len();
+    for (key, states) in groups {
+        for (col, v) in columns.iter_mut().zip(key) {
+            col.push(v);
+        }
+        for ((col, state), agg) in columns[group_by.len()..].iter_mut().zip(&states).zip(aggs) {
+            col.push(state.finish(agg.func));
+        }
+    }
+    let columns = columns.into_iter().map(Arc::new).collect();
+    let out = Batch::new(attrs, columns);
+    debug_assert_eq!(out.rows(), n_groups);
+    Ok(out)
 }
 
 /// Computes `definition` and stores the result under `name`, so later
 /// queries rewritten against the view (see `mvdesign-core`'s `ViewCatalog`)
 /// can read it as a base table. The stored table keeps the definition's
-/// qualified attributes.
+/// qualified attributes and its columnar layout — no row materialization.
 ///
 /// # Errors
 ///
@@ -193,96 +412,57 @@ pub fn materialize_view(
     db: &mut Database,
 ) -> Result<(), ExecError> {
     let result = execute(definition, db)?;
-    let table = Table::new(name, result.attrs().to_vec(), result.into_rows());
-    db.insert_table(table);
+    db.insert_table(Table::from_batch(name, result.into_batch()));
     Ok(())
 }
 
-fn nested_loop_join(l: &Table, r: &Table, pairs: &[(usize, usize)]) -> Vec<Vec<Value>> {
-    let mut rows = Vec::new();
-    for lrow in l.rows() {
-        for rrow in r.rows() {
-            if pairs.iter().all(|&(li, ri)| lrow[li] == rrow[ri]) {
-                let mut row = lrow.clone();
-                row.extend(rrow.iter().cloned());
-                rows.push(row);
-            }
-        }
-    }
-    rows
+/// Evaluates `predicate` over the whole batch into a keep-mask.
+fn predicate_mask(predicate: &Predicate, batch: &Batch) -> Result<Vec<bool>, ExecError> {
+    let mut mask = vec![true; batch.rows()];
+    and_predicate(predicate, batch, &mut mask)?;
+    Ok(mask)
 }
 
-fn hash_join(l: &Table, r: &Table, pairs: &[(usize, usize)]) -> Vec<Vec<Value>> {
-    use std::collections::HashMap;
-    // Build on the right input, probe with the left. A cross join hashes
-    // everything under the empty key, degenerating gracefully.
-    let mut built: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::new();
-    for rrow in r.rows() {
-        let key: Vec<Value> = pairs.iter().map(|&(_, ri)| rrow[ri].clone()).collect();
-        built.entry(key).or_default().push(rrow);
-    }
-    let mut rows = Vec::new();
-    for lrow in l.rows() {
-        let key: Vec<Value> = pairs.iter().map(|&(li, _)| lrow[li].clone()).collect();
-        if let Some(matches) = built.get(&key) {
-            for rrow in matches {
-                let mut row = lrow.clone();
-                row.extend(rrow.iter().cloned());
-                rows.push(row);
-            }
-        }
-    }
-    rows
-}
-
-fn sort_merge_join(l: &Table, r: &Table, pairs: &[(usize, usize)]) -> Vec<Vec<Value>> {
-    if pairs.is_empty() {
-        // No key to sort on: fall back to the nested loop (cross product).
-        return nested_loop_join(l, r, pairs);
-    }
-    let key_of = |row: &[Value], idx: &[usize]| -> Vec<Value> {
-        idx.iter().map(|&i| row[i].clone()).collect()
-    };
-    let lkeys: Vec<usize> = pairs.iter().map(|&(li, _)| li).collect();
-    let rkeys: Vec<usize> = pairs.iter().map(|&(_, ri)| ri).collect();
-    let mut ls: Vec<&Vec<Value>> = l.rows().iter().collect();
-    let mut rs: Vec<&Vec<Value>> = r.rows().iter().collect();
-    ls.sort_by_key(|row| key_of(row, &lkeys));
-    rs.sort_by_key(|row| key_of(row, &rkeys));
-
-    let mut rows = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < ls.len() && j < rs.len() {
-        let lk = key_of(ls[i], &lkeys);
-        let rk = key_of(rs[j], &rkeys);
-        match lk.cmp(&rk) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                // Emit the full group × group block.
-                let gi_end = (i..ls.len())
-                    .take_while(|&x| key_of(ls[x], &lkeys) == lk)
-                    .last()
-                    .expect("group is non-empty")
-                    + 1;
-                let gj_end = (j..rs.len())
-                    .take_while(|&x| key_of(rs[x], &rkeys) == rk)
-                    .last()
-                    .expect("group is non-empty")
-                    + 1;
-                for lrow in &ls[i..gi_end] {
-                    for rrow in &rs[j..gj_end] {
-                        let mut row = (*lrow).clone();
-                        row.extend(rrow.iter().cloned());
-                        rows.push(row);
-                    }
+/// ANDs `predicate`'s value into `mask`, column-at-a-time.
+fn and_predicate(p: &Predicate, b: &Batch, mask: &mut [bool]) -> Result<(), ExecError> {
+    match p {
+        Predicate::True => Ok(()),
+        Predicate::Cmp(c) => {
+            let li = b
+                .index_of(&c.attr)
+                .ok_or_else(|| ExecError::MissingAttr(c.attr.clone()))?;
+            match &c.rhs {
+                Rhs::Literal(v) => b.column(li).compare_literal_and(c.op, v, mask),
+                Rhs::Attr(a) => {
+                    let ri = b
+                        .index_of(a)
+                        .ok_or_else(|| ExecError::MissingAttr(a.clone()))?;
+                    b.column(li).compare_column_and(c.op, b.column(ri), mask);
                 }
-                i = gi_end;
-                j = gj_end;
             }
+            Ok(())
+        }
+        Predicate::And(ps) => {
+            for p in ps {
+                and_predicate(p, b, mask)?;
+            }
+            Ok(())
+        }
+        Predicate::Or(ps) => {
+            let mut any = vec![false; mask.len()];
+            for p in ps {
+                let mut sub = vec![true; mask.len()];
+                and_predicate(p, b, &mut sub)?;
+                for (a, s) in any.iter_mut().zip(&sub) {
+                    *a = *a || *s;
+                }
+            }
+            for (m, a) in mask.iter_mut().zip(&any) {
+                *m = *m && *a;
+            }
+            Ok(())
         }
     }
-    rows
 }
 
 /// Running aggregate state for one group and one aggregate.
@@ -296,20 +476,20 @@ struct AggState {
 
 impl AggState {
     /// Folds one row's value in (`None` for `COUNT(*)`).
-    fn feed(&mut self, value: Option<&Value>) {
+    fn feed(&mut self, value: Option<Value>) {
         self.count += 1;
         if let Some(v) = value {
             // Numeric folding treats dates as their day numbers; text
             // contributes only to COUNT/MIN/MAX.
-            match v {
+            match &v {
                 Value::Int(i) | Value::Date(i) => self.sum += i,
                 Value::Text(_) => {}
             }
-            if self.min.as_ref().is_none_or(|m| v < m) {
+            if self.min.as_ref().is_none_or(|m| v < *m) {
                 self.min = Some(v.clone());
             }
-            if self.max.as_ref().is_none_or(|m| v > m) {
-                self.max = Some(v.clone());
+            if self.max.as_ref().is_none_or(|m| v > *m) {
+                self.max = Some(v);
             }
         }
     }
@@ -325,47 +505,6 @@ impl AggState {
             } else {
                 0
             }),
-        }
-    }
-}
-
-/// Evaluates a predicate on one row.
-pub(crate) fn eval_predicate(p: &Predicate, t: &Table, row: &[Value]) -> Result<bool, ExecError> {
-    match p {
-        Predicate::True => Ok(true),
-        Predicate::Cmp(c) => {
-            let li = t
-                .index_of(&c.attr)
-                .ok_or_else(|| ExecError::MissingAttr(c.attr.clone()))?;
-            let lhs = &row[li];
-            let rhs_value;
-            let rhs = match &c.rhs {
-                Rhs::Literal(v) => v,
-                Rhs::Attr(a) => {
-                    let ri = t
-                        .index_of(a)
-                        .ok_or_else(|| ExecError::MissingAttr(a.clone()))?;
-                    rhs_value = row[ri].clone();
-                    &rhs_value
-                }
-            };
-            Ok(c.op.eval(lhs, rhs))
-        }
-        Predicate::And(ps) => {
-            for p in ps {
-                if !eval_predicate(p, t, row)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        }
-        Predicate::Or(ps) => {
-            for p in ps {
-                if eval_predicate(p, t, row)? {
-                    return Ok(true);
-                }
-            }
-            Ok(false)
         }
     }
 }
@@ -497,6 +636,37 @@ mod tests {
         );
         assert_eq!(execute(&e, &db()).unwrap().len(), 2);
     }
+
+    #[test]
+    fn projection_shares_columns_with_input() {
+        // π over a base scan must not copy column data.
+        let db = db();
+        let base = db.table("Pd").unwrap();
+        let e = Expr::project(Expr::base("Pd"), [AttrRef::new("Pd", "Did")]);
+        let out = execute(&e, &db).unwrap();
+        assert!(Arc::ptr_eq(
+            &base.batch().columns()[2],
+            &out.batch().columns()[0]
+        ));
+    }
+
+    #[test]
+    fn mixed_type_predicate_orders_by_variant_tag() {
+        // Int values compare below Text values in Value's total order; the
+        // batch engine's constant fast path must preserve that.
+        let mut db = Database::new();
+        db.insert_table(Table::new(
+            "M",
+            [AttrRef::new("M", "x")],
+            vec![vec![Value::Int(5)], vec![Value::text("a")]],
+        ));
+        let e = Expr::select(
+            Expr::base("M"),
+            Predicate::cmp(AttrRef::new("M", "x"), CompareOp::Lt, "zzz"),
+        );
+        // Int(5) < Text("zzz") by tag; Text("a") < Text("zzz") lexically.
+        assert_eq!(execute(&e, &db).unwrap().len(), 2);
+    }
 }
 
 #[cfg(test)]
@@ -606,6 +776,39 @@ mod join_algo_tests {
                 execute_with(&e, &db, algo).expect("executes").is_empty(),
                 "{algo:?}"
             );
+        }
+    }
+
+    #[test]
+    fn text_keyed_joins_agree_across_algorithms() {
+        // Exercise the non-integer key path (Text columns).
+        let mut db = Database::new();
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| vec![Value::text(format!("k{}", i % 5)), Value::Int(i)])
+            .collect();
+        db.insert_table(Table::new(
+            "A",
+            [AttrRef::new("A", "k"), AttrRef::new("A", "v")],
+            rows,
+        ));
+        let rows: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::text(format!("k{}", i % 4))])
+            .collect();
+        db.insert_table(Table::new("B", [AttrRef::new("B", "k")], rows));
+        let e = Expr::join(
+            Expr::base("A"),
+            Expr::base("B"),
+            mvdesign_algebra::JoinCondition::on(AttrRef::new("A", "k"), AttrRef::new("B", "k")),
+        );
+        let nested = execute_with(&e, &db, JoinAlgo::NestedLoop)
+            .expect("nested")
+            .canonicalized();
+        assert!(!nested.is_empty());
+        for algo in [JoinAlgo::Hash, JoinAlgo::SortMerge] {
+            let out = execute_with(&e, &db, algo)
+                .expect("executes")
+                .canonicalized();
+            assert_eq!(nested.rows(), out.rows(), "{algo:?}");
         }
     }
 }

@@ -1,13 +1,19 @@
 //! Block-I/O simulation: execute a plan while counting the block accesses
 //! the paper's cost model charges for.
+//!
+//! Accounting is per *batch*: each operator runs as one columnar kernel call
+//! and is charged for its whole input/output in one step. Because every
+//! charge is a function of row counts alone, the totals are bit-identical to
+//! what the tuple-at-a-time engine reported.
 
 use std::sync::Arc;
 
 use mvdesign_algebra::Expr;
 
-use crate::exec::execute;
+use crate::batch::Batch;
+use crate::exec::{aggregate_batch, join_batch, op_label, project_batch, select_batch};
 use crate::table::{Database, Table};
-use crate::ExecError;
+use crate::{ExecError, JoinAlgo};
 
 /// Observed I/O of one plan execution.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -49,11 +55,18 @@ pub fn measure(
 ) -> Result<(Table, IoReport), ExecError> {
     let bf = records_per_block.max(1.0);
     let mut report = IoReport::default();
-    let table = run(expr, db, bf, &mut report)?;
-    report.rows_out = table.len();
+    let batch = run(expr, db, bf, &mut report)?;
+    report.rows_out = batch.rows();
+    let table = match &**expr {
+        Expr::Base(name) => Table::from_batch(name.clone(), batch),
+        _ => Table::from_batch(op_label(expr), batch),
+    };
     Ok((table, report))
 }
 
+/// Blocks occupied by `rows` records at `bf` records per block. Charges
+/// depend only on row counts, so the columnar engine reports exactly the
+/// totals the row engine did.
 fn blocks(rows: usize, bf: f64) -> f64 {
     (rows as f64 / bf).ceil()
 }
@@ -63,70 +76,52 @@ fn run(
     db: &Database,
     bf: f64,
     report: &mut IoReport,
-) -> Result<Table, ExecError> {
+) -> Result<Batch, ExecError> {
     match &**expr {
-        Expr::Base(_) => execute(expr, db),
-        Expr::Select { input, .. }
-        | Expr::Project { input, .. }
-        | Expr::Aggregate { input, .. } => {
-            let in_table = run(input, db, bf, report)?;
-            report.blocks_read += blocks(in_table.len(), bf);
-            let out = shallow_execute(expr, &in_table, None, db)?;
-            report.blocks_written += blocks(out.len(), bf);
+        Expr::Base(name) => db
+            .table(name.as_str())
+            .map(|t| t.batch().clone())
+            .ok_or_else(|| ExecError::UnknownRelation(name.clone())),
+        Expr::Select { input, predicate } => {
+            let input = run(input, db, bf, report)?;
+            report.blocks_read += blocks(input.rows(), bf);
+            let out = select_batch(&input, predicate)?;
+            report.blocks_written += blocks(out.rows(), bf);
             Ok(out)
         }
-        Expr::Join { left, right, .. } => {
+        Expr::Project { input, attrs } => {
+            let input = run(input, db, bf, report)?;
+            report.blocks_read += blocks(input.rows(), bf);
+            let out = project_batch(&input, attrs)?;
+            report.blocks_written += blocks(out.rows(), bf);
+            Ok(out)
+        }
+        Expr::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let input = run(input, db, bf, report)?;
+            report.blocks_read += blocks(input.rows(), bf);
+            let out = aggregate_batch(&input, group_by, aggs)?;
+            report.blocks_written += blocks(out.rows(), bf);
+            Ok(out)
+        }
+        Expr::Join { left, right, on } => {
             let l = run(left, db, bf, report)?;
             let r = run(right, db, bf, report)?;
-            report.blocks_read += blocks(l.len(), bf) * blocks(r.len(), bf);
-            let out = shallow_execute(expr, &l, Some(&r), db)?;
-            report.blocks_written += blocks(out.len(), bf);
+            report.blocks_read += blocks(l.rows(), bf) * blocks(r.rows(), bf);
+            let out = join_batch(&l, &r, on, JoinAlgo::NestedLoop)?;
+            report.blocks_written += blocks(out.rows(), bf);
             Ok(out)
         }
     }
 }
 
-/// Executes only the top operator of `expr`, with its input(s) already
-/// materialized.
-fn shallow_execute(
-    expr: &Arc<Expr>,
-    first: &Table,
-    second: Option<&Table>,
-    db: &Database,
-) -> Result<Table, ExecError> {
-    // Reuse `execute` by substituting pre-computed inputs as baby databases:
-    // rebuild the node with Base leaves pointing at temp names.
-    let mut tmp = Database::new();
-    let sub = match &**expr {
-        Expr::Select { predicate, .. } => {
-            tmp.insert_table(rename(first, "__in"));
-            Expr::select(Expr::base("__in"), predicate.clone())
-        }
-        Expr::Project { attrs, .. } => {
-            tmp.insert_table(rename(first, "__in"));
-            Expr::project(Expr::base("__in"), attrs.clone())
-        }
-        Expr::Join { on, .. } => {
-            tmp.insert_table(rename(first, "__l"));
-            tmp.insert_table(rename(second.expect("join has two inputs"), "__r"));
-            Expr::join(Expr::base("__l"), Expr::base("__r"), on.clone())
-        }
-        Expr::Aggregate { group_by, aggs, .. } => {
-            tmp.insert_table(rename(first, "__in"));
-            Expr::aggregate(Expr::base("__in"), group_by.clone(), aggs.clone())
-        }
-        Expr::Base(_) => return execute(expr, db),
-    };
-    execute(&sub, &tmp)
-}
-
-fn rename(t: &Table, name: &str) -> Table {
-    Table::new(name, t.attrs().to_vec(), t.rows().to_vec())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::execute;
     use mvdesign_algebra::{AttrRef, CompareOp, JoinCondition, Predicate, Value};
 
     fn db() -> Database {

@@ -15,6 +15,14 @@
 //!   same disciplines the cost model assumes, grounding `Ca(v)` in observed
 //!   behaviour.
 //!
+//! Execution is *columnar*: operators evaluate over [`Batch`]es of typed
+//! [`Column`]s, resolving attribute offsets once per operator rather than
+//! once per row. [`Table`] is a thin façade over a batch that still exposes
+//! the original row-major API. The retired tuple-at-a-time engine lives on
+//! in [`row_reference`] as a differential oracle: `mvdesign-verify` and the
+//! `engine_batch` property suite check the two engines produce identical
+//! bags on every plan they run.
+//!
 //! # Example
 //!
 //! ```
@@ -40,12 +48,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod datagen;
 mod exec;
 mod iosim;
 mod profile;
+pub mod row_reference;
 mod table;
 
+pub use crate::batch::{Batch, Column};
 pub use crate::datagen::{Generator, GeneratorConfig};
 pub use crate::exec::{execute, execute_with, materialize_view, ExecError, JoinAlgo};
 pub use crate::iosim::{measure, IoReport};

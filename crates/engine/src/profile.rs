@@ -1,12 +1,18 @@
 //! Statistics collection: derive a [`Catalog`] from actual data, for users
 //! who have tables but no Table-1-style statistics sheet.
+//!
+//! All statistics read the columnar storage directly: types come from the
+//! column representation, distinct counts hash raw `i64`/`str` slices in one
+//! pass per column, and measured join selectivities count matches through
+//! typed frequency maps — no row materialisation anywhere.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use mvdesign_algebra::Value;
 use mvdesign_catalog::{AttrRef, AttrType, Catalog, CatalogError};
 
-use crate::table::{Database, Table};
+use crate::batch::Column;
+use crate::table::Database;
 
 /// Configuration for [`profile_database`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,7 +57,7 @@ pub fn profile_database(db: &Database, config: &ProfileConfig) -> Result<Catalog
     for (name, table) in db.iter() {
         let mut builder = catalog.relation(name.clone());
         for (idx, attr) in table.attrs().iter().enumerate() {
-            builder = builder.attr(attr.attr.clone(), column_type(table, idx));
+            builder = builder.attr(attr.attr.clone(), column_type(table.batch().column(idx)));
         }
         let records = table.len() as f64;
         builder = builder
@@ -59,7 +65,7 @@ pub fn profile_database(db: &Database, config: &ProfileConfig) -> Result<Catalog
             .blocks((records / config.blocking_factor.max(1.0)).ceil())
             .update_frequency(config.update_frequency);
         for (idx, attr) in table.attrs().iter().enumerate() {
-            let distinct = distinct_count(table, idx);
+            let distinct = distinct_count(table.batch().column(idx));
             if distinct > 0 {
                 builder = builder.selectivity(attr.attr.clone(), 1.0 / distinct as f64);
             }
@@ -73,57 +79,59 @@ pub fn profile_database(db: &Database, config: &ProfileConfig) -> Result<Catalog
     Ok(catalog)
 }
 
-fn column_type(table: &Table, idx: usize) -> AttrType {
-    match table.rows().first().map(|row| &row[idx]) {
-        Some(Value::Int(_)) | None => AttrType::Int,
-        Some(Value::Text(_)) => AttrType::Text,
-        Some(Value::Date(_)) => AttrType::Date,
+/// Infers a column's catalog type from its storage representation. Typed
+/// columns carry their type in the variant; a heterogeneous column falls
+/// back to its first value, matching what the row engine inferred.
+fn column_type(col: &Column) -> AttrType {
+    match col {
+        Column::Int(_) => AttrType::Int,
+        Column::Text(_) => AttrType::Text,
+        Column::Date(_) => AttrType::Date,
+        Column::Mixed(values) => match values.first() {
+            Some(Value::Int(_)) | None => AttrType::Int,
+            Some(Value::Text(_)) => AttrType::Text,
+            Some(Value::Date(_)) => AttrType::Date,
+        },
     }
 }
 
-fn distinct_count(table: &Table, idx: usize) -> usize {
-    let mut seen: HashSet<&Value> = HashSet::with_capacity(table.len());
-    for row in table.rows() {
-        seen.insert(&row[idx]);
+/// Distinct values in one pass over the raw column storage.
+fn distinct_count(col: &Column) -> usize {
+    match col {
+        Column::Int(v) | Column::Date(v) => v.iter().collect::<HashSet<_>>().len(),
+        Column::Text(v) => v.iter().collect::<HashSet<_>>().len(),
+        Column::Mixed(v) => v.iter().collect::<HashSet<_>>().len(),
     }
-    seen.len()
 }
 
 fn detect_join_selectivities(db: &Database, catalog: &mut Catalog) -> Result<(), CatalogError> {
-    // Group integer columns by attribute name.
-    let mut by_name: BTreeMap<&str, Vec<(&Table, usize)>> = BTreeMap::new();
-    for (_, table) in db.iter() {
+    // Group integer columns by attribute name; keep (relation, attr, column).
+    type IntColumn<'a> = (&'a mvdesign_catalog::RelName, &'a AttrRef, &'a Column);
+    let mut by_name: BTreeMap<&str, Vec<IntColumn<'_>>> = BTreeMap::new();
+    for (name, table) in db.iter() {
         for (idx, attr) in table.attrs().iter().enumerate() {
-            if matches!(column_type(table, idx), AttrType::Int) {
+            let col = table.batch().column(idx);
+            if matches!(column_type(col), AttrType::Int) {
                 by_name
                     .entry(attr.attr.as_str())
                     .or_default()
-                    .push((table, idx));
+                    .push((name, attr, col));
             }
         }
     }
     for columns in by_name.values() {
-        for (i, (lt, li)) in columns.iter().enumerate() {
-            for (rt, ri) in &columns[i + 1..] {
-                if lt.name() == rt.name() || lt.is_empty() || rt.is_empty() {
+        for (i, (ln, la, lc)) in columns.iter().enumerate() {
+            for (rn, ra, rc) in &columns[i + 1..] {
+                if ln == rn || lc.is_empty() || rc.is_empty() {
                     continue;
                 }
-                // Count matches with a value-frequency map.
-                let mut freq: HashMap<&Value, f64> = HashMap::new();
-                for row in lt.rows() {
-                    *freq.entry(&row[*li]).or_insert(0.0) += 1.0;
-                }
-                let matches: f64 = rt
-                    .rows()
-                    .iter()
-                    .map(|row| freq.get(&row[*ri]).copied().unwrap_or(0.0))
-                    .sum();
+                let matches = count_matches(lc, rc);
                 if matches == 0.0 {
                     continue;
                 }
-                let js = matches / (lt.len() as f64 * rt.len() as f64);
-                let a = AttrRef::new(lt.name().clone(), lt.attrs()[*li].attr.clone());
-                let b = AttrRef::new(rt.name().clone(), rt.attrs()[*ri].attr.clone());
+                let js = matches / (lc.len() as f64 * rc.len() as f64);
+                let a = AttrRef::new((*ln).clone(), la.attr.clone());
+                let b = AttrRef::new((*rn).clone(), ra.attr.clone());
                 catalog.set_join_selectivity(a, b, js.min(1.0))?;
             }
         }
@@ -131,9 +139,29 @@ fn detect_join_selectivities(db: &Database, catalog: &mut Catalog) -> Result<(),
     Ok(())
 }
 
+/// Σ over right values of the left value's frequency — the number of
+/// equi-join matches. Two `Int` columns count through a raw `i64` map.
+fn count_matches(lc: &Column, rc: &Column) -> f64 {
+    if let (Column::Int(a), Column::Int(b)) = (lc, rc) {
+        let mut freq: HashMap<i64, f64> = HashMap::with_capacity(a.len());
+        for &x in a {
+            *freq.entry(x).or_insert(0.0) += 1.0;
+        }
+        return b.iter().map(|x| freq.get(x).copied().unwrap_or(0.0)).sum();
+    }
+    let mut freq: HashMap<Value, f64> = HashMap::new();
+    for i in 0..lc.len() {
+        *freq.entry(lc.value(i)).or_insert(0.0) += 1.0;
+    }
+    (0..rc.len())
+        .map(|j| freq.get(&rc.value(j)).copied().unwrap_or(0.0))
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table::Table;
     use mvdesign_algebra::AttrRef;
 
     fn db() -> Database {

@@ -1,22 +1,52 @@
 //! In-memory tables and databases.
+//!
+//! Since the columnar refactor a [`Table`] is a thin façade over a
+//! [`Batch`]: data lives in typed columns, and the row-major view that the
+//! original API exposed ([`Table::rows`]) is materialised lazily and cached,
+//! so legacy callers and tests keep working while the engine itself never
+//! touches tuples.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use mvdesign_algebra::{AttrRef, Value};
 use mvdesign_catalog::RelName;
 
-/// A materialized relation: a header of qualified attributes plus rows of
-/// values (bag semantics — duplicates are kept).
-#[derive(Debug, Clone, PartialEq, Eq)]
+use crate::batch::Batch;
+
+/// A materialized relation: a header of qualified attributes plus columnar
+/// data (bag semantics — duplicates are kept).
+#[derive(Debug)]
 pub struct Table {
     name: RelName,
-    attrs: Vec<AttrRef>,
-    rows: Vec<Vec<Value>>,
+    batch: Batch,
+    /// Lazily materialised row-major view backing [`Table::rows`].
+    row_cache: OnceLock<Vec<Vec<Value>>>,
 }
 
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        // Cloning shares the (Arc'd) columns and drops the row cache — the
+        // clone rebuilds it only if someone asks for rows.
+        Self {
+            name: self.name.clone(),
+            batch: self.batch.clone(),
+            row_cache: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.batch == other.batch
+    }
+}
+
+impl Eq for Table {}
+
 impl Table {
-    /// Creates a table.
+    /// Creates a table from row-major tuples.
     ///
     /// # Panics
     ///
@@ -28,19 +58,15 @@ impl Table {
         rows: Vec<Vec<Value>>,
     ) -> Self {
         let attrs: Vec<AttrRef> = attrs.into_iter().collect();
-        for (i, row) in rows.iter().enumerate() {
-            assert_eq!(
-                row.len(),
-                attrs.len(),
-                "row {i} has arity {} but the header has {}",
-                row.len(),
-                attrs.len()
-            );
-        }
+        Self::from_batch(name, Batch::from_rows(attrs, rows))
+    }
+
+    /// Wraps a finished batch as a named table (no data movement).
+    pub fn from_batch(name: impl Into<RelName>, batch: Batch) -> Self {
         Self {
             name: name.into(),
-            attrs,
-            rows,
+            batch,
+            row_cache: OnceLock::new(),
         }
     }
 
@@ -51,59 +77,89 @@ impl Table {
 
     /// The qualified attribute header.
     pub fn attrs(&self) -> &[AttrRef] {
-        &self.attrs
+        self.batch.attrs()
     }
 
-    /// The rows.
+    /// The columnar data.
+    pub fn batch(&self) -> &Batch {
+        &self.batch
+    }
+
+    /// Consumes the table and returns its batch.
+    pub fn into_batch(self) -> Batch {
+        self.batch
+    }
+
+    /// The rows, materialised from the columns on first use and cached.
     pub fn rows(&self) -> &[Vec<Value>] {
-        &self.rows
+        self.row_cache.get_or_init(|| self.batch.to_rows())
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.batch.rows()
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.batch.is_empty()
     }
 
     /// Index of an attribute in the header.
     pub fn index_of(&self, attr: &AttrRef) -> Option<usize> {
-        self.attrs.iter().position(|a| a == attr)
+        self.batch.index_of(attr)
+    }
+
+    /// Appends row-major tuples to the columns (the warehouse's base-load
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's arity differs from the header's.
+    pub fn extend_rows(&mut self, rows: Vec<Vec<Value>>) {
+        if rows.is_empty() {
+            return;
+        }
+        for row in rows {
+            self.batch.push_row(row);
+        }
+        self.row_cache = OnceLock::new();
     }
 
     /// A copy with rows sorted, for order-insensitive comparison in tests:
     /// two tables are bag-equal iff their canonicalized forms are equal.
     #[must_use]
     pub fn canonicalized(&self) -> Self {
-        let mut rows = self.rows.clone();
+        let mut rows = self.rows().to_vec();
         rows.sort();
-        Self {
-            name: self.name.clone(),
-            attrs: self.attrs.clone(),
-            rows,
-        }
+        Self::new(self.name.clone(), self.attrs().to_vec(), rows)
     }
 
     /// Consumes the table and returns its rows.
     pub fn into_rows(self) -> Vec<Vec<Value>> {
-        self.rows
+        match self.row_cache.into_inner() {
+            Some(rows) => rows,
+            None => self.batch.to_rows(),
+        }
     }
 }
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let headers: Vec<String> = self.attrs.iter().map(|a| a.to_string()).collect();
-        writeln!(f, "{} [{} rows]", self.name, self.rows.len())?;
+        let headers: Vec<String> = self.attrs().iter().map(|a| a.to_string()).collect();
+        writeln!(f, "{} [{} rows]", self.name, self.len())?;
         writeln!(f, "  {}", headers.join(" | "))?;
-        for row in self.rows.iter().take(20) {
-            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        for i in 0..self.len().min(20) {
+            let cells: Vec<String> = self
+                .batch
+                .columns()
+                .iter()
+                .map(|c| c.value(i).to_string())
+                .collect();
             writeln!(f, "  {}", cells.join(" | "))?;
         }
-        if self.rows.len() > 20 {
-            writeln!(f, "  … {} more", self.rows.len() - 20)?;
+        if self.len() > 20 {
+            writeln!(f, "  … {} more", self.len() - 20)?;
         }
         Ok(())
     }
@@ -129,6 +185,11 @@ impl Database {
     /// Looks up a table.
     pub fn table(&self, name: &str) -> Option<&Table> {
         self.tables.get(name)
+    }
+
+    /// Looks up a table for in-place mutation (appends).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
     }
 
     /// Iterates over tables in name order.
@@ -184,6 +245,27 @@ mod tests {
         let b = Table::new("R", a.attrs().to_vec(), rows);
         assert_ne!(a, b);
         assert_eq!(a.canonicalized(), b.canonicalized());
+    }
+
+    #[test]
+    fn rows_round_trip_through_columns() {
+        let table = t();
+        assert_eq!(
+            table.rows(),
+            [
+                vec![Value::Int(2), Value::text("y")],
+                vec![Value::Int(1), Value::text("x")],
+            ]
+        );
+        assert_eq!(table.clone().into_rows(), table.rows());
+    }
+
+    #[test]
+    fn extend_rows_appends_columnar() {
+        let mut table = t();
+        table.extend_rows(vec![vec![Value::Int(3), Value::text("z")]]);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.rows()[2], vec![Value::Int(3), Value::text("z")]);
     }
 
     #[test]

@@ -122,12 +122,13 @@ impl Warehouse {
 
     /// Appends rows to a base relation (a member-database load). Views go
     /// stale until [`Warehouse::refresh`] runs — the paper's once-per-period
-    /// update model.
+    /// update model. Appends go straight into the table's column storage
+    /// ([`Table::extend_rows`]) — no rebuild of the existing data.
     ///
     /// # Errors
     ///
     /// Returns [`WarehouseError::UnknownRelation`] when the relation has no
-    /// table, and panics via [`Table::new`] if row arity mismatches.
+    /// table, and panics via [`Table::extend_rows`] if row arity mismatches.
     pub fn append(
         &mut self,
         relation: impl Into<RelName>,
@@ -136,12 +137,9 @@ impl Warehouse {
         let relation = relation.into();
         let existing = self
             .db
-            .table(relation.as_str())
+            .table_mut(relation.as_str())
             .ok_or_else(|| WarehouseError::UnknownRelation(relation.clone()))?;
-        let mut all = existing.rows().to_vec();
-        all.extend(rows);
-        let table = Table::new(relation, existing.attrs().to_vec(), all);
-        self.db.insert_table(table);
+        existing.extend_rows(rows);
         self.stale = true;
         Ok(())
     }
@@ -209,8 +207,7 @@ pub fn measured_period_cost(
     for (name, definition) in views.views() {
         let (result, io) = measure(definition, &working, records_per_block)?;
         maintenance_io += io.total();
-        let table = Table::new(name.clone(), result.attrs().to_vec(), result.into_rows());
-        working.insert_table(table);
+        working.insert_table(Table::from_batch(name.clone(), result.into_batch()));
     }
 
     let mut query_io = 0.0;
@@ -247,8 +244,7 @@ pub fn measured_design_cost(
     for (name, definition) in views.views() {
         let (result, io) = measure(definition, &working, records_per_block)?;
         maintenance_io += io.total();
-        let table = Table::new(name.clone(), result.attrs().to_vec(), result.into_rows());
-        working.insert_table(table);
+        working.insert_table(Table::from_batch(name.clone(), result.into_batch()));
     }
     let mut query_io = 0.0;
     for (_, fq, root) in design.mvpp.mvpp().roots() {

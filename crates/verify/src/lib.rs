@@ -11,7 +11,10 @@
 //! - **executable semantics** ([`check_semantics`]): the merged, pushed-down
 //!   MVPP plan of every query — and its rewrite against the materialized
 //!   views — must return exactly the rows of the original plan when run on
-//!   `engine`-generated data.
+//!   `engine`-generated data. The original plan runs on the preserved
+//!   tuple-at-a-time engine (`mvdesign_engine::row_reference`) while the
+//!   merged and rewritten plans run on the columnar batch engine, so the
+//!   check doubles as a batch ≡ row differential test on every audit.
 //!
 //! [`audit_scenario`] bundles everything (structural validation, rewrite
 //! coverage, the three-way cost differential over deterministic random
@@ -195,7 +198,10 @@ pub fn check_semantics(
             continue;
         };
         let merged = mvpp.node(*root).expr();
-        let expected = match execute(q.root(), &db) {
+        // The expected side runs on the tuple-at-a-time reference engine, so
+        // this check is *differential*: an engine bug cannot cancel out of
+        // both sides of the comparison.
+        let expected = match mvdesign_engine::row_reference::execute(q.root(), &db) {
             Ok(t) => t.canonicalized(),
             Err(e) => {
                 report.push("semantics", format!("{} original fails: {e}", q.name()));

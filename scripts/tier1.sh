@@ -26,6 +26,8 @@ cargo test -q --workspace
 
 echo "== tier-1: bench smoke (--test mode) =="
 cargo bench -p mvdesign-bench --bench selection_scaling -- --test
+cargo bench -p mvdesign-bench --bench engine_and_optimizer -- --test
+cargo bench -p mvdesign-bench --bench engine_batch -- --test
 
 echo "== tier-1: paper artifacts still reproduce =="
 cargo run --release -p mvdesign-bench --bin repro -- fig9 > /dev/null

@@ -1,0 +1,245 @@
+//! Differential tests for the columnar batch engine: on random
+//! select-project-join-aggregate expressions over randomly generated data,
+//! the batch kernels must produce exactly the bag of tuples the preserved
+//! tuple-at-a-time reference engine produces — for every join algorithm.
+//!
+//! A fixture-based regression pins the I/O simulator's block totals, which
+//! must not move under per-batch accounting (every charge is a function of
+//! row counts alone).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use mvdesign::algebra::{
+    AggExpr, AggFunc, AttrRef, CompareOp, Expr, JoinCondition, Predicate, Value,
+};
+use mvdesign::catalog::{AttrType, Catalog};
+use mvdesign::engine::{
+    execute_with, measure, row_reference, Database, Generator, GeneratorConfig, JoinAlgo, Table,
+};
+
+/// A three-relation catalog with an integer join key, an integer payload and
+/// a low-cardinality text attribute per relation.
+fn make_catalog(sizes: [u32; 3]) -> Catalog {
+    let mut c = Catalog::new();
+    for (i, name) in ["R0", "R1", "R2"].iter().enumerate() {
+        c.relation(*name)
+            .attr("k", AttrType::Int)
+            .attr("x", AttrType::Int)
+            .attr("t", AttrType::Text)
+            .records(f64::from(sizes[i].max(4)))
+            .blocks((f64::from(sizes[i].max(4)) / 10.0).ceil())
+            .update_frequency(1.0)
+            .selectivity("x", 0.3)
+            .selectivity("t", 0.3)
+            .finish()
+            .expect("generated relation is valid");
+    }
+    c
+}
+
+/// The shape of one random query: a chain join (on the integer or the text
+/// key), selections with varying comparison operators, and either a
+/// projection or a group-by-with-aggregates on top.
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    joins: usize,                        // 0..=2 extra relations
+    join_on_text: bool,                  // join on `t` instead of `k`
+    select_on: Vec<(usize, usize, i64)>, // (relation, op index, literal)
+    top: usize,                          // 0 = nothing, 1 = project, 2 = aggregate
+}
+
+fn query_strategy() -> impl Strategy<Value = QuerySpec> {
+    (
+        0usize..=2,
+        any::<bool>(),
+        proptest::collection::vec((0usize..3, 0usize..3, 0i64..6), 0..3),
+        0usize..3,
+    )
+        .prop_map(|(joins, join_on_text, select_on, top)| QuerySpec {
+            joins,
+            join_on_text,
+            select_on,
+            top,
+        })
+}
+
+fn build_query(spec: &QuerySpec) -> Arc<Expr> {
+    let key = if spec.join_on_text { "t" } else { "k" };
+    let mut expr = Expr::base("R0");
+    for i in 1..=spec.joins {
+        let prev = format!("R{}", i - 1);
+        let cur = format!("R{i}");
+        expr = Expr::join(
+            expr,
+            Expr::base(cur.as_str()),
+            JoinCondition::on(AttrRef::new(prev, key), AttrRef::new(cur, key)),
+        );
+    }
+    let ops = [CompareOp::Le, CompareOp::Eq, CompareOp::Gt];
+    let mut preds = Vec::new();
+    for (rel, op, lit) in &spec.select_on {
+        if *rel <= spec.joins {
+            preds.push(Predicate::cmp(
+                AttrRef::new(format!("R{rel}"), "x"),
+                ops[*op],
+                *lit,
+            ));
+        }
+    }
+    expr = Expr::select(expr, Predicate::and(preds));
+    match spec.top {
+        1 => {
+            let mut attrs = vec![AttrRef::new("R0", "t")];
+            if spec.joins >= 1 {
+                attrs.push(AttrRef::new("R1", "x"));
+            }
+            Expr::project(expr, attrs)
+        }
+        2 => Expr::aggregate(
+            expr,
+            [AttrRef::new("R0", "t")],
+            [
+                AggExpr::new(AggFunc::Sum, AttrRef::new("R0", "x"), "sx"),
+                AggExpr::new(AggFunc::Min, AttrRef::new("R0", "k"), "mk"),
+                AggExpr::count_star("n"),
+            ],
+        ),
+        _ => expr,
+    }
+}
+
+fn small_db(catalog: &Catalog, seed: u64) -> Database {
+    Generator::with_config(GeneratorConfig {
+        seed,
+        scale: 1.0,
+        max_rows: 60,
+    })
+    .database(catalog)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The batch engine and the row-reference oracle agree — as bags, for
+    /// every join algorithm — on random SPJ + aggregate plans.
+    #[test]
+    fn batch_matches_row_reference_on_random_plans(
+        spec in query_strategy(),
+        sizes in proptest::array::uniform3(8u32..150),
+        seed in 0u64..1_000,
+    ) {
+        let catalog = make_catalog(sizes);
+        let db = small_db(&catalog, seed);
+        let q = build_query(&spec);
+        for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::SortMerge] {
+            let batch = execute_with(&q, &db, algo)
+                .expect("batch engine executes")
+                .canonicalized();
+            let reference = row_reference::execute_with(&q, &db, algo)
+                .expect("row reference executes")
+                .canonicalized();
+            prop_assert_eq!(
+                batch.rows(),
+                reference.rows(),
+                "bag mismatch under {:?} for {:?}",
+                algo,
+                spec
+            );
+        }
+    }
+
+    /// The I/O simulator's result table carries exactly the rows the batch
+    /// engine computes, regardless of the blocking factor.
+    #[test]
+    fn iosim_result_matches_engine_on_random_plans(
+        spec in query_strategy(),
+        sizes in proptest::array::uniform3(8u32..100),
+        seed in 0u64..500,
+        bf in 1u32..40,
+    ) {
+        let catalog = make_catalog(sizes);
+        let db = small_db(&catalog, seed);
+        let q = build_query(&spec);
+        let (measured, report) = measure(&q, &db, f64::from(bf)).expect("iosim executes");
+        let direct = execute_with(&q, &db, JoinAlgo::NestedLoop).expect("engine executes");
+        prop_assert_eq!(report.rows_out, direct.len());
+        prop_assert_eq!(
+            measured.canonicalized().rows(),
+            direct.canonicalized().rows()
+        );
+        prop_assert!(report.total() >= 0.0 && report.total().is_finite());
+    }
+}
+
+/// A deterministic fixture: `R` has 100 rows (k = i mod 7, x = i mod 10) and
+/// `S` has 30 rows (k = j mod 7).
+fn fixture_db() -> Database {
+    let mut db = Database::new();
+    db.insert_table(Table::new(
+        "R",
+        [AttrRef::new("R", "k"), AttrRef::new("R", "x")],
+        (0..100)
+            .map(|i| vec![Value::Int(i % 7), Value::Int(i % 10)])
+            .collect(),
+    ));
+    db.insert_table(Table::new(
+        "S",
+        [AttrRef::new("S", "k")],
+        (0..30).map(|j| vec![Value::Int(j % 7)]).collect(),
+    ));
+    db
+}
+
+/// Selection over 100 rows at 10 records/block: 10 blocks read, and the 50
+/// surviving rows (x < 5) cost 5 blocks written. These totals are the ones
+/// the tuple-at-a-time engine reported and must not move under per-batch
+/// accounting.
+#[test]
+fn iosim_selection_block_counts_are_unchanged() {
+    let db = fixture_db();
+    let q = Expr::select(
+        Expr::base("R"),
+        Predicate::cmp(AttrRef::new("R", "x"), CompareOp::Lt, 5),
+    );
+    let (out, report) = measure(&q, &db, 10.0).expect("iosim executes");
+    assert_eq!(out.len(), 50);
+    assert_eq!(report.blocks_read, 10.0);
+    assert_eq!(report.blocks_written, 5.0);
+    assert_eq!(report.total(), 15.0);
+}
+
+/// Nested-loop join accounting: 10 outer blocks x 3 inner blocks read, and
+/// the 430 matches (15*5*2 + 14*4*5) write ceil(430/10) = 43 blocks.
+#[test]
+fn iosim_join_block_counts_are_unchanged() {
+    let db = fixture_db();
+    let q = Expr::join(
+        Expr::base("R"),
+        Expr::base("S"),
+        JoinCondition::on(AttrRef::new("R", "k"), AttrRef::new("S", "k")),
+    );
+    let (out, report) = measure(&q, &db, 10.0).expect("iosim executes");
+    assert_eq!(out.len(), 430);
+    assert_eq!(report.blocks_read, 30.0);
+    assert_eq!(report.blocks_written, 43.0);
+    assert_eq!(report.total(), 73.0);
+}
+
+/// Aggregation accounting: the 100-row input costs 10 blocks read and the 7
+/// groups (k = 0..6) cost 1 block written.
+#[test]
+fn iosim_aggregate_block_counts_are_unchanged() {
+    let db = fixture_db();
+    let q = Expr::aggregate(
+        Expr::base("R"),
+        [AttrRef::new("R", "k")],
+        [AggExpr::new(AggFunc::Sum, AttrRef::new("R", "x"), "sx")],
+    );
+    let (out, report) = measure(&q, &db, 10.0).expect("iosim executes");
+    assert_eq!(out.len(), 7);
+    assert_eq!(report.blocks_read, 10.0);
+    assert_eq!(report.blocks_written, 1.0);
+    assert_eq!(report.total(), 11.0);
+}
