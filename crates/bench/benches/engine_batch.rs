@@ -7,8 +7,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mvdesign::algebra::{AggExpr, AggFunc, AttrRef, CompareOp, Expr, JoinCondition, Predicate};
+use mvdesign::catalog::{AttrType, Catalog};
 use mvdesign::engine::{
-    execute_with, row_reference, Database, Generator, GeneratorConfig, JoinAlgo,
+    execute_with, row_reference, selection_mask, selection_mask_full, Database, Generator,
+    GeneratorConfig, JoinAlgo,
 };
 use mvdesign::workload::{StarSchema, StarSchemaConfig};
 
@@ -25,6 +27,53 @@ fn star_db() -> Database {
         max_rows: 2_000,
     })
     .database(&scenario.catalog)
+}
+
+/// A fact/dimension pair whose join key exists both as an int and as
+/// dictionary-encoded text over the same 200-value domain (mirrors the
+/// `repro perf-engine` dict catalog at criterion-friendly sizes).
+fn dict_db() -> Database {
+    let mut c = Catalog::new();
+    c.relation("TFact")
+        .attr("fid", AttrType::Int)
+        .attr("skuid", AttrType::Int)
+        .attr("sku", AttrType::Text)
+        .attr("tier", AttrType::Text)
+        .attr("grade", AttrType::Text)
+        .attr("flag", AttrType::Int)
+        .attr("qty", AttrType::Int)
+        .records(100_000.0)
+        .blocks(10_000.0)
+        .selectivity("tier", 0.25)
+        .selectivity("grade", 0.2)
+        .selectivity("flag", 0.5)
+        .finish()
+        .expect("TFact");
+    c.relation("TDim")
+        .attr("did", AttrType::Int)
+        .attr("sku", AttrType::Text)
+        .records(10_000.0)
+        .blocks(1_000.0)
+        .finish()
+        .expect("TDim");
+    c.set_join_selectivity(
+        AttrRef::new("TFact", "skuid"),
+        AttrRef::new("TDim", "did"),
+        1e-4,
+    )
+    .expect("int join key");
+    c.set_join_selectivity(
+        AttrRef::new("TFact", "sku"),
+        AttrRef::new("TDim", "sku"),
+        1e-4,
+    )
+    .expect("text join key");
+    Generator::with_config(GeneratorConfig {
+        seed: 0xD1C7,
+        scale: 0.02,
+        max_rows: 2_000,
+    })
+    .database(&c)
 }
 
 fn bench_batch_kernels(c: &mut Criterion) {
@@ -71,5 +120,70 @@ fn bench_batch_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_kernels);
+fn bench_dict_kernels(c: &mut Criterion) {
+    let db = dict_db();
+    let join_int = Expr::join(
+        Expr::base("TFact"),
+        Expr::base("TDim"),
+        JoinCondition::on(AttrRef::new("TFact", "skuid"), AttrRef::new("TDim", "did")),
+    );
+    let join_text = Expr::join(
+        Expr::base("TFact"),
+        Expr::base("TDim"),
+        JoinCondition::on(AttrRef::new("TFact", "sku"), AttrRef::new("TDim", "sku")),
+    );
+    let aggregate_text = Expr::aggregate(
+        Expr::base("TFact"),
+        [AttrRef::new("TFact", "tier")],
+        [
+            AggExpr::new(AggFunc::Sum, AttrRef::new("TFact", "qty"), "total"),
+            AggExpr::count_star("n"),
+        ],
+    );
+    let selective = Predicate::and([
+        Predicate::cmp(AttrRef::new("TFact", "sku"), CompareOp::Eq, "v7"),
+        Predicate::cmp(AttrRef::new("TFact", "qty"), CompareOp::Gt, 500),
+        Predicate::cmp(AttrRef::new("TFact", "tier"), CompareOp::Ne, "v3"),
+        Predicate::cmp(AttrRef::new("TFact", "grade"), CompareOp::Ne, "v4"),
+        Predicate::cmp(AttrRef::new("TFact", "flag"), CompareOp::Eq, 1),
+    ]);
+
+    let mut group = c.benchmark_group("engine_dict");
+    for (name, expr, algo) in [
+        ("join_hash_int_key", &join_int, JoinAlgo::Hash),
+        ("join_hash_text", &join_text, JoinAlgo::Hash),
+        ("hash_aggregate_dict", &aggregate_text, JoinAlgo::NestedLoop),
+    ] {
+        group.bench_function(format!("batch/{name}"), |b| {
+            b.iter(|| std::hint::black_box(execute_with(expr, &db, algo).expect("executes").len()))
+        });
+        group.bench_function(format!("row_reference/{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    row_reference::execute_with(expr, &db, algo)
+                        .expect("executes")
+                        .len(),
+                )
+            })
+        });
+    }
+    // The selection-vector ablation: adaptive survivor-index evaluation vs
+    // the full-width kernels on the same selective conjunction.
+    let tfact = db.table("TFact").expect("tfact").batch();
+    group.bench_function("mask/selection_vector", |b| {
+        b.iter(|| {
+            let mask = selection_mask(&selective, tfact).expect("mask");
+            std::hint::black_box(tfact.filter(&mask).rows())
+        })
+    });
+    group.bench_function("mask/full_width", |b| {
+        b.iter(|| {
+            let mask = selection_mask_full(&selective, tfact).expect("mask");
+            std::hint::black_box(tfact.filter(&mask).rows())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_kernels, bench_dict_kernels);
 criterion_main!(benches);

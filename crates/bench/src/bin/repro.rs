@@ -907,7 +907,7 @@ fn perf() {
         .nth(2)
         .unwrap_or_else(|| "working-tree".to_string());
     let mode = MaintenanceMode::SharedRecompute;
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = mvdesign_bench::host_cores();
     let mut rows: Vec<String> = Vec::new();
     println!(
         "{:>8} {:>7} {:<14} {:>12} {:>12} {:>9} {:>10} {:>14}",
@@ -1004,18 +1004,26 @@ fn write_bench_artifact(path: &str, label: &str, cores: usize, rows: &[String]) 
 /// Wall-clock comparison of the columnar batch engine against the preserved
 /// tuple-at-a-time reference (`mvdesign::engine::row_reference`) on
 /// star-schema scan, join (nested-loop and hash) and aggregation
-/// microbenchmarks over generated data. Both sides are asserted bag-equal
-/// before timing. Writes `BENCH_engine.json` as one labelled run
-/// (`repro perf-engine <label>`, default `working-tree`).
+/// microbenchmarks over generated data, plus a dictionary-keyed catalog that
+/// pits the text-key join/aggregate kernels against the int-key fast path
+/// and the selection-vector scan against the full-width mask evaluation
+/// (the `"baseline"` field names what each row was measured against). Both
+/// sides are asserted bag-equal (masks bit-identical) before timing. Writes
+/// `BENCH_engine.json` as one labelled run (`repro perf-engine <label>`,
+/// default `working-tree`).
 fn perf_engine() {
     use mvdesign::algebra::{AggExpr, AggFunc, AttrRef, CompareOp, JoinCondition, Predicate};
-    use mvdesign::engine::{execute_with, row_reference, Generator, GeneratorConfig, JoinAlgo};
+    use mvdesign::catalog::{AttrType, Catalog};
+    use mvdesign::engine::{
+        execute_with, row_reference, selection_mask, selection_mask_full, Generator,
+        GeneratorConfig, JoinAlgo,
+    };
 
     section("Perf: columnar batch engine vs tuple-at-a-time reference");
     let label = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "working-tree".to_string());
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = mvdesign_bench::host_cores();
 
     // Star schema at a size where the row engine's nested loop is painful
     // but not intolerable: 8 000 fact rows × 800 rows per dimension.
@@ -1033,6 +1041,58 @@ fn perf_engine() {
     .database(&scenario.catalog);
     let fact_rows = db.table("Fact").expect("fact").len();
     let dim_rows = db.table("Dim0").expect("dim").len();
+
+    // A second, dictionary-keyed catalog with the same fact/dimension sizes:
+    // the dimension key exists both as an int (`skuid`/`did`) and as text
+    // (`sku`), drawn from the same 800-value domain, so the text-key kernels
+    // are directly comparable with the int-key fast path in the same run.
+    let mut dict_catalog = Catalog::new();
+    dict_catalog
+        .relation("TFact")
+        .attr("fid", AttrType::Int)
+        .attr("skuid", AttrType::Int)
+        .attr("sku", AttrType::Text)
+        .attr("tier", AttrType::Text)
+        .attr("grade", AttrType::Text)
+        .attr("flag", AttrType::Int)
+        .attr("qty", AttrType::Int)
+        .records(100_000.0)
+        .blocks(10_000.0)
+        .selectivity("tier", 0.25)
+        .selectivity("grade", 0.2)
+        .selectivity("flag", 0.5)
+        .finish()
+        .expect("TFact");
+    dict_catalog
+        .relation("TDim")
+        .attr("did", AttrType::Int)
+        .attr("sku", AttrType::Text)
+        .records(10_000.0)
+        .blocks(1_000.0)
+        .finish()
+        .expect("TDim");
+    dict_catalog
+        .set_join_selectivity(
+            AttrRef::new("TFact", "skuid"),
+            AttrRef::new("TDim", "did"),
+            1e-4,
+        )
+        .expect("int join key");
+    dict_catalog
+        .set_join_selectivity(
+            AttrRef::new("TFact", "sku"),
+            AttrRef::new("TDim", "sku"),
+            1e-4,
+        )
+        .expect("text join key");
+    let tdb = Generator::with_config(GeneratorConfig {
+        seed: 0xD1C7,
+        scale: 0.08,
+        max_rows: 8_000,
+    })
+    .database(&dict_catalog);
+    let tfact_rows = tdb.table("TFact").expect("tfact").len();
+    let tdim_rows = tdb.table("TDim").expect("tdim").len();
 
     // `measure` draws from a two-value domain (selectivity 0.5), so this
     // keeps about half the fact table.
@@ -1053,39 +1113,121 @@ fn perf_engine() {
             AggExpr::count_star("n"),
         ],
     );
-    let cases: Vec<(&str, &std::sync::Arc<Expr>, JoinAlgo, usize)> = vec![
-        ("scan-filter", &scan, JoinAlgo::NestedLoop, fact_rows),
+    // Dict-catalog queries: the same hash join through the int and the text
+    // key, a text group-by aggregate, and a multi-conjunct scan whose first
+    // conjunct keeps ~1/800 of the fact table (the selection-vector case).
+    let join_int = Expr::join(
+        Expr::base("TFact"),
+        Expr::base("TDim"),
+        JoinCondition::on(AttrRef::new("TFact", "skuid"), AttrRef::new("TDim", "did")),
+    );
+    let join_text = Expr::join(
+        Expr::base("TFact"),
+        Expr::base("TDim"),
+        JoinCondition::on(AttrRef::new("TFact", "sku"), AttrRef::new("TDim", "sku")),
+    );
+    let aggregate_text = Expr::aggregate(
+        Expr::base("TFact"),
+        [AttrRef::new("TFact", "tier")],
+        [
+            AggExpr::new(AggFunc::Sum, AttrRef::new("TFact", "qty"), "total"),
+            AggExpr::count_star("n"),
+        ],
+    );
+    let selective = Predicate::and([
+        Predicate::cmp(AttrRef::new("TFact", "sku"), CompareOp::Eq, "v7"),
+        Predicate::cmp(AttrRef::new("TFact", "qty"), CompareOp::Gt, 1_000),
+        Predicate::cmp(AttrRef::new("TFact", "tier"), CompareOp::Ne, "v3"),
+        Predicate::cmp(AttrRef::new("TFact", "grade"), CompareOp::Ne, "v4"),
+        Predicate::cmp(AttrRef::new("TFact", "flag"), CompareOp::Eq, 1),
+    ]);
+    let scan_selective = Expr::select(Expr::base("TFact"), selective.clone());
+
+    type Case<'a> = (
+        &'a str,
+        &'a std::sync::Arc<Expr>,
+        JoinAlgo,
+        usize,
+        &'a mvdesign::engine::Database,
+    );
+    let cases: Vec<Case<'_>> = vec![
+        ("scan-filter", &scan, JoinAlgo::NestedLoop, fact_rows, &db),
         (
             "join-nested-loop",
             &join,
             JoinAlgo::NestedLoop,
             fact_rows + dim_rows,
+            &db,
         ),
-        ("join-hash", &join, JoinAlgo::Hash, fact_rows + dim_rows),
+        (
+            "join-hash",
+            &join,
+            JoinAlgo::Hash,
+            fact_rows + dim_rows,
+            &db,
+        ),
         (
             "join-sort-merge",
             &join,
             JoinAlgo::SortMerge,
             fact_rows + dim_rows,
+            &db,
         ),
         (
             "hash-aggregate",
             &aggregate,
             JoinAlgo::NestedLoop,
             fact_rows,
+            &db,
+        ),
+        (
+            "join-hash-int-key",
+            &join_int,
+            JoinAlgo::Hash,
+            tfact_rows + tdim_rows,
+            &tdb,
+        ),
+        (
+            "join-hash-text",
+            &join_text,
+            JoinAlgo::Hash,
+            tfact_rows + tdim_rows,
+            &tdb,
+        ),
+        (
+            "hash-aggregate-dict",
+            &aggregate_text,
+            JoinAlgo::NestedLoop,
+            tfact_rows,
+            &tdb,
+        ),
+        (
+            "scan-filter-selective",
+            &scan_selective,
+            JoinAlgo::NestedLoop,
+            tfact_rows,
+            &tdb,
         ),
     ];
 
     println!(
-        "{:<18} {:>9} {:>9} {:>12} {:>12} {:>9} {:>16}",
-        "kernel", "rows in", "rows out", "row ms", "batch ms", "speedup", "batch rows/s"
+        "{:<22} {:<14} {:>9} {:>9} {:>12} {:>12} {:>9} {:>16}",
+        "kernel",
+        "baseline",
+        "rows in",
+        "rows out",
+        "base ms",
+        "batch ms",
+        "speedup",
+        "batch rows/s"
     );
     let mut rows_json: Vec<String> = Vec::new();
-    for (kernel, expr, algo, rows_in) in cases {
-        let reference = row_reference::execute_with(expr, &db, algo)
+    let mut batch_times: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+    for (kernel, expr, algo, rows_in, data) in cases {
+        let reference = row_reference::execute_with(expr, data, algo)
             .expect("reference executes")
             .canonicalized();
-        let batch = execute_with(expr, &db, algo)
+        let batch = execute_with(expr, data, algo)
             .expect("batch executes")
             .canonicalized();
         assert_eq!(
@@ -1095,23 +1237,85 @@ fn perf_engine() {
         );
         let rows_out = batch.len();
         let row_ms = time_ms(|| {
-            row_reference::execute_with(expr, &db, algo)
+            row_reference::execute_with(expr, data, algo)
                 .expect("reference executes")
                 .len()
         });
-        let batch_ms = time_ms(|| execute_with(expr, &db, algo).expect("batch executes").len());
-        let speedup = row_ms / batch_ms.max(1e-9);
-        let throughput = rows_in as f64 / (batch_ms / 1e3).max(1e-9);
-        println!(
-            "{kernel:<18} {rows_in:>9} {rows_out:>9} {row_ms:>12.3} {batch_ms:>12.3} {speedup:>8.1}x {throughput:>16.0}"
+        let batch_ms = time_ms(|| {
+            execute_with(expr, data, algo)
+                .expect("batch executes")
+                .len()
+        });
+        batch_times.insert(kernel, batch_ms);
+        engine_row(
+            &mut rows_json,
+            kernel,
+            "row-reference",
+            rows_in,
+            rows_out,
+            row_ms,
+            batch_ms,
         );
-        rows_json.push(format!(
-            "    {{\"kernel\": \"{kernel}\", \"rows_in\": {rows_in}, \"rows_out\": {rows_out}, \
-             \"row_ms\": {row_ms:.4}, \"batch_ms\": {batch_ms:.4}, \"speedup\": {speedup:.2}, \
-             \"batch_rows_per_sec\": {throughput:.0}}}"
-        ));
     }
+
+    // The selection-vector ablation: the same selective predicate evaluated
+    // with the PR 4 full-width kernels (every conjunct touches every row)
+    // against the adaptive survivor-index path, masks asserted bit-identical
+    // before timing. Both sides run mask + filter on the resident base batch.
+    let tfact = tdb.table("TFact").expect("tfact").batch();
+    let adaptive = selection_mask(&selective, tfact).expect("adaptive mask");
+    let full = selection_mask_full(&selective, tfact).expect("full mask");
+    assert_eq!(adaptive, full, "adaptive and full-width masks must agree");
+    let full_ms = time_ms(|| {
+        let mask = selection_mask_full(&selective, tfact).expect("full mask");
+        tfact.filter(&mask).rows()
+    });
+    let adaptive_ms = time_ms(|| {
+        let mask = selection_mask(&selective, tfact).expect("adaptive mask");
+        tfact.filter(&mask).rows()
+    });
+    let kept = adaptive.iter().filter(|k| **k).count();
+    engine_row(
+        &mut rows_json,
+        "scan-filter-selective",
+        "full-mask",
+        tfact_rows,
+        kept,
+        full_ms,
+        adaptive_ms,
+    );
+
+    let text_vs_int = batch_times["join-hash-text"] / batch_times["join-hash-int-key"].max(1e-9);
+    println!(
+        "\ntext-key hash join vs int-key fast path: {text_vs_int:.2}x batch time \
+         (target: within 2x); selection vectors vs full-width masks: {:.1}x",
+        full_ms / adaptive_ms.max(1e-9)
+    );
     write_bench_artifact("BENCH_engine.json", &label, cores, &rows_json);
+}
+
+/// Prints and serializes one `perf-engine` result row. `baseline` names what
+/// `base_ms` measured: the tuple-at-a-time reference engine, or the PR 4
+/// full-width mask evaluation for the selection-vector ablation.
+fn engine_row(
+    rows_json: &mut Vec<String>,
+    kernel: &str,
+    baseline: &str,
+    rows_in: usize,
+    rows_out: usize,
+    base_ms: f64,
+    batch_ms: f64,
+) {
+    let speedup = base_ms / batch_ms.max(1e-9);
+    let throughput = rows_in as f64 / (batch_ms / 1e3).max(1e-9);
+    println!(
+        "{kernel:<22} {baseline:<14} {rows_in:>9} {rows_out:>9} {base_ms:>12.3} {batch_ms:>12.3} {speedup:>8.1}x {throughput:>16.0}"
+    );
+    rows_json.push(format!(
+        "    {{\"kernel\": \"{kernel}\", \"baseline\": \"{baseline}\", \"rows_in\": {rows_in}, \
+         \"rows_out\": {rows_out}, \"row_ms\": {base_ms:.4}, \"batch_ms\": {batch_ms:.4}, \
+         \"speedup\": {speedup:.2}, \"batch_rows_per_sec\": {throughput:.0}}}"
+    ));
 }
 
 /// Milliseconds per execution, measured over enough repetitions to fill

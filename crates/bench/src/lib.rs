@@ -104,6 +104,12 @@ pub fn table2_rows(a: &AnnotatedMvpp) -> Vec<Table2Row> {
     ]
 }
 
+/// The machine's logical core count as reported by the OS, recorded in every
+/// `BENCH_*.json` artifact so readers can judge the parallel numbers.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Pulls the serialized run objects back out of a `BENCH_*.json` artifact
 /// written by [`render_bench_file`] (no JSON parser in-tree; the format is
 /// our own, brace-balanced and two-space indented).

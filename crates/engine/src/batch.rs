@@ -14,6 +14,16 @@
 //! [`Column::Mixed`] fallback otherwise. Two columns built from the same
 //! value sequence are therefore representation-equal, which keeps the
 //! derived `PartialEq` meaningful.
+//!
+//! Text columns have a second, dictionary-encoded representation:
+//! [`Column::Dict`] stores one `u32` code per row plus an `Arc`-shared value
+//! table. [`Column::from_values`] never produces it — dictionaries enter
+//! through the data generator and through builders that know their domain is
+//! small — but every kernel preserves it: `gather`/`filter` move codes and
+//! share the value table, equality predicates resolve the constant against
+//! the dictionary once per batch, and joins/aggregates on dictionary keys run
+//! over raw `u32` codes. The value table must hold *distinct* strings; code
+//! equality is value equality exactly because of that invariant.
 
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -29,6 +39,16 @@ pub enum Column {
     Text(Vec<Arc<str>>),
     /// All values are [`Value::Date`].
     Date(Vec<i64>),
+    /// All values are [`Value::Text`], dictionary-encoded: row `i` holds
+    /// `values[codes[i]]`. The value table is `Arc`-shared, so gathers,
+    /// filters and materialized views copy codes but never strings, and its
+    /// entries are distinct, so two equal codes always mean equal values.
+    Dict {
+        /// One dictionary code per row.
+        codes: Vec<u32>,
+        /// The shared value table the codes index into.
+        values: Arc<[Arc<str>]>,
+    },
     /// Heterogeneous fallback: the variants genuinely differ.
     Mixed(Vec<Value>),
 }
@@ -58,11 +78,43 @@ impl Column {
         col
     }
 
+    /// Builds a dictionary-encoded text column.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a code indexes past the value table (in debug builds the
+    /// distinctness of the value table is checked too).
+    pub fn dict(codes: Vec<u32>, values: Arc<[Arc<str>]>) -> Self {
+        assert!(
+            codes.iter().all(|&c| (c as usize) < values.len()),
+            "dictionary code out of range"
+        );
+        debug_assert!(
+            {
+                let mut seen: Vec<&str> = values.iter().map(|v| &**v).collect();
+                seen.sort_unstable();
+                seen.windows(2).all(|w| w[0] != w[1])
+            },
+            "dictionary value table holds duplicates"
+        );
+        Column::Dict { codes, values }
+    }
+
+    /// The shared value table of a dictionary-encoded column, if this is
+    /// one — lets callers check (and tests assert) value-table sharing.
+    pub fn dict_values(&self) -> Option<&Arc<[Arc<str>]>> {
+        match self {
+            Column::Dict { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+
     /// Number of values.
     pub fn len(&self) -> usize {
         match self {
             Column::Int(v) | Column::Date(v) => v.len(),
             Column::Text(v) => v.len(),
+            Column::Dict { codes, .. } => codes.len(),
             Column::Mixed(v) => v.len(),
         }
     }
@@ -82,19 +134,41 @@ impl Column {
             Column::Int(v) => Value::Int(v[i]),
             Column::Text(v) => Value::Text(Arc::clone(&v[i])),
             Column::Date(v) => Value::Date(v[i]),
+            Column::Dict { codes, values } => Value::Text(Arc::clone(&values[codes[i] as usize])),
             Column::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// The string at `i` when this column is text-backed (plain or
+    /// dictionary-encoded) — the shared scalar accessor of every dict-aware
+    /// kernel, with no `Arc` traffic.
+    pub(crate) fn str_at(&self, i: usize) -> Option<&str> {
+        match self {
+            Column::Text(v) => Some(&v[i]),
+            Column::Dict { codes, values } => Some(&values[codes[i] as usize]),
+            _ => None,
         }
     }
 
     /// Appends one value, keeping the canonical representation: an empty
     /// typed column re-types itself, a non-empty typed column degrades to
-    /// [`Column::Mixed`] on a variant mismatch.
+    /// [`Column::Mixed`] on a variant mismatch. A dictionary-encoded column
+    /// stays dictionary-encoded: a known string pushes its code, a new one
+    /// extends the value table copy-on-write (readers sharing the old table
+    /// are unaffected).
     pub fn push(&mut self, v: Value) {
-        if self.is_empty() {
-            *self = Column::from_values([v]);
-            return;
-        }
         match (&mut *self, v) {
+            (Column::Dict { codes, values }, Value::Text(s)) => {
+                if let Some(c) = values.iter().position(|x| **x == *s) {
+                    codes.push(c as u32);
+                } else {
+                    let mut table: Vec<Arc<str>> = values.to_vec();
+                    table.push(s);
+                    *values = table.into();
+                    codes.push((values.len() - 1) as u32);
+                }
+            }
+            (col, v) if col.is_empty() => *col = Column::from_values([v]),
             (Column::Int(vec), Value::Int(x)) => vec.push(x),
             (Column::Text(vec), Value::Text(s)) => vec.push(s),
             (Column::Date(vec), Value::Date(d)) => vec.push(d),
@@ -119,6 +193,10 @@ impl Column {
             Column::Int(v) => Column::Int(idx.iter().map(|&i| v[i]).collect()),
             Column::Text(v) => Column::Text(idx.iter().map(|&i| Arc::clone(&v[i])).collect()),
             Column::Date(v) => Column::Date(idx.iter().map(|&i| v[i]).collect()),
+            Column::Dict { codes, values } => Column::Dict {
+                codes: idx.iter().map(|&i| codes[i]).collect(),
+                values: Arc::clone(values),
+            },
             Column::Mixed(v) => {
                 // Re-canonicalise: a gather can drop the values that made
                 // the column heterogeneous.
@@ -132,9 +210,15 @@ impl Column {
     pub fn cmp_at(&self, i: usize, other: &Column, j: usize) -> Ordering {
         match (self, other) {
             (Column::Int(a), Column::Int(b)) => a[i].cmp(&b[j]),
-            (Column::Text(a), Column::Text(b)) => a[i].cmp(&b[j]),
             (Column::Date(a), Column::Date(b)) => a[i].cmp(&b[j]),
-            _ => self.value(i).cmp(&other.value(j)),
+            _ => match (self.str_at(i), other.str_at(j)) {
+                // Text-backed on both sides (plain or dictionary-encoded):
+                // compare the strings without building Values. Dictionary
+                // codes are assigned in appearance order, not string order,
+                // so codes are never compared for ordering.
+                (Some(a), Some(b)) => a.cmp(b),
+                _ => self.value(i).cmp(&other.value(j)),
+            },
         }
     }
 
@@ -142,12 +226,24 @@ impl Column {
     pub fn eq_at(&self, i: usize, other: &Column, j: usize) -> bool {
         match (self, other) {
             (Column::Int(a), Column::Int(b)) => a[i] == b[j],
-            (Column::Text(a), Column::Text(b)) => a[i] == b[j],
             (Column::Date(a), Column::Date(b)) => a[i] == b[j],
-            (Column::Int(_) | Column::Text(_) | Column::Date(_), Column::Mixed(_))
-            | (Column::Mixed(_), _) => self.value(i) == other.value(j),
-            // Distinct typed variants can never hold equal values.
-            _ => false,
+            // Same value table ⇒ code equality is value equality.
+            (
+                Column::Dict {
+                    codes: a,
+                    values: va,
+                },
+                Column::Dict {
+                    codes: b,
+                    values: vb,
+                },
+            ) if Arc::ptr_eq(va, vb) => a[i] == b[j],
+            (Column::Mixed(_), _) | (_, Column::Mixed(_)) => self.value(i) == other.value(j),
+            _ => match (self.str_at(i), other.str_at(j)) {
+                (Some(a), Some(b)) => a == b,
+                // Distinct typed variants can never hold equal values.
+                _ => false,
+            },
         }
     }
 
@@ -166,6 +262,20 @@ impl Column {
                     *m = *m && op.eval(a, x);
                 }
             }
+            (Column::Dict { codes, values }, Value::Text(x)) => {
+                // Resolve the constant against the dictionary once per
+                // batch: one string comparison per *distinct* value, then a
+                // table lookup per row. An equality constant missing from
+                // the dictionary zeroes the mask without touching rows.
+                let keep: Vec<bool> = values.iter().map(|v| op.eval(&&**v, &&**x)).collect();
+                if keep.iter().all(|&k| !k) {
+                    mask.fill(false);
+                } else if !keep.iter().all(|&k| k) {
+                    for (m, c) in mask.iter_mut().zip(codes) {
+                        *m = *m && keep[*c as usize];
+                    }
+                }
+            }
             (Column::Mixed(v), _) => {
                 for (m, a) in mask.iter_mut().zip(v) {
                     *m = *m && op.eval(a, lit);
@@ -178,6 +288,23 @@ impl Column {
                     mask.fill(false);
                 }
             }
+        }
+    }
+
+    /// `op(self[i], lit)` — the scalar twin of [`Column::compare_literal_and`],
+    /// used by the selection-vector path to evaluate only surviving rows.
+    /// Must agree bit-for-bit with the vectorised kernel.
+    pub fn literal_holds_at(&self, op: CompareOp, lit: &Value, i: usize) -> bool {
+        match (self, lit) {
+            (Column::Int(v), Value::Int(x)) | (Column::Date(v), Value::Date(x)) => {
+                op.eval(&v[i], x)
+            }
+            (Column::Mixed(v), _) => op.eval(&v[i], lit),
+            (_, Value::Text(x)) => match self.str_at(i) {
+                Some(s) => op.eval(&s, &&**x),
+                None => op.eval(&self.value(i), lit),
+            },
+            _ => op.eval(&self.value(i), lit),
         }
     }
 
@@ -197,12 +324,56 @@ impl Column {
                     *m = *m && op.eval(&a[i], &b[i]);
                 }
             }
+            // Shared value table + (in)equality: compare raw codes.
+            (
+                Column::Dict {
+                    codes: a,
+                    values: va,
+                },
+                Column::Dict {
+                    codes: b,
+                    values: vb,
+                },
+            ) if Arc::ptr_eq(va, vb) && matches!(op, CompareOp::Eq | CompareOp::Ne) => {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m && op.eval(&a[i], &b[i]);
+                }
+            }
+            _ if self.is_text_backed() && other.is_text_backed() => {
+                for (i, m) in mask.iter_mut().enumerate() {
+                    *m = *m
+                        && op.eval(
+                            &self.str_at(i).expect("text-backed"),
+                            &other.str_at(i).expect("text-backed"),
+                        );
+                }
+            }
             _ => {
                 for (i, m) in mask.iter_mut().enumerate() {
                     *m = *m && op.eval(&self.value(i), &other.value(i));
                 }
             }
         }
+    }
+
+    /// `op(self[i], other[i])` — the scalar twin of
+    /// [`Column::compare_column_and`] for the selection-vector path. Must
+    /// agree bit-for-bit with the vectorised kernel.
+    pub fn column_holds_at(&self, op: CompareOp, other: &Column, i: usize) -> bool {
+        match (self, other) {
+            (Column::Int(a), Column::Int(b)) | (Column::Date(a), Column::Date(b)) => {
+                op.eval(&a[i], &b[i])
+            }
+            _ => match (self.str_at(i), other.str_at(i)) {
+                (Some(a), Some(b)) => op.eval(&a, &b),
+                _ => op.eval(&self.value(i), &other.value(i)),
+            },
+        }
+    }
+
+    /// Whether every value is text (plain or dictionary-encoded).
+    fn is_text_backed(&self) -> bool {
+        matches!(self, Column::Text(_) | Column::Dict { .. })
     }
 }
 
@@ -349,6 +520,16 @@ impl Batch {
     #[must_use]
     pub fn filter(&self, mask: &[bool]) -> Batch {
         assert_eq!(mask.len(), self.rows, "mask length mismatch");
+        let keep = mask.iter().filter(|&&k| k).count();
+        if keep == self.rows {
+            // All-true: share every column by `Arc` clone instead of copying.
+            return self.clone();
+        }
+        if keep == 0 {
+            // All-false: an empty gather is O(#cols) and keeps each column's
+            // typed (and dictionary) representation.
+            return self.gather(&[]);
+        }
         let idx: Vec<usize> = mask
             .iter()
             .enumerate()
@@ -502,6 +683,99 @@ mod tests {
         let h = Batch::hstack(&f, &f);
         assert_eq!(h.attrs().len(), 2);
         assert_eq!(h.rows(), 2);
+    }
+
+    fn dict_col(codes: &[u32], values: &[&str]) -> Column {
+        let table: Vec<Arc<str>> = values.iter().map(|s| Arc::from(*s)).collect();
+        Column::dict(codes.to_vec(), table.into())
+    }
+
+    #[test]
+    fn dict_values_and_gather_share_table() {
+        let c = dict_col(&[0, 1, 0, 2], &["a", "b", "c"]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.value(2), Value::text("a"));
+        let g = c.gather(&[3, 0]);
+        assert_eq!(g.value(0), Value::text("c"));
+        assert!(Arc::ptr_eq(
+            c.dict_values().unwrap(),
+            g.dict_values().unwrap()
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dict_code_out_of_range_panics() {
+        let _ = dict_col(&[3], &["a", "b"]);
+    }
+
+    #[test]
+    fn dict_push_keeps_encoding_and_extends_cow() {
+        let mut c = dict_col(&[0, 1], &["a", "b"]);
+        let shared = Arc::clone(c.dict_values().unwrap());
+        c.push(Value::text("a"));
+        assert!(Arc::ptr_eq(c.dict_values().unwrap(), &shared));
+        c.push(Value::text("z"));
+        assert_eq!(c.value(3), Value::text("z"));
+        assert!(!Arc::ptr_eq(c.dict_values().unwrap(), &shared));
+        assert_eq!(shared.len(), 2, "readers of the old table are unaffected");
+        c.push(Value::Int(1));
+        assert!(matches!(c, Column::Mixed(_)));
+        assert_eq!(c.value(0), Value::text("a"));
+        assert_eq!(c.value(4), Value::Int(1));
+    }
+
+    #[test]
+    fn dict_compare_and_eq_match_text_semantics() {
+        let d = dict_col(&[0, 1, 2, 1], &["v10", "v2", "v7"]);
+        let t = Column::from_values((0..4).map(|i| d.value(i)));
+        for op in [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
+            for lit in [Value::text("v2"), Value::text("missing"), Value::Int(3)] {
+                let mut dm = vec![true; 4];
+                let mut tm = vec![true; 4];
+                d.compare_literal_and(op, &lit, &mut dm);
+                t.compare_literal_and(op, &lit, &mut tm);
+                assert_eq!(dm, tm, "op {op:?} lit {lit:?}");
+                let scalar: Vec<bool> = (0..4).map(|i| d.literal_holds_at(op, &lit, i)).collect();
+                assert_eq!(scalar, tm, "scalar op {op:?} lit {lit:?}");
+            }
+            let mut dm = vec![true; 4];
+            let mut tm = vec![true; 4];
+            d.compare_column_and(op, &d.gather(&[3, 2, 1, 0]), &mut dm);
+            t.compare_column_and(op, &t.gather(&[3, 2, 1, 0]), &mut tm);
+            assert_eq!(dm, tm, "column op {op:?}");
+            let scalar: Vec<bool> = (0..4)
+                .map(|i| d.column_holds_at(op, &d.gather(&[3, 2, 1, 0]), i))
+                .collect();
+            assert_eq!(scalar, tm, "scalar column op {op:?}");
+        }
+        // Cross-representation equality and ordering agree with plain text.
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(d.eq_at(i, &t, j), t.eq_at(i, &t, j));
+                assert_eq!(d.cmp_at(i, &t, j), t.cmp_at(i, &t, j));
+                assert_eq!(d.eq_at(i, &d, j), t.eq_at(i, &t, j));
+                assert_eq!(d.cmp_at(i, &d, j), t.cmp_at(i, &t, j));
+            }
+        }
+    }
+
+    #[test]
+    fn filter_all_true_shares_columns() {
+        let attrs = vec![AttrRef::new("R", "a")];
+        let b = Batch::from_rows(attrs, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let f = b.filter(&[true, true]);
+        assert!(Arc::ptr_eq(&b.columns()[0], &f.columns()[0]));
+        let e = b.filter(&[false, false]);
+        assert_eq!(e.rows(), 0);
+        assert_eq!(e.column(0), &Column::Int(vec![]));
     }
 
     #[test]

@@ -3,7 +3,12 @@
 //! Generation writes typed columns directly — no intermediate row tuples.
 //! The RNG is still consumed in row-major order (rows outer, attributes
 //! inner, exactly one draw per cell), so every seed produces the same data
-//! the tuple-building generator did.
+//! the tuple-building generator did. Text attributes draw from small
+//! catalog-derived domains, so they are emitted dictionary-encoded
+//! ([`Column::Dict`]): each cell stores a `u32` code and each distinct
+//! string is materialised once, in first-appearance order, which keeps the
+//! value sequence (and every seeded fixture) identical to the plain-text
+//! representation.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -84,20 +89,14 @@ impl Generator {
                 .iter()
                 .map(|a| domains.get(a).copied().unwrap_or(n as u64).max(1))
                 .collect();
-            let mut columns: Vec<Column> = types
-                .iter()
-                .map(|ty| match ty {
-                    AttrType::Int => Column::Int(Vec::with_capacity(n)),
-                    AttrType::Text => Column::Text(Vec::with_capacity(n)),
-                    AttrType::Date => Column::Date(Vec::with_capacity(n)),
-                })
-                .collect();
+            let mut builders: Vec<ColBuilder> =
+                types.iter().map(|ty| ColBuilder::new(*ty, n)).collect();
             for _ in 0..n {
-                for (i, col) in columns.iter_mut().enumerate() {
-                    draw_into(&mut rng, col, doms[i]);
+                for (i, b) in builders.iter_mut().enumerate() {
+                    b.draw(&mut rng, doms[i]);
                 }
             }
-            let columns = columns.into_iter().map(Arc::new).collect();
+            let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
             db.insert_table(Table::from_batch(name.clone(), Batch::new(attrs, columns)));
         }
         db
@@ -133,24 +132,68 @@ impl Generator {
     }
 }
 
-/// Draws one cell straight into typed column storage — exactly one
-/// `gen_range` call per cell, keeping the RNG stream identical to the old
-/// row-building generator.
-fn draw_into(rng: &mut StdRng, col: &mut Column, domain: u64) {
-    let k = rng.gen_range(0..domain.max(1));
-    match col {
-        Column::Int(v) => v.push(k as i64),
-        Column::Text(v) => v.push(Arc::from(format!("v{k}").as_str())),
-        Column::Date(v) => {
-            // Spread across 1996 so `date > 7/1/96` keeps about half.
-            let start = match Value::date(1996, 1, 1) {
-                Value::Date(d) => d,
-                _ => unreachable!("Value::date returns Date"),
-            };
-            let span = 372; // one simplified year
-            v.push(start + (k as i64 * span / domain.max(1) as i64));
+/// Per-column generation state. Each `draw` makes exactly one `gen_range`
+/// call, keeping the RNG stream identical to the old row-building generator;
+/// text columns additionally intern each distinct draw into a dictionary
+/// (codes in first-appearance order), so memory is bounded by the domain
+/// size instead of the row count.
+enum ColBuilder {
+    Int(Vec<i64>),
+    Date(Vec<i64>),
+    Dict {
+        codes: Vec<u32>,
+        by_draw: HashMap<u64, u32>,
+        values: Vec<Arc<str>>,
+    },
+}
+
+impl ColBuilder {
+    fn new(ty: AttrType, n: usize) -> Self {
+        match ty {
+            AttrType::Int => ColBuilder::Int(Vec::with_capacity(n)),
+            AttrType::Date => ColBuilder::Date(Vec::with_capacity(n)),
+            AttrType::Text => ColBuilder::Dict {
+                codes: Vec::with_capacity(n),
+                by_draw: HashMap::new(),
+                values: Vec::new(),
+            },
         }
-        Column::Mixed(_) => unreachable!("generator pre-types every column"),
+    }
+
+    fn draw(&mut self, rng: &mut StdRng, domain: u64) {
+        let k = rng.gen_range(0..domain.max(1));
+        match self {
+            ColBuilder::Int(v) => v.push(k as i64),
+            ColBuilder::Dict {
+                codes,
+                by_draw,
+                values,
+            } => {
+                let next = values.len() as u32;
+                let code = *by_draw.entry(k).or_insert_with(|| {
+                    values.push(Arc::from(format!("v{k}").as_str()));
+                    next
+                });
+                codes.push(code);
+            }
+            ColBuilder::Date(v) => {
+                // Spread across 1996 so `date > 7/1/96` keeps about half.
+                let start = match Value::date(1996, 1, 1) {
+                    Value::Date(d) => d,
+                    _ => unreachable!("Value::date returns Date"),
+                };
+                let span = 372; // one simplified year
+                v.push(start + (k as i64 * span / domain.max(1) as i64));
+            }
+        }
+    }
+
+    fn finish(self) -> Column {
+        match self {
+            ColBuilder::Int(v) => Column::Int(v),
+            ColBuilder::Date(v) => Column::Date(v),
+            ColBuilder::Dict { codes, values, .. } => Column::dict(codes, values.into()),
+        }
     }
 }
 
@@ -238,6 +281,27 @@ mod tests {
         // Expected ≈ |Pd|·|Div|/d = 1000·500/500 = 1000 rows.
         let n = out.len() as f64;
         assert!((100.0..=10_000.0).contains(&n), "join rows: {n}");
+    }
+
+    #[test]
+    fn text_columns_are_dictionary_encoded() {
+        let c = catalog();
+        let db = Generator::new().database(&c);
+        let div = db.table("Div").unwrap();
+        let idx = div
+            .attrs()
+            .iter()
+            .position(|a| a.attr.as_str() == "city")
+            .unwrap();
+        let col = div.batch().column(idx);
+        let values = col.dict_values().expect("generated text is dict-encoded");
+        // city has selectivity 0.02 ⇒ a 50-value domain.
+        assert!(values.len() <= 50, "dictionary larger than the domain");
+        assert!(values.len() > 1, "domain collapsed to one value");
+        // The dictionary holds distinct strings and decodes to Text values.
+        for i in 0..div.len() {
+            assert!(matches!(col.value(i), Value::Text(_)));
+        }
     }
 
     #[test]

@@ -7,6 +7,18 @@
 //! tuple-at-a-time implementation this replaced survives unchanged in
 //! [`crate::row_reference`] as the differential baseline; both engines are
 //! property-tested to produce identical bags.
+//!
+//! Two adaptive refinements sit on top of the kernels. Joins and aggregates
+//! whose keys are integer-, date- or dictionary-backed run over raw `i64`
+//! keys (dictionary codes translate between value tables once per batch, so
+//! text-keyed joins never hash a string). Selections short-circuit through
+//! *selection vectors*: [`selection_mask`] orders AND conjuncts by
+//! estimated selectivity (dictionary cardinalities give `=` on a text
+//! column a real distinct count; intersection commutes, so the order is
+//! free), starts with full-width mask kernels and, once few enough rows
+//! survive, evaluates the remaining conjuncts only at the surviving
+//! indices ([`selection_mask_full`] keeps the always-full-width behaviour
+//! as the differential baseline).
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -14,7 +26,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use mvdesign_algebra::{
-    AggExpr, AggFunc, AttrRef, Expr, JoinCondition, Predicate, RelName, Rhs, Value,
+    AggExpr, AggFunc, AttrRef, CompareOp, Expr, JoinCondition, Predicate, RelName, Rhs, Value,
 };
 
 use crate::batch::{Batch, Column};
@@ -190,8 +202,8 @@ pub(crate) fn join_batch(
     Ok(Batch::hstack(&l.gather(&lidx), &r.gather(&ridx)))
 }
 
-/// Nested loop over row indices; the single-key integer case runs over raw
-/// `&[i64]` slices.
+/// Nested loop over row indices; the single-key integer/dictionary case
+/// runs over raw `&[i64]` slices.
 fn nested_loop_indices(
     ln: usize,
     rn: usize,
@@ -200,7 +212,8 @@ fn nested_loop_indices(
 ) -> (Vec<usize>, Vec<usize>) {
     let mut lidx = Vec::new();
     let mut ridx = Vec::new();
-    if let [(lk, rk)] = int_keys(lcols, rcols).as_slice() {
+    if let [(lk, rk)] = raw_keys(lcols, rcols).as_slice() {
+        let (lk, rk) = (lk.as_slice(), rk.as_slice());
         for (i, a) in lk.iter().enumerate() {
             for (j, b) in rk.iter().enumerate() {
                 if a == b {
@@ -224,7 +237,8 @@ fn nested_loop_indices(
 
 /// Hash join over row indices: build on the right, probe with the left. A
 /// cross join hashes everything under the empty key, degenerating
-/// gracefully. The single-key integer case hashes raw `i64`s.
+/// gracefully. The single-key integer/dictionary case hashes raw `i64`s —
+/// text-keyed joins over dictionary columns never hash a string.
 fn hash_indices(
     ln: usize,
     rn: usize,
@@ -234,7 +248,8 @@ fn hash_indices(
     use std::collections::HashMap;
     let mut lidx = Vec::new();
     let mut ridx = Vec::new();
-    if let [(lk, rk)] = int_keys(lcols, rcols).as_slice() {
+    if let [(lk, rk)] = raw_keys(lcols, rcols).as_slice() {
+        let (lk, rk) = (lk.as_slice(), rk.as_slice());
         let mut built: HashMap<i64, Vec<usize>> = HashMap::new();
         for (j, b) in rk.iter().enumerate() {
             built.entry(*b).or_default().push(j);
@@ -277,6 +292,13 @@ fn sort_merge_indices(
     if lcols.is_empty() {
         // No key to sort on: fall back to the nested loop (cross product).
         return nested_loop_indices(ln, rn, lcols, rcols);
+    }
+    if let [(lk, rk)] = raw_keys(lcols, rcols).as_slice() {
+        // Raw fast path: sort and merge on `i64` keys. For dictionary
+        // columns these are translated codes — code order differs from
+        // string order, but the merge only needs *some* total order with
+        // the same equality classes, and code equality is value equality.
+        return sort_merge_raw(lk.as_slice(), rk.as_slice());
     }
     let key_cmp = |xcols: &[&Column], x: usize, ycols: &[&Column], y: usize| {
         xcols
@@ -324,20 +346,108 @@ fn sort_merge_indices(
     (lidx, ridx)
 }
 
-/// When every key pair is a same-variant integer-backed pair (`Int`/`Int` or
-/// `Date`/`Date`), returns the raw slices; empty otherwise. Kernels use the
-/// single-pair case as their fast path.
-fn int_keys<'a>(lcols: &[&'a Column], rcols: &[&'a Column]) -> Vec<(&'a [i64], &'a [i64])> {
-    let mut out = Vec::with_capacity(lcols.len());
-    for (lc, rc) in lcols.iter().zip(rcols) {
-        match (lc, rc) {
-            (Column::Int(a), Column::Int(b)) | (Column::Date(a), Column::Date(b)) => {
-                out.push((a.as_slice(), b.as_slice()));
+/// Single-key sort-merge over raw `i64` keys: sorts index permutations of
+/// both sides, then merges group × group.
+fn sort_merge_raw(lk: &[i64], rk: &[i64]) -> (Vec<usize>, Vec<usize>) {
+    let mut ls: Vec<usize> = (0..lk.len()).collect();
+    let mut rs: Vec<usize> = (0..rk.len()).collect();
+    ls.sort_by_key(|&i| lk[i]);
+    rs.sort_by_key(|&j| rk[j]);
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < ls.len() && j < rs.len() {
+        let (a, b) = (lk[ls[i]], rk[rs[j]]);
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let gi_end = i + ls[i..].iter().take_while(|&&x| lk[x] == a).count();
+                let gj_end = j + rs[j..].iter().take_while(|&&x| rk[x] == b).count();
+                for &li in &ls[i..gi_end] {
+                    for &rj in &rs[j..gj_end] {
+                        lidx.push(li);
+                        ridx.push(rj);
+                    }
+                }
+                i = gi_end;
+                j = gj_end;
             }
-            _ => return Vec::new(),
         }
     }
-    out
+    (lidx, ridx)
+}
+
+/// Raw `i64` join keys — borrowed straight from `Int`/`Date` storage, or
+/// materialised once per batch for dictionary codes.
+enum RawKeys<'a> {
+    Borrowed(&'a [i64]),
+    Owned(Vec<i64>),
+}
+
+impl RawKeys<'_> {
+    fn as_slice(&self) -> &[i64] {
+        match self {
+            RawKeys::Borrowed(s) => s,
+            RawKeys::Owned(v) => v,
+        }
+    }
+}
+
+/// Raw keys for one equi-join pair, if the pair is integer-representable.
+///
+/// `Int`/`Int` and `Date`/`Date` borrow their storage. `Dict`/`Dict` joins
+/// compare codes instead of strings: the right side's *dictionary entries*
+/// (not its rows) are translated into the left code space once, and a right
+/// value missing from the left dictionary maps to `-1`, which can never
+/// equal a (non-negative) left code — so the translated keys join exactly
+/// like the strings they stand for.
+fn raw_key_pair<'a>(lc: &'a Column, rc: &'a Column) -> Option<(RawKeys<'a>, RawKeys<'a>)> {
+    match (lc, rc) {
+        (Column::Int(a), Column::Int(b)) | (Column::Date(a), Column::Date(b)) => {
+            Some((RawKeys::Borrowed(a), RawKeys::Borrowed(b)))
+        }
+        (
+            Column::Dict {
+                codes: a,
+                values: va,
+            },
+            Column::Dict {
+                codes: b,
+                values: vb,
+            },
+        ) => {
+            let left = RawKeys::Owned(a.iter().map(|&c| i64::from(c)).collect());
+            let right = if Arc::ptr_eq(va, vb) {
+                RawKeys::Owned(b.iter().map(|&c| i64::from(c)).collect())
+            } else {
+                let by_str: std::collections::HashMap<&str, i64> = va
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (&**s, i as i64))
+                    .collect();
+                let translated: Vec<i64> = vb
+                    .iter()
+                    .map(|s| by_str.get(&**s).copied().unwrap_or(-1))
+                    .collect();
+                RawKeys::Owned(b.iter().map(|&c| translated[c as usize]).collect())
+            };
+            Some((left, right))
+        }
+        _ => None,
+    }
+}
+
+/// When every key pair is integer-representable (`Int`/`Int`, `Date`/`Date`
+/// or `Dict`/`Dict`), returns the raw keys; empty otherwise. Kernels use
+/// the single-pair case as their fast path.
+fn raw_keys<'a>(lcols: &[&'a Column], rcols: &[&'a Column]) -> Vec<(RawKeys<'a>, RawKeys<'a>)> {
+    lcols
+        .iter()
+        .zip(rcols)
+        .map(|(lc, rc)| raw_key_pair(lc, rc))
+        .collect::<Option<Vec<_>>>()
+        .unwrap_or_default()
 }
 
 /// Hash-aggregation kernel: offsets resolved once, keys and accumulator
@@ -366,6 +476,23 @@ pub(crate) fn aggregate_batch(
             None => Ok(None),
         })
         .collect::<Result<_, _>>()?;
+
+    if !gcols.is_empty() && gcols.len() <= COMPACT_GROUP_KEY_COLS {
+        if let Some(keys) = gcols
+            .iter()
+            .map(|c| raw_ints(c))
+            .collect::<Option<Vec<_>>>()
+        {
+            return Ok(aggregate_compact(
+                batch.rows(),
+                group_by,
+                aggs,
+                &gcols,
+                &acols,
+                &keys,
+            ));
+        }
+    }
 
     // BTreeMap keeps group output deterministic (sorted by key), matching
     // the row reference.
@@ -398,6 +525,102 @@ pub(crate) fn aggregate_batch(
     Ok(out)
 }
 
+/// Widest group-by the compact fixed-width aggregate key covers.
+const COMPACT_GROUP_KEY_COLS: usize = 4;
+
+/// The column's values as raw `i64`s: borrowed for `Int`/`Date`, owned
+/// codes for dictionary columns (code equality is value equality, which is
+/// all grouping needs).
+fn raw_ints(col: &Column) -> Option<RawKeys<'_>> {
+    match col {
+        Column::Int(v) | Column::Date(v) => Some(RawKeys::Borrowed(v)),
+        Column::Dict { codes, .. } => Some(RawKeys::Owned(
+            codes.iter().map(|&c| i64::from(c)).collect(),
+        )),
+        _ => None,
+    }
+}
+
+/// Upper-bound hint for the group count: dictionary columns bound their
+/// distinct count by the value-table size, other columns only by the row
+/// count. Pre-sizing the map from `min(rows, Π per-column hints)` avoids
+/// rehashing during the build.
+fn group_cardinality_hint(gcols: &[&Column], rows: usize) -> usize {
+    let mut hint = 1usize;
+    for c in gcols {
+        let d = match c {
+            Column::Dict { values, .. } => values.len().max(1),
+            _ => rows,
+        };
+        hint = hint.saturating_mul(d);
+        if hint >= rows {
+            return rows;
+        }
+    }
+    hint
+}
+
+/// Hash-aggregation fast path for int/date/dict group keys: a fixed-width
+/// `[i64; 4]` key padded with `i64::MIN` (every key in one aggregation
+/// shares a width, so padding never collides), a hash map pre-sized from
+/// [`group_cardinality_hint`], and flat per-group state vectors. Output
+/// groups are sorted by decoded key order afterwards, matching the
+/// `BTreeMap` slow path and the row reference exactly.
+fn aggregate_compact(
+    rows: usize,
+    group_by: &[AttrRef],
+    aggs: &[AggExpr],
+    gcols: &[&Column],
+    acols: &[Option<&Column>],
+    keys: &[RawKeys<'_>],
+) -> Batch {
+    use std::collections::HashMap;
+    let key_slices: Vec<&[i64]> = keys.iter().map(RawKeys::as_slice).collect();
+    let mut map: HashMap<[i64; COMPACT_GROUP_KEY_COLS], usize> =
+        HashMap::with_capacity(group_cardinality_hint(gcols, rows));
+    let mut reps: Vec<usize> = Vec::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    for i in 0..rows {
+        let mut key = [i64::MIN; COMPACT_GROUP_KEY_COLS];
+        for (k, s) in key_slices.iter().enumerate() {
+            key[k] = s[i];
+        }
+        let next = states.len();
+        let gid = *map.entry(key).or_insert(next);
+        if gid == next {
+            reps.push(i);
+            states.push(vec![AggState::default(); aggs.len()]);
+        }
+        for (state, col) in states[gid].iter_mut().zip(acols) {
+            state.feed(col.map(|c| c.value(i)));
+        }
+    }
+    let mut order: Vec<usize> = (0..reps.len()).collect();
+    order.sort_by(|&x, &y| {
+        gcols
+            .iter()
+            .map(|c| c.cmp_at(reps[x], c, reps[y]))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut attrs = group_by.to_vec();
+    attrs.extend(aggs.iter().map(|a| a.output_attr()));
+    let mut columns: Vec<Column> = attrs.iter().map(|_| Column::empty()).collect();
+    for &g in &order {
+        for (col, gc) in columns.iter_mut().zip(gcols) {
+            col.push(gc.value(reps[g]));
+        }
+        for ((col, state), agg) in columns[group_by.len()..]
+            .iter_mut()
+            .zip(&states[g])
+            .zip(aggs)
+        {
+            col.push(state.finish(agg.func));
+        }
+    }
+    Batch::new(attrs, columns.into_iter().map(Arc::new).collect())
+}
+
 /// Computes `definition` and stores the result under `name`, so later
 /// queries rewritten against the view (see `mvdesign-core`'s `ViewCatalog`)
 /// can read it as a base table. The stored table keeps the definition's
@@ -416,14 +639,57 @@ pub fn materialize_view(
     Ok(())
 }
 
-/// Evaluates `predicate` over the whole batch into a keep-mask.
-fn predicate_mask(predicate: &Predicate, batch: &Batch) -> Result<Vec<bool>, ExecError> {
+/// Batches below this size never switch to selection-vector evaluation —
+/// the bookkeeping costs more than the full-width kernels.
+const SELECTION_VECTOR_MIN_ROWS: usize = 64;
+
+/// Density denominator: evaluation switches to survivor indices once fewer
+/// than `rows / SELECTION_VECTOR_DENSITY_DEN` rows remain undecided.
+const SELECTION_VECTOR_DENSITY_DEN: usize = 8;
+
+/// Evaluates `predicate` over the whole batch into a keep-mask, with
+/// selection-vector short-circuiting: AND conjuncts are ordered
+/// most-selective-first (estimates only — results are order-free), start
+/// as full-width vectorised mask kernels, and once the surviving density
+/// drops below `1/8` (on batches of at least 64 rows) the remaining
+/// conjuncts evaluate only over the surviving row indices.
+/// Disjunctions are handled symmetrically — once most rows are already
+/// accepted, remaining disjuncts evaluate only over the still-undecided
+/// rows. Predicates are pure, so the result is bit-identical to
+/// [`selection_mask_full`] (pinned by a regression test).
+///
+/// # Errors
+///
+/// Returns [`ExecError::MissingAttr`] when the predicate references an
+/// attribute the batch does not carry.
+pub fn selection_mask(predicate: &Predicate, batch: &Batch) -> Result<Vec<bool>, ExecError> {
+    let mut mask = vec![true; batch.rows()];
+    and_predicate_adaptive(predicate, batch, &mut mask)?;
+    Ok(mask)
+}
+
+/// Evaluates `predicate` into a keep-mask with full-width vectorised
+/// kernels only — every conjunct and disjunct touches every row. This is
+/// the pre-selection-vector behaviour, kept public as the differential and
+/// benchmark baseline for [`selection_mask`].
+///
+/// # Errors
+///
+/// Returns [`ExecError::MissingAttr`] when the predicate references an
+/// attribute the batch does not carry.
+pub fn selection_mask_full(predicate: &Predicate, batch: &Batch) -> Result<Vec<bool>, ExecError> {
     let mut mask = vec![true; batch.rows()];
     and_predicate(predicate, batch, &mut mask)?;
     Ok(mask)
 }
 
-/// ANDs `predicate`'s value into `mask`, column-at-a-time.
+/// Evaluates `predicate` over the whole batch into a keep-mask.
+fn predicate_mask(predicate: &Predicate, batch: &Batch) -> Result<Vec<bool>, ExecError> {
+    selection_mask(predicate, batch)
+}
+
+/// ANDs `predicate`'s value into `mask`, column-at-a-time (full-width
+/// kernels, no selection vectors).
 fn and_predicate(p: &Predicate, b: &Batch, mask: &mut [bool]) -> Result<(), ExecError> {
     match p {
         Predicate::True => Ok(()),
@@ -460,6 +726,202 @@ fn and_predicate(p: &Predicate, b: &Batch, mask: &mut [bool]) -> Result<(), Exec
             for (m, a) in mask.iter_mut().zip(&any) {
                 *m = *m && *a;
             }
+            Ok(())
+        }
+    }
+}
+
+/// Like [`and_predicate`], but switches from full-width kernels to
+/// survivor-index (selection-vector) evaluation when density drops.
+fn and_predicate_adaptive(p: &Predicate, b: &Batch, mask: &mut [bool]) -> Result<(), ExecError> {
+    let rows = mask.len();
+    match p {
+        Predicate::True | Predicate::Cmp(_) => and_predicate(p, b, mask),
+        Predicate::And(ps) => {
+            // Conjunct intersection commutes, so the evaluation order is
+            // free to choose — but only after every attribute offset has
+            // been resolved in the predicate's own order, which pins the
+            // surfaced `MissingAttr` error to what the full-width path
+            // reports.
+            resolve_attrs(p, b)?;
+            let mut order: Vec<(f64, usize)> = ps
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (selectivity_estimate(p, b), i))
+                .collect();
+            order.sort_by(|x, y| x.0.total_cmp(&y.0));
+            let mut idx: Option<Vec<usize>> = None;
+            for (k, &(_, ci)) in order.iter().enumerate() {
+                let p = &ps[ci];
+                match &mut idx {
+                    Some(idx) => retain_where(p, b, idx)?,
+                    None => {
+                        and_predicate_adaptive(p, b, mask)?;
+                        if rows >= SELECTION_VECTOR_MIN_ROWS && k + 1 < ps.len() {
+                            idx = sparse_indices(mask, true);
+                        }
+                    }
+                }
+            }
+            if let Some(idx) = idx {
+                mask.fill(false);
+                for i in idx {
+                    mask[i] = true;
+                }
+            }
+            Ok(())
+        }
+        Predicate::Or(ps) => {
+            // `any` accumulates accepted rows; once most rows are accepted,
+            // the remaining disjuncts only visit the still-undecided ones.
+            let mut any = vec![false; rows];
+            let mut idx: Option<Vec<usize>> = None;
+            for (k, p) in ps.iter().enumerate() {
+                match &mut idx {
+                    Some(undecided) => {
+                        let mut holds = undecided.clone();
+                        retain_where(p, b, &mut holds)?;
+                        for &i in &holds {
+                            any[i] = true;
+                        }
+                        undecided.retain(|&i| !any[i]);
+                    }
+                    None => {
+                        let mut sub = vec![true; rows];
+                        and_predicate_adaptive(p, b, &mut sub)?;
+                        for (a, s) in any.iter_mut().zip(&sub) {
+                            *a = *a || *s;
+                        }
+                        if rows >= SELECTION_VECTOR_MIN_ROWS && k + 1 < ps.len() {
+                            idx = sparse_indices(&any, false);
+                        }
+                    }
+                }
+            }
+            for (m, a) in mask.iter_mut().zip(&any) {
+                *m = *m && *a;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Resolves every attribute offset in `p` — in the predicate's own
+/// left-to-right order, without evaluating anything — and returns the first
+/// failure. Both evaluation paths surface resolution errors regardless of
+/// mask state, so running this before reordering conjuncts keeps the
+/// adaptive path's error behaviour identical to the full-width kernels'.
+fn resolve_attrs(p: &Predicate, b: &Batch) -> Result<(), ExecError> {
+    match p {
+        Predicate::True => Ok(()),
+        Predicate::Cmp(c) => {
+            b.index_of(&c.attr)
+                .ok_or_else(|| ExecError::MissingAttr(c.attr.clone()))?;
+            if let Rhs::Attr(a) = &c.rhs {
+                b.index_of(a)
+                    .ok_or_else(|| ExecError::MissingAttr(a.clone()))?;
+            }
+            Ok(())
+        }
+        Predicate::And(ps) | Predicate::Or(ps) => ps.iter().try_for_each(|p| resolve_attrs(p, b)),
+    }
+}
+
+/// Estimated fraction of rows a predicate keeps, used only to order AND
+/// conjuncts most-selective-first. A dictionary-encoded column carries a
+/// real distinct count, so `=` on it estimates `1/|dictionary|`; everything
+/// else falls back on the classic textbook constants. Estimates never touch
+/// results — they only pick which conjunct gets the chance to drop the
+/// evaluation into selection-vector mode first.
+fn selectivity_estimate(p: &Predicate, b: &Batch) -> f64 {
+    match p {
+        Predicate::True => 1.0,
+        Predicate::Cmp(c) => {
+            let distinct = b
+                .index_of(&c.attr)
+                .and_then(|i| b.column(i).dict_values())
+                .map(|v| v.len().max(1) as f64);
+            match (&c.rhs, c.op) {
+                (Rhs::Literal(_), CompareOp::Eq) => distinct.map_or(0.1, |d| 1.0 / d),
+                (Rhs::Literal(_), CompareOp::Ne) => distinct.map_or(0.9, |d| 1.0 - 1.0 / d),
+                _ => 1.0 / 3.0,
+            }
+        }
+        Predicate::And(ps) => ps.iter().map(|p| selectivity_estimate(p, b)).product(),
+        Predicate::Or(ps) => ps
+            .iter()
+            .map(|p| selectivity_estimate(p, b))
+            .sum::<f64>()
+            .min(1.0),
+    }
+}
+
+/// The indices whose mask entry equals `target`, or `None` as soon as their
+/// count reaches the 1-in-[`SELECTION_VECTOR_DENSITY_DEN`] density bound.
+/// Deciding *whether* to switch to selection-vector mode and building the
+/// vector itself share this single traversal, so a batch that stays dense
+/// pays at most one abandoned scan — not a count pass plus a collect pass.
+fn sparse_indices(mask: &[bool], target: bool) -> Option<Vec<usize>> {
+    let rows = mask.len();
+    let mut idx = Vec::with_capacity(rows / SELECTION_VECTOR_DENSITY_DEN + 1);
+    for (i, &m) in mask.iter().enumerate() {
+        if m == target {
+            if (idx.len() + 1) * SELECTION_VECTOR_DENSITY_DEN >= rows {
+                return None;
+            }
+            idx.push(i);
+        }
+    }
+    Some(idx)
+}
+
+/// Keeps the rows of `idx` where `p` holds — predicate evaluation in
+/// selection-vector mode. Attribute offsets resolve once per comparison
+/// (never per row), and the scalar column kernels agree bit-for-bit with
+/// their vectorised twins.
+fn retain_where(p: &Predicate, b: &Batch, idx: &mut Vec<usize>) -> Result<(), ExecError> {
+    match p {
+        Predicate::True => Ok(()),
+        Predicate::Cmp(c) => {
+            let li = b
+                .index_of(&c.attr)
+                .ok_or_else(|| ExecError::MissingAttr(c.attr.clone()))?;
+            match &c.rhs {
+                Rhs::Literal(v) => {
+                    let col = b.column(li);
+                    idx.retain(|&i| col.literal_holds_at(c.op, v, i));
+                }
+                Rhs::Attr(a) => {
+                    let ri = b
+                        .index_of(a)
+                        .ok_or_else(|| ExecError::MissingAttr(a.clone()))?;
+                    let (lc, rc) = (b.column(li), b.column(ri));
+                    idx.retain(|&i| lc.column_holds_at(c.op, rc, i));
+                }
+            }
+            Ok(())
+        }
+        Predicate::And(ps) => {
+            for p in ps {
+                retain_where(p, b, idx)?;
+            }
+            Ok(())
+        }
+        Predicate::Or(ps) => {
+            let mut undecided = std::mem::take(idx);
+            let mut accepted = Vec::new();
+            for p in ps {
+                let mut holds = undecided.clone();
+                retain_where(p, b, &mut holds)?;
+                if !holds.is_empty() {
+                    let hold_set: std::collections::HashSet<usize> =
+                        holds.iter().copied().collect();
+                    undecided.retain(|i| !hold_set.contains(i));
+                    accepted.extend(holds);
+                }
+            }
+            accepted.sort_unstable();
+            *idx = accepted;
             Ok(())
         }
     }

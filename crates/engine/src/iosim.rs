@@ -4,7 +4,9 @@
 //! Accounting is per *batch*: each operator runs as one columnar kernel call
 //! and is charged for its whole input/output in one step. Because every
 //! charge is a function of row counts alone, the totals are bit-identical to
-//! what the tuple-at-a-time engine reported.
+//! what the tuple-at-a-time engine reported — and stay pinned across storage
+//! changes (dictionary encoding, selection vectors) that alter how a batch
+//! is represented but not how many rows flow through each operator.
 
 use std::sync::Arc;
 

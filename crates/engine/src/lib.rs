@@ -58,7 +58,10 @@ mod table;
 
 pub use crate::batch::{Batch, Column};
 pub use crate::datagen::{Generator, GeneratorConfig};
-pub use crate::exec::{execute, execute_with, materialize_view, ExecError, JoinAlgo};
+pub use crate::exec::{
+    execute, execute_with, materialize_view, selection_mask, selection_mask_full, ExecError,
+    JoinAlgo,
+};
 pub use crate::iosim::{measure, IoReport};
 pub use crate::profile::{profile_database, ProfileConfig};
 pub use crate::table::{Database, Table};

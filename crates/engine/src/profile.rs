@@ -85,7 +85,7 @@ pub fn profile_database(db: &Database, config: &ProfileConfig) -> Result<Catalog
 fn column_type(col: &Column) -> AttrType {
     match col {
         Column::Int(_) => AttrType::Int,
-        Column::Text(_) => AttrType::Text,
+        Column::Text(_) | Column::Dict { .. } => AttrType::Text,
         Column::Date(_) => AttrType::Date,
         Column::Mixed(values) => match values.first() {
             Some(Value::Int(_)) | None => AttrType::Int,
@@ -95,34 +95,44 @@ fn column_type(col: &Column) -> AttrType {
     }
 }
 
-/// Distinct values in one pass over the raw column storage.
+/// Distinct values in one pass over the raw column storage. A dictionary
+/// column counts its *used* codes — filtered slices may reference only part
+/// of the shared value table.
 fn distinct_count(col: &Column) -> usize {
     match col {
         Column::Int(v) | Column::Date(v) => v.iter().collect::<HashSet<_>>().len(),
         Column::Text(v) => v.iter().collect::<HashSet<_>>().len(),
+        Column::Dict { codes, .. } => codes.iter().collect::<HashSet<_>>().len(),
         Column::Mixed(v) => v.iter().collect::<HashSet<_>>().len(),
     }
 }
 
 fn detect_join_selectivities(db: &Database, catalog: &mut Catalog) -> Result<(), CatalogError> {
-    // Group integer columns by attribute name; keep (relation, attr, column).
-    type IntColumn<'a> = (&'a mvdesign_catalog::RelName, &'a AttrRef, &'a Column);
-    let mut by_name: BTreeMap<&str, Vec<IntColumn<'_>>> = BTreeMap::new();
+    // Group joinable (integer or text) columns by attribute name; keep
+    // (relation, attr, column, type) and only pair same-typed columns.
+    type KeyColumn<'a> = (
+        &'a mvdesign_catalog::RelName,
+        &'a AttrRef,
+        &'a Column,
+        AttrType,
+    );
+    let mut by_name: BTreeMap<&str, Vec<KeyColumn<'_>>> = BTreeMap::new();
     for (name, table) in db.iter() {
         for (idx, attr) in table.attrs().iter().enumerate() {
             let col = table.batch().column(idx);
-            if matches!(column_type(col), AttrType::Int) {
+            let ty = column_type(col);
+            if matches!(ty, AttrType::Int | AttrType::Text) {
                 by_name
                     .entry(attr.attr.as_str())
                     .or_default()
-                    .push((name, attr, col));
+                    .push((name, attr, col, ty));
             }
         }
     }
     for columns in by_name.values() {
-        for (i, (ln, la, lc)) in columns.iter().enumerate() {
-            for (rn, ra, rc) in &columns[i + 1..] {
-                if ln == rn || lc.is_empty() || rc.is_empty() {
+        for (i, (ln, la, lc, lt)) in columns.iter().enumerate() {
+            for (rn, ra, rc, rt) in &columns[i + 1..] {
+                if ln == rn || lt != rt || lc.is_empty() || rc.is_empty() {
                     continue;
                 }
                 let matches = count_matches(lc, rc);
@@ -140,22 +150,71 @@ fn detect_join_selectivities(db: &Database, catalog: &mut Catalog) -> Result<(),
 }
 
 /// Σ over right values of the left value's frequency — the number of
-/// equi-join matches. Two `Int` columns count through a raw `i64` map.
+/// equi-join matches. Two `Int` columns count through a raw `i64` map; two
+/// dictionary columns count through code frequency vectors, translating
+/// each right *dictionary entry* (not each row) into the left code space,
+/// so the cost is `O(|L| + |R| + |dicts|)` with no per-row string work.
 fn count_matches(lc: &Column, rc: &Column) -> f64 {
-    if let (Column::Int(a), Column::Int(b)) = (lc, rc) {
-        let mut freq: HashMap<i64, f64> = HashMap::with_capacity(a.len());
-        for &x in a {
-            *freq.entry(x).or_insert(0.0) += 1.0;
+    match (lc, rc) {
+        (Column::Int(a), Column::Int(b)) => {
+            let mut freq: HashMap<i64, f64> = HashMap::with_capacity(a.len());
+            for &x in a {
+                *freq.entry(x).or_insert(0.0) += 1.0;
+            }
+            b.iter().map(|x| freq.get(x).copied().unwrap_or(0.0)).sum()
         }
-        return b.iter().map(|x| freq.get(x).copied().unwrap_or(0.0)).sum();
+        (
+            Column::Dict {
+                codes: a,
+                values: va,
+            },
+            Column::Dict {
+                codes: b,
+                values: vb,
+            },
+        ) => {
+            let mut freq = vec![0.0f64; va.len()];
+            for &c in a {
+                freq[c as usize] += 1.0;
+            }
+            if std::sync::Arc::ptr_eq(va, vb) {
+                return b.iter().map(|&c| freq[c as usize]).sum();
+            }
+            let by_str: HashMap<&str, usize> =
+                va.iter().enumerate().map(|(i, s)| (&**s, i)).collect();
+            let translated: Vec<f64> = vb
+                .iter()
+                .map(|s| by_str.get(&**s).map_or(0.0, |&i| freq[i]))
+                .collect();
+            b.iter().map(|&c| translated[c as usize]).sum()
+        }
+        (Column::Text(_) | Column::Dict { .. }, Column::Text(_) | Column::Dict { .. }) => {
+            // Mixed text representations: one `&str` frequency map, no
+            // `Value` allocation.
+            let mut freq: HashMap<&str, f64> = HashMap::with_capacity(lc.len());
+            for i in 0..lc.len() {
+                if let Some(s) = lc.str_at(i) {
+                    *freq.entry(s).or_insert(0.0) += 1.0;
+                }
+            }
+            (0..rc.len())
+                .map(|j| {
+                    rc.str_at(j)
+                        .and_then(|s| freq.get(s).copied())
+                        .unwrap_or(0.0)
+                })
+                .sum()
+        }
+        _ => {
+            let mut freq: HashMap<Value, f64> = HashMap::new();
+            for i in 0..lc.len() {
+                *freq.entry(lc.value(i)).or_insert(0.0) += 1.0;
+            }
+            (0..rc.len())
+                .map(|j| freq.get(&rc.value(j)).copied().unwrap_or(0.0))
+                .sum()
+        }
     }
-    let mut freq: HashMap<Value, f64> = HashMap::new();
-    for i in 0..lc.len() {
-        *freq.entry(lc.value(i)).or_insert(0.0) += 1.0;
-    }
-    (0..rc.len())
-        .map(|j| freq.get(&rc.value(j)).copied().unwrap_or(0.0))
-        .sum()
 }
 
 #[cfg(test)]

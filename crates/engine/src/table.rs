@@ -4,7 +4,9 @@
 //! [`Batch`]: data lives in typed columns, and the row-major view that the
 //! original API exposed ([`Table::rows`]) is materialised lazily and cached,
 //! so legacy callers and tests keep working while the engine itself never
-//! touches tuples.
+//! touches tuples. Dictionary-encoded text columns rehydrate the same way:
+//! strings are only built (one `Arc` bump per cell) when the row façade is
+//! actually asked for, never on the batch execution path.
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -147,6 +147,11 @@ impl Warehouse {
     /// Recomputes every materialized view (the paper's recomputation
     /// maintenance).
     ///
+    /// Views keep the engine's columnar layout: dictionary-encoded text
+    /// columns move by `Arc` clone, so a materialized view shares its value
+    /// tables with the base tables it was computed from — refreshing copies
+    /// codes, never strings.
+    ///
     /// # Errors
     ///
     /// Returns [`WarehouseError::Exec`] when a view definition fails.
@@ -345,6 +350,42 @@ mod tests {
         w.refresh().expect("refreshes");
         assert!(!w.is_stale());
         assert_eq!(w.refreshes(), 2);
+    }
+
+    #[test]
+    fn materialized_views_share_dictionary_value_tables_with_base_tables() {
+        let w = warehouse();
+        // Collect every base-table dictionary value table by pointer.
+        let base_tables: Vec<_> = w
+            .database()
+            .iter()
+            .filter(|(name, _)| w.views().views().iter().all(|(v, _)| v != *name))
+            .flat_map(|(_, t)| t.batch().columns().iter())
+            .filter_map(|c| c.dict_values().cloned())
+            .collect();
+        assert!(
+            !base_tables.is_empty(),
+            "generated base data carries dictionary columns"
+        );
+        let mut shared = 0usize;
+        for (name, _) in w.views().views() {
+            let view = w.database().table(name.as_str()).expect("view stored");
+            for col in view.batch().columns() {
+                if let Some(values) = col.dict_values() {
+                    assert!(
+                        base_tables
+                            .iter()
+                            .any(|b| std::sync::Arc::ptr_eq(b, values)),
+                        "view {name} rebuilt a dictionary instead of sharing it"
+                    );
+                    shared += 1;
+                }
+            }
+        }
+        assert!(
+            shared > 0,
+            "no view carries a dictionary column — sharing untested"
+        );
     }
 
     #[test]

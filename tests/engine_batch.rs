@@ -16,7 +16,8 @@ use mvdesign::algebra::{
 };
 use mvdesign::catalog::{AttrType, Catalog};
 use mvdesign::engine::{
-    execute_with, measure, row_reference, Database, Generator, GeneratorConfig, JoinAlgo, Table,
+    execute_with, measure, row_reference, selection_mask, selection_mask_full, Database, Generator,
+    GeneratorConfig, JoinAlgo, Table,
 };
 
 /// A three-relation catalog with an integer join key, an integer payload and
@@ -39,15 +40,18 @@ fn make_catalog(sizes: [u32; 3]) -> Catalog {
     c
 }
 
-/// The shape of one random query: a chain join (on the integer or the text
-/// key), selections with varying comparison operators, and either a
-/// projection or a group-by-with-aggregates on top.
+/// The shape of one random query: a chain join (on the integer or the
+/// dictionary-encoded text key), integer and text selections with varying
+/// comparison operators (text predicates optionally as one disjunction),
+/// and either a projection or a group-by-with-aggregates on top.
 #[derive(Debug, Clone)]
 struct QuerySpec {
-    joins: usize,                        // 0..=2 extra relations
-    join_on_text: bool,                  // join on `t` instead of `k`
-    select_on: Vec<(usize, usize, i64)>, // (relation, op index, literal)
-    top: usize,                          // 0 = nothing, 1 = project, 2 = aggregate
+    joins: usize,                          // 0..=2 extra relations
+    join_on_text: bool,                    // join on `t` instead of `k`
+    select_on: Vec<(usize, usize, i64)>,   // (relation, op index, literal)
+    text_select: Vec<(usize, usize, i64)>, // (relation, op index, "v{lit}")
+    text_or: bool,                         // OR the text predicates together
+    top: usize,                            // 0 = nothing, 1 = project, 2 = aggregate
 }
 
 fn query_strategy() -> impl Strategy<Value = QuerySpec> {
@@ -55,14 +59,20 @@ fn query_strategy() -> impl Strategy<Value = QuerySpec> {
         0usize..=2,
         any::<bool>(),
         proptest::collection::vec((0usize..3, 0usize..3, 0i64..6), 0..3),
+        proptest::collection::vec((0usize..3, 0usize..3, 0i64..6), 0..3),
+        any::<bool>(),
         0usize..3,
     )
-        .prop_map(|(joins, join_on_text, select_on, top)| QuerySpec {
-            joins,
-            join_on_text,
-            select_on,
-            top,
-        })
+        .prop_map(
+            |(joins, join_on_text, select_on, text_select, text_or, top)| QuerySpec {
+                joins,
+                join_on_text,
+                select_on,
+                text_select,
+                text_or,
+                top,
+            },
+        )
 }
 
 fn build_query(spec: &QuerySpec) -> Arc<Expr> {
@@ -87,6 +97,24 @@ fn build_query(spec: &QuerySpec) -> Arc<Expr> {
                 *lit,
             ));
         }
+    }
+    // Text predicates hit the dictionary-encoded columns; with `text_or`
+    // they become one disjunction (the paper's pushed-down disjunctive
+    // selects), exercising the OR side of selection-vector evaluation.
+    let mut text_preds = Vec::new();
+    for (rel, op, lit) in &spec.text_select {
+        if *rel <= spec.joins {
+            text_preds.push(Predicate::cmp(
+                AttrRef::new(format!("R{rel}"), "t"),
+                ops[*op],
+                Value::text(format!("v{lit}")),
+            ));
+        }
+    }
+    if spec.text_or && text_preds.len() >= 2 {
+        preds.push(Predicate::or(text_preds));
+    } else {
+        preds.extend(text_preds);
     }
     expr = Expr::select(expr, Predicate::and(preds));
     match spec.top {
@@ -171,6 +199,102 @@ proptest! {
         );
         prop_assert!(report.total() >= 0.0 && report.total().is_finite());
     }
+
+    /// Selection-vector short-circuiting must produce bit-identical masks
+    /// to full-width evaluation on random conjunctive/disjunctive
+    /// predicates over batches large enough to trigger the switch.
+    #[test]
+    fn short_circuit_masks_are_bit_identical(
+        rows in 8u32..600,
+        seed in 0u64..1_000,
+        int_preds in proptest::collection::vec((0usize..3, 0i64..6), 0..4),
+        text_preds in proptest::collection::vec((0usize..3, 0i64..6), 0..4),
+        use_or in any::<bool>(),
+    ) {
+        let catalog = make_catalog([rows, 8, 8]);
+        let db = Generator::with_config(GeneratorConfig {
+            seed,
+            scale: 1.0,
+            max_rows: 600,
+        })
+        .database(&catalog);
+        let ops = [CompareOp::Le, CompareOp::Eq, CompareOp::Gt];
+        let mut preds: Vec<Predicate> = int_preds
+            .iter()
+            .map(|(op, lit)| Predicate::cmp(AttrRef::new("R0", "x"), ops[*op], *lit))
+            .collect();
+        let texts: Vec<Predicate> = text_preds
+            .iter()
+            .map(|(op, lit)| {
+                Predicate::cmp(AttrRef::new("R0", "t"), ops[*op], Value::text(format!("v{lit}")))
+            })
+            .collect();
+        if use_or && texts.len() >= 2 {
+            preds.push(Predicate::or(texts));
+        } else {
+            preds.extend(texts);
+        }
+        let p = Predicate::and(preds);
+        let batch = db.table("R0").expect("table generated").batch();
+        let fast = selection_mask(&p, batch).expect("adaptive mask evaluates");
+        let full = selection_mask_full(&p, batch).expect("full mask evaluates");
+        prop_assert_eq!(fast, full);
+    }
+}
+
+/// The proptests above genuinely exercise the dictionary kernels: the
+/// generator emits every text column dictionary-encoded.
+#[test]
+fn generated_text_columns_are_dict_backed() {
+    let catalog = make_catalog([50, 50, 50]);
+    let db = small_db(&catalog, 7);
+    for r in ["R0", "R1", "R2"] {
+        let t = db.table(r).expect("table generated");
+        let idx = t
+            .attrs()
+            .iter()
+            .position(|a| a.attr.as_str() == "t")
+            .expect("t attribute");
+        assert!(
+            t.batch().column(idx).dict_values().is_some(),
+            "{r}.t is not dictionary-encoded"
+        );
+    }
+}
+
+/// A deterministic regression for the selection-vector switch itself: the
+/// first conjunct keeps 1% of 1,000 rows (well under the 1/8 density
+/// threshold), so the remaining conjuncts run in survivor-index mode — and
+/// the mask must still be bit-identical to full-width evaluation. The OR
+/// case mirrors it: the first disjunct accepts 99% of rows, so later
+/// disjuncts only visit the undecided 1%.
+#[test]
+fn selection_vector_switch_is_bit_identical_on_dense_fixture() {
+    let mut db = Database::new();
+    db.insert_table(Table::new(
+        "R",
+        [AttrRef::new("R", "a"), AttrRef::new("R", "b")],
+        (0..1_000)
+            .map(|i| vec![Value::Int(i % 100), Value::Int(i % 3)])
+            .collect(),
+    ));
+    let batch = db.table("R").expect("table").batch();
+
+    let and = Predicate::and([
+        Predicate::cmp(AttrRef::new("R", "a"), CompareOp::Eq, 5),
+        Predicate::cmp(AttrRef::new("R", "b"), CompareOp::Gt, 0),
+    ]);
+    let fast = selection_mask(&and, batch).expect("evaluates");
+    assert_eq!(fast, selection_mask_full(&and, batch).expect("evaluates"));
+    assert_eq!(fast.iter().filter(|&&m| m).count(), 7); // i%100==5 ∧ i%3>0
+
+    let or = Predicate::or([
+        Predicate::cmp(AttrRef::new("R", "a"), CompareOp::Ne, 5),
+        Predicate::cmp(AttrRef::new("R", "b"), CompareOp::Eq, 1),
+    ]);
+    let fast = selection_mask(&or, batch).expect("evaluates");
+    assert_eq!(fast, selection_mask_full(&or, batch).expect("evaluates"));
+    assert_eq!(fast.iter().filter(|&&m| m).count(), 993); // ¬(a=5 ∧ b≠1)
 }
 
 /// A deterministic fixture: `R` has 100 rows (k = i mod 7, x = i mod 10) and
