@@ -19,7 +19,9 @@
 //!
 //! `perf` and `perf-engine` take an optional label (`repro perf <label>`,
 //! default `working-tree`); re-running a label replaces that entry in the
-//! artifact instead of appending a duplicate.
+//! artifact instead of appending a duplicate. `perf-engine` additionally
+//! accepts `--threads N` to add an explicit thread count to its morsel
+//! scaling section (default: 1, 2 and all host cores).
 
 use std::collections::BTreeSet;
 
@@ -1008,9 +1010,13 @@ fn write_bench_artifact(path: &str, label: &str, cores: usize, rows: &[String]) 
 /// pits the text-key join/aggregate kernels against the int-key fast path
 /// and the selection-vector scan against the full-width mask evaluation
 /// (the `"baseline"` field names what each row was measured against). Both
-/// sides are asserted bag-equal (masks bit-identical) before timing. Writes
-/// `BENCH_engine.json` as one labelled run (`repro perf-engine <label>`,
-/// default `working-tree`).
+/// sides are asserted bag-equal (masks bit-identical) before timing. A
+/// second section times the morsel-driven parallel engine on a 1M-row
+/// scenario at several thread counts (default 1, 2 and all cores;
+/// `--threads N` adds an explicit count), asserting every parallel result
+/// bit-identical to the single-threaded run before timing. Writes
+/// `BENCH_engine.json` as one labelled run
+/// (`repro perf-engine <label> [--threads N]`, default `working-tree`).
 fn perf_engine() {
     use mvdesign::algebra::{AggExpr, AggFunc, AttrRef, CompareOp, JoinCondition, Predicate};
     use mvdesign::catalog::{AttrType, Catalog};
@@ -1020,10 +1026,23 @@ fn perf_engine() {
     };
 
     section("Perf: columnar batch engine vs tuple-at-a-time reference");
-    let label = std::env::args()
-        .nth(2)
-        .unwrap_or_else(|| "working-tree".to_string());
     let cores = mvdesign_bench::host_cores();
+    let mut label = "working-tree".to_string();
+    let mut thread_counts: Vec<usize> = vec![1, 2, cores.max(1)];
+    let mut argv = std::env::args().skip(2);
+    while let Some(arg) = argv.next() {
+        if arg == "--threads" {
+            let n: usize = argv
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads takes a positive integer");
+            thread_counts.push(n.max(1));
+        } else {
+            label = arg;
+        }
+    }
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
 
     // Star schema at a size where the row engine's nested loop is painful
     // but not intolerable: 8 000 fact rows × 800 rows per dimension.
@@ -1291,7 +1310,135 @@ fn perf_engine() {
          (target: within 2x); selection vectors vs full-width masks: {:.1}x",
         full_ms / adaptive_ms.max(1e-9)
     );
+    perf_engine_parallel(&mut rows_json, &thread_counts);
     write_bench_artifact("BENCH_engine.json", &label, cores, &rows_json);
+}
+
+/// The morsel-driven scaling section of `perf-engine`: a 1M-row fact table
+/// (built straight from typed columns — the row-major constructor would
+/// dominate setup) scanned, hash-joined against a 10k-row dimension and
+/// hash-aggregated under an [`ExecContext`](mvdesign::engine::ExecContext)
+/// per requested thread count.
+/// Every parallel result batch is asserted **bit-identical** to the
+/// single-threaded one before anything is timed, so the scaling numbers are
+/// for provably-equivalent plans.
+fn perf_engine_parallel(rows_json: &mut Vec<String>, thread_counts: &[usize]) {
+    use std::sync::Arc;
+
+    use mvdesign::algebra::{AggExpr, AggFunc, AttrRef, CompareOp, JoinCondition, Predicate};
+    use mvdesign::engine::{
+        execute_with_context, Batch, Column, Database, ExecContext, JoinAlgo, Table,
+        DEFAULT_MORSEL_ROWS,
+    };
+
+    const FACT_ROWS: usize = 1_000_000;
+    const DIM_ROWS: usize = 10_000;
+
+    let mut db = Database::new();
+    db.insert_table(Table::from_batch(
+        "PFact",
+        Batch::new(
+            vec![
+                AttrRef::new("PFact", "id"),
+                AttrRef::new("PFact", "k"),
+                AttrRef::new("PFact", "m"),
+            ],
+            vec![
+                Arc::new(Column::Int((0..FACT_ROWS as i64).collect())),
+                Arc::new(Column::Int(
+                    (0..FACT_ROWS as i64)
+                        .map(|i| i.wrapping_mul(2_654_435_761) % DIM_ROWS as i64)
+                        .collect(),
+                )),
+                Arc::new(Column::Int(
+                    (0..FACT_ROWS as i64).map(|i| i % 100).collect(),
+                )),
+            ],
+        ),
+    ));
+    db.insert_table(Table::from_batch(
+        "PDim",
+        Batch::new(
+            vec![AttrRef::new("PDim", "did")],
+            vec![Arc::new(Column::Int((0..DIM_ROWS as i64).collect()))],
+        ),
+    ));
+
+    // ~Half-selective scan, fact⋈dim hash join, 100-group hash aggregate.
+    let scan = Expr::select(
+        Expr::base("PFact"),
+        Predicate::cmp(AttrRef::new("PFact", "m"), CompareOp::Lt, 50),
+    );
+    let join = Expr::join(
+        Expr::base("PFact"),
+        Expr::base("PDim"),
+        JoinCondition::on(AttrRef::new("PFact", "k"), AttrRef::new("PDim", "did")),
+    );
+    let aggregate = Expr::aggregate(
+        Expr::base("PFact"),
+        [AttrRef::new("PFact", "m")],
+        [
+            AggExpr::new(AggFunc::Sum, AttrRef::new("PFact", "id"), "total"),
+            AggExpr::count_star("n"),
+        ],
+    );
+    type PCase<'a> = (&'a str, &'a std::sync::Arc<Expr>, JoinAlgo, usize);
+    let cases: Vec<PCase<'_>> = vec![
+        ("scan-filter-1m", &scan, JoinAlgo::NestedLoop, FACT_ROWS),
+        ("join-hash-1m", &join, JoinAlgo::Hash, FACT_ROWS + DIM_ROWS),
+        (
+            "hash-aggregate-1m",
+            &aggregate,
+            JoinAlgo::NestedLoop,
+            FACT_ROWS,
+        ),
+    ];
+
+    println!(
+        "\n{:<22} {:>8} {:>9} {:>12} {:>9} {:>16}",
+        "kernel (morsels)", "threads", "rows out", "batch ms", "scaling", "batch rows/s"
+    );
+    for (kernel, expr, algo, rows_in) in cases {
+        let single = ExecContext {
+            threads: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        };
+        let baseline = execute_with_context(expr, &db, algo, &single).expect("executes");
+        let mut single_ms = f64::NAN;
+        for &threads in thread_counts {
+            let ctx = ExecContext {
+                threads,
+                morsel_rows: DEFAULT_MORSEL_ROWS,
+            };
+            let out = execute_with_context(expr, &db, algo, &ctx).expect("executes");
+            assert_eq!(
+                baseline.batch(),
+                out.batch(),
+                "{kernel}: morsel result differs at {threads} thread(s)"
+            );
+            let ms = time_ms(|| {
+                execute_with_context(expr, &db, algo, &ctx)
+                    .expect("executes")
+                    .len()
+            });
+            if threads == 1 {
+                single_ms = ms;
+            }
+            let scaling = single_ms / ms.max(1e-9);
+            let throughput = rows_in as f64 / (ms / 1e3).max(1e-9);
+            println!(
+                "{kernel:<22} {threads:>8} {:>9} {ms:>12.3} {scaling:>8.2}x {throughput:>16.0}",
+                out.len()
+            );
+            rows_json.push(format!(
+                "    {{\"kernel\": \"{kernel}\", \"baseline\": \"single-thread\", \
+                 \"threads\": {threads}, \"rows_in\": {rows_in}, \"rows_out\": {}, \
+                 \"batch_ms\": {ms:.4}, \"speedup\": {scaling:.2}, \
+                 \"batch_rows_per_sec\": {throughput:.0}}}",
+                out.len()
+            ));
+        }
+    }
 }
 
 /// Prints and serializes one `perf-engine` result row. `baseline` names what

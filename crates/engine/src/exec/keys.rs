@@ -1,0 +1,230 @@
+//! Raw integer join/group keys shared by the hash join and hash-aggregation
+//! kernels (single-threaded and partitioned/morsel variants alike).
+//!
+//! `Int`/`Date` columns borrow their `i64` storage directly. Dictionary
+//! columns contribute their codes: code equality is value equality within
+//! one dictionary, and across dictionaries the right side's *entries* are
+//! translated into the left code space once per batch, so text-keyed joins
+//! never hash a string. Group keys pack up to [`COMPACT_GROUP_KEY_COLS`]
+//! column values into a fixed-width `[i64; 4]`, padded with `i64::MIN` —
+//! every key in one aggregation shares a width, so padding never collides.
+
+use std::sync::Arc;
+
+use crate::batch::Column;
+
+/// Widest group-by the compact fixed-width aggregate key covers.
+pub(crate) const COMPACT_GROUP_KEY_COLS: usize = 4;
+
+/// A fixed-width packed group key (see [`pack_key`]).
+pub(crate) type CompactKey = [i64; COMPACT_GROUP_KEY_COLS];
+
+/// Raw `i64` join keys — borrowed straight from `Int`/`Date` storage, or
+/// materialised once per batch for dictionary codes.
+pub(crate) enum RawKeys<'a> {
+    Borrowed(&'a [i64]),
+    Owned(Vec<i64>),
+}
+
+impl RawKeys<'_> {
+    pub(crate) fn as_slice(&self) -> &[i64] {
+        match self {
+            RawKeys::Borrowed(s) => s,
+            RawKeys::Owned(v) => v,
+        }
+    }
+}
+
+/// Raw keys for one equi-join pair, if the pair is integer-representable.
+///
+/// `Int`/`Int` and `Date`/`Date` borrow their storage. `Dict`/`Dict` joins
+/// compare codes instead of strings: the right side's *dictionary entries*
+/// (not its rows) are translated into the left code space once, and a right
+/// value missing from the left dictionary maps to `-1`, which can never
+/// equal a (non-negative) left code — so the translated keys join exactly
+/// like the strings they stand for.
+pub(crate) fn raw_key_pair<'a>(
+    lc: &'a Column,
+    rc: &'a Column,
+) -> Option<(RawKeys<'a>, RawKeys<'a>)> {
+    match (lc, rc) {
+        (Column::Int(a), Column::Int(b)) | (Column::Date(a), Column::Date(b)) => {
+            Some((RawKeys::Borrowed(a), RawKeys::Borrowed(b)))
+        }
+        (
+            Column::Dict {
+                codes: a,
+                values: va,
+            },
+            Column::Dict {
+                codes: b,
+                values: vb,
+            },
+        ) => {
+            let left = RawKeys::Owned(a.iter().map(|&c| i64::from(c)).collect());
+            let right = if Arc::ptr_eq(va, vb) {
+                RawKeys::Owned(b.iter().map(|&c| i64::from(c)).collect())
+            } else {
+                let by_str: std::collections::HashMap<&str, i64> = va
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (&**s, i as i64))
+                    .collect();
+                let translated: Vec<i64> = vb
+                    .iter()
+                    .map(|s| by_str.get(&**s).copied().unwrap_or(-1))
+                    .collect();
+                RawKeys::Owned(b.iter().map(|&c| translated[c as usize]).collect())
+            };
+            Some((left, right))
+        }
+        _ => None,
+    }
+}
+
+/// When every key pair is integer-representable (`Int`/`Int`, `Date`/`Date`
+/// or `Dict`/`Dict`), returns the raw keys; empty otherwise. Kernels use
+/// the single-pair case as their fast path.
+pub(crate) fn raw_keys<'a>(
+    lcols: &[&'a Column],
+    rcols: &[&'a Column],
+) -> Vec<(RawKeys<'a>, RawKeys<'a>)> {
+    lcols
+        .iter()
+        .zip(rcols)
+        .map(|(lc, rc)| raw_key_pair(lc, rc))
+        .collect::<Option<Vec<_>>>()
+        .unwrap_or_default()
+}
+
+/// The column's values as raw `i64`s: borrowed for `Int`/`Date`, owned
+/// codes for dictionary columns (code equality is value equality, which is
+/// all grouping needs).
+pub(crate) fn raw_ints(col: &Column) -> Option<RawKeys<'_>> {
+    match col {
+        Column::Int(v) | Column::Date(v) => Some(RawKeys::Borrowed(v)),
+        Column::Dict { codes, .. } => Some(RawKeys::Owned(
+            codes.iter().map(|&c| i64::from(c)).collect(),
+        )),
+        _ => None,
+    }
+}
+
+/// Packs row `i` of the group-key columns into a fixed-width key, padding
+/// unused lanes with `i64::MIN`. Within one aggregation every key uses the
+/// same number of lanes, so two packed keys are equal iff the underlying
+/// key tuples are equal — the round-trip property the unit tests pin.
+pub(crate) fn pack_key(key_slices: &[&[i64]], i: usize) -> CompactKey {
+    debug_assert!(key_slices.len() <= COMPACT_GROUP_KEY_COLS);
+    let mut key = [i64::MIN; COMPACT_GROUP_KEY_COLS];
+    for (k, s) in key_slices.iter().enumerate() {
+        key[k] = s[i];
+    }
+    key
+}
+
+/// Unpacks the first `width` lanes of a packed key — the inverse of
+/// [`pack_key`] for an aggregation with `width` group columns.
+#[cfg(test)]
+pub(crate) fn unpack_key(key: &CompactKey, width: usize) -> &[i64] {
+    &key[..width]
+}
+
+/// Upper-bound hint for the group count: dictionary columns bound their
+/// distinct count by the value-table size, other columns only by the row
+/// count. Pre-sizing the map from `min(rows, Π per-column hints)` avoids
+/// rehashing during the build.
+pub(crate) fn group_cardinality_hint(gcols: &[&Column], rows: usize) -> usize {
+    let mut hint = 1usize;
+    for c in gcols {
+        let d = match c {
+            Column::Dict { values, .. } => values.len().max(1),
+            _ => rows,
+        };
+        hint = hint.saturating_mul(d);
+        if hint >= rows {
+            return rows;
+        }
+    }
+    hint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trips_every_width() {
+        let c0 = vec![1i64, 2, 3];
+        let c1 = vec![-7i64, 0, i64::MAX];
+        let c2 = vec![i64::MIN, 5, 9];
+        let cols: Vec<&[i64]> = vec![&c0, &c1, &c2];
+        for width in 1..=cols.len() {
+            let slices = &cols[..width];
+            for i in 0..3 {
+                let packed = pack_key(slices, i);
+                let unpacked = unpack_key(&packed, width);
+                let expected: Vec<i64> = slices.iter().map(|s| s[i]).collect();
+                assert_eq!(unpacked, expected.as_slice(), "width {width}, row {i}");
+                // Padding lanes are inert.
+                assert!(packed[width..].iter().all(|&p| p == i64::MIN));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_equality_is_tuple_equality() {
+        // Distinct tuples (even ones containing the padding sentinel) pack
+        // to distinct keys, and equal tuples pack to equal keys.
+        let a = vec![1i64, 1, i64::MIN];
+        let b = vec![2i64, 2, 2];
+        let slices: Vec<&[i64]> = vec![&a, &b];
+        let keys: Vec<CompactKey> = (0..3).map(|i| pack_key(&slices, i)).collect();
+        assert_ne!(keys[0], keys[2]); // (1,2) ≠ (MIN,2)
+        assert_eq!(keys[0], keys[1]); // (1,2) = (1,2)
+    }
+
+    #[test]
+    fn int_and_date_keys_borrow_storage() {
+        let l = Column::Int(vec![1, 2, 3]);
+        let r = Column::Int(vec![3, 4]);
+        let (lk, rk) = raw_key_pair(&l, &r).expect("int pair");
+        assert!(matches!(lk, RawKeys::Borrowed(_)));
+        assert_eq!(lk.as_slice(), &[1, 2, 3]);
+        assert_eq!(rk.as_slice(), &[3, 4]);
+        assert!(raw_key_pair(&l, &Column::Text(vec![])).is_none());
+    }
+
+    #[test]
+    fn dict_translation_round_trips_through_strings() {
+        // Right codes translate into the left code space: equal strings get
+        // equal raw keys, strings absent on the left get the -1 sentinel.
+        let lv: Arc<[Arc<str>]> = vec!["a".into(), "b".into()].into();
+        let rv: Arc<[Arc<str>]> = vec!["b".into(), "zz".into()].into();
+        let l = Column::Dict {
+            codes: vec![0, 1, 0],
+            values: lv,
+        };
+        let r = Column::Dict {
+            codes: vec![0, 1],
+            values: rv,
+        };
+        let (lk, rk) = raw_key_pair(&l, &r).expect("dict pair");
+        assert_eq!(lk.as_slice(), &[0, 1, 0]);
+        // "b" → left code 1, "zz" → -1 (never equals a left code).
+        assert_eq!(rk.as_slice(), &[1, -1]);
+    }
+
+    #[test]
+    fn cardinality_hint_bounded_by_rows_and_dictionaries() {
+        let dict = Column::Dict {
+            codes: vec![0; 100],
+            values: vec!["x".into(), "y".into(), "z".into()].into(),
+        };
+        let ints = Column::Int((0..100).collect());
+        assert_eq!(group_cardinality_hint(&[&dict], 100), 3);
+        assert_eq!(group_cardinality_hint(&[&ints], 100), 100);
+        assert_eq!(group_cardinality_hint(&[&dict, &dict], 100), 9);
+        assert_eq!(group_cardinality_hint(&[&dict, &ints], 100), 100);
+    }
+}

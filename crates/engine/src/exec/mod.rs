@@ -11,18 +11,30 @@
 //! Two adaptive refinements sit on top of the kernels. Joins and aggregates
 //! whose keys are integer-, date- or dictionary-backed run over raw `i64`
 //! keys (dictionary codes translate between value tables once per batch, so
-//! text-keyed joins never hash a string). Selections short-circuit through
-//! *selection vectors*: [`selection_mask`] orders AND conjuncts by
-//! estimated selectivity (dictionary cardinalities give `=` on a text
-//! column a real distinct count; intersection commutes, so the order is
-//! free), starts with full-width mask kernels and, once few enough rows
+//! text-keyed joins never hash a string — see [`keys`]). Selections
+//! short-circuit through *selection vectors*: [`selection_mask`] orders AND
+//! conjuncts by estimated selectivity (dictionary cardinalities give `=` on
+//! a text column a real distinct count; intersection commutes, so the order
+//! is free), starts with full-width mask kernels and, once few enough rows
 //! survive, evaluates the remaining conjuncts only at the surviving
 //! indices ([`selection_mask_full`] keeps the always-full-width behaviour
 //! as the differential baseline).
+//!
+//! On top of both sits morsel-driven parallelism (see [`morsel`]): an
+//! [`ExecContext`] — default single-threaded — lets the hot kernels split
+//! their input into fixed-size morsels and fan out across scoped worker
+//! threads. Per-morsel partial results merge **in morsel order**, never in
+//! completion order, so every parallel kernel is bit-identical to its
+//! single-threaded twin regardless of thread count, morsel size or OS
+//! scheduling.
+
+mod keys;
+mod morsel;
 
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 
 use mvdesign_algebra::{
@@ -31,6 +43,13 @@ use mvdesign_algebra::{
 
 use crate::batch::{Batch, Column};
 use crate::table::{Database, Table};
+
+use keys::{
+    group_cardinality_hint, pack_key, raw_ints, raw_keys, CompactKey, RawKeys,
+    COMPACT_GROUP_KEY_COLS,
+};
+use morsel::{run_morsels, run_tasks};
+pub use morsel::{ExecContext, DEFAULT_MORSEL_ROWS};
 
 /// Errors raised while executing an expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,7 +94,8 @@ pub enum JoinAlgo {
 /// Selection is a linear scan, join is a naive nested loop, projection keeps
 /// duplicates — exactly the operator algorithms the paper's cost model
 /// assumes, executed as columnar batch kernels. Use [`execute_with`] to pick
-/// a different join algorithm.
+/// a different join algorithm, or [`execute_with_context`] to run the hot
+/// kernels across cores.
 ///
 /// # Errors
 ///
@@ -92,13 +112,31 @@ pub fn execute(expr: &Arc<Expr>, db: &Database) -> Result<Table, ExecError> {
 /// Returns [`ExecError`] when a base relation is missing from the database
 /// or an attribute reference cannot be resolved.
 pub fn execute_with(expr: &Arc<Expr>, db: &Database, algo: JoinAlgo) -> Result<Table, ExecError> {
+    execute_with_context(expr, db, algo, &ExecContext::default())
+}
+
+/// Like [`execute_with`], with explicit execution knobs: thread count and
+/// morsel size (see [`ExecContext`]). The result is bit-identical to
+/// [`execute_with`] for every context — parallel kernels merge per-morsel
+/// partials in morsel order, so only wall-clock changes.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] when a base relation is missing from the database
+/// or an attribute reference cannot be resolved.
+pub fn execute_with_context(
+    expr: &Arc<Expr>,
+    db: &Database,
+    algo: JoinAlgo,
+    ctx: &ExecContext,
+) -> Result<Table, ExecError> {
     match &**expr {
         Expr::Base(name) => db
             .table(name.as_str())
             .cloned()
             .ok_or_else(|| ExecError::UnknownRelation(name.clone())),
         _ => {
-            let batch = exec_batch(expr, db, algo)?;
+            let batch = exec_batch(expr, db, algo, ctx)?;
             Ok(Table::from_batch(op_label(expr), batch))
         }
     }
@@ -121,6 +159,7 @@ pub(crate) fn exec_batch(
     expr: &Arc<Expr>,
     db: &Database,
     algo: JoinAlgo,
+    ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     match &**expr {
         Expr::Base(name) => db
@@ -128,32 +167,36 @@ pub(crate) fn exec_batch(
             .map(|t| t.batch().clone())
             .ok_or_else(|| ExecError::UnknownRelation(name.clone())),
         Expr::Select { input, predicate } => {
-            let b = exec_batch(input, db, algo)?;
-            select_batch(&b, predicate)
+            let b = exec_batch(input, db, algo, ctx)?;
+            select_batch(&b, predicate, ctx)
         }
         Expr::Project { input, attrs } => {
-            let b = exec_batch(input, db, algo)?;
+            let b = exec_batch(input, db, algo, ctx)?;
             project_batch(&b, attrs)
         }
         Expr::Join { left, right, on } => {
-            let l = exec_batch(left, db, algo)?;
-            let r = exec_batch(right, db, algo)?;
-            join_batch(&l, &r, on, algo)
+            let l = exec_batch(left, db, algo, ctx)?;
+            let r = exec_batch(right, db, algo, ctx)?;
+            join_batch(&l, &r, on, algo, ctx)
         }
         Expr::Aggregate {
             input,
             group_by,
             aggs,
         } => {
-            let b = exec_batch(input, db, algo)?;
-            aggregate_batch(&b, group_by, aggs)
+            let b = exec_batch(input, db, algo, ctx)?;
+            aggregate_batch(&b, group_by, aggs, ctx)
         }
     }
 }
 
 /// Selection kernel: one vectorised predicate pass, one gather.
-pub(crate) fn select_batch(batch: &Batch, predicate: &Predicate) -> Result<Batch, ExecError> {
-    let mask = predicate_mask(predicate, batch)?;
+pub(crate) fn select_batch(
+    batch: &Batch,
+    predicate: &Predicate,
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    let mask = selection_mask_with(predicate, batch, ctx)?;
     Ok(batch.filter(&mask))
 }
 
@@ -179,6 +222,7 @@ pub(crate) fn join_batch(
     r: &Batch,
     on: &JoinCondition,
     algo: JoinAlgo,
+    ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     // Resolve each condition pair to (left index, right index).
     let mut pairs = Vec::with_capacity(on.pairs().len());
@@ -195,61 +239,101 @@ pub(crate) fn join_batch(
     let lcols: Vec<&Column> = pairs.iter().map(|&(li, _)| l.column(li)).collect();
     let rcols: Vec<&Column> = pairs.iter().map(|&(_, ri)| r.column(ri)).collect();
     let (lidx, ridx) = match algo {
-        JoinAlgo::NestedLoop => nested_loop_indices(l.rows(), r.rows(), &lcols, &rcols),
-        JoinAlgo::Hash => hash_indices(l.rows(), r.rows(), &lcols, &rcols),
+        JoinAlgo::NestedLoop => nested_loop_indices(l.rows(), r.rows(), &lcols, &rcols, ctx),
+        JoinAlgo::Hash => hash_indices(l.rows(), r.rows(), &lcols, &rcols, ctx),
+        // Sort-merge stays single-threaded: the sort dominates its cost and
+        // a deterministic parallel merge would need a different (range
+        // partitioned) decomposition than morsels provide.
         JoinAlgo::SortMerge => sort_merge_indices(l.rows(), r.rows(), &lcols, &rcols),
     };
     Ok(Batch::hstack(&l.gather(&lidx), &r.gather(&ridx)))
 }
 
+/// Concatenates per-morsel (left, right) index vectors in morsel order —
+/// the deterministic merge every parallel join variant shares.
+fn merge_index_morsels(parts: Vec<(Vec<usize>, Vec<usize>)>) -> (Vec<usize>, Vec<usize>) {
+    let total: usize = parts.iter().map(|(l, _)| l.len()).sum();
+    let mut lidx = Vec::with_capacity(total);
+    let mut ridx = Vec::with_capacity(total);
+    for (l, r) in parts {
+        lidx.extend(l);
+        ridx.extend(r);
+    }
+    (lidx, ridx)
+}
+
 /// Nested loop over row indices; the single-key integer/dictionary case
-/// runs over raw `&[i64]` slices.
+/// runs over raw `&[i64]` slices. Under a parallel context the left side
+/// splits into morsels (each worker scans the whole right side), and the
+/// per-morsel index vectors concatenate in morsel order — identical output
+/// to the sequential loop.
 fn nested_loop_indices(
     ln: usize,
     rn: usize,
     lcols: &[&Column],
     rcols: &[&Column],
+    ctx: &ExecContext,
 ) -> (Vec<usize>, Vec<usize>) {
-    let mut lidx = Vec::new();
-    let mut ridx = Vec::new();
     if let [(lk, rk)] = raw_keys(lcols, rcols).as_slice() {
         let (lk, rk) = (lk.as_slice(), rk.as_slice());
-        for (i, a) in lk.iter().enumerate() {
-            for (j, b) in rk.iter().enumerate() {
-                if a == b {
+        let scan = |range: Range<usize>| {
+            let mut lidx = Vec::new();
+            let mut ridx = Vec::new();
+            for i in range {
+                let a = lk[i];
+                for (j, b) in rk.iter().enumerate() {
+                    if a == *b {
+                        lidx.push(i);
+                        ridx.push(j);
+                    }
+                }
+            }
+            (lidx, ridx)
+        };
+        if ctx.is_parallel(ln) {
+            return merge_index_morsels(run_morsels(ln, ctx, scan));
+        }
+        return scan(0..ln);
+    }
+    let scan = |range: Range<usize>| {
+        let mut lidx = Vec::new();
+        let mut ridx = Vec::new();
+        for i in range {
+            for j in 0..rn {
+                if lcols.iter().zip(rcols).all(|(lc, rc)| lc.eq_at(i, rc, j)) {
                     lidx.push(i);
                     ridx.push(j);
                 }
             }
         }
-        return (lidx, ridx);
+        (lidx, ridx)
+    };
+    if ctx.is_parallel(ln) {
+        return merge_index_morsels(run_morsels(ln, ctx, scan));
     }
-    for i in 0..ln {
-        for j in 0..rn {
-            if lcols.iter().zip(rcols).all(|(lc, rc)| lc.eq_at(i, rc, j)) {
-                lidx.push(i);
-                ridx.push(j);
-            }
-        }
-    }
-    (lidx, ridx)
+    scan(0..ln)
 }
 
 /// Hash join over row indices: build on the right, probe with the left. A
 /// cross join hashes everything under the empty key, degenerating
 /// gracefully. The single-key integer/dictionary case hashes raw `i64`s —
-/// text-keyed joins over dictionary columns never hash a string.
+/// text-keyed joins over dictionary columns never hash a string — and is
+/// the path that goes partitioned-parallel under a parallel context.
 fn hash_indices(
     ln: usize,
     rn: usize,
     lcols: &[&Column],
     rcols: &[&Column],
+    ctx: &ExecContext,
 ) -> (Vec<usize>, Vec<usize>) {
     use std::collections::HashMap;
     let mut lidx = Vec::new();
     let mut ridx = Vec::new();
     if let [(lk, rk)] = raw_keys(lcols, rcols).as_slice() {
         let (lk, rk) = (lk.as_slice(), rk.as_slice());
+        if ctx.is_parallel(ln.max(rn)) {
+            return partitioned_hash_join(lk, rk, ctx);
+        }
         let mut built: HashMap<i64, Vec<usize>> = HashMap::new();
         for (j, b) in rk.iter().enumerate() {
             built.entry(*b).or_default().push(j);
@@ -281,6 +365,56 @@ fn hash_indices(
     (lidx, ridx)
 }
 
+/// Radix partition of a raw key: a multiplicative (Fibonacci) hash keeps
+/// the top bits well-mixed, and the top `log2(partitions)` bits pick the
+/// partition.
+fn partition_of(key: i64, shift: u32) -> usize {
+    (((key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> shift) as usize
+}
+
+/// Partitioned parallel hash join on raw `i64` keys.
+///
+/// Build: right rows scatter into radix partitions (one sequential pass, so
+/// each partition's row list is ascending in `j`), then one worker per
+/// partition builds that partition's hash table — every key lives in
+/// exactly one partition, so each key's match list is ascending in `j`,
+/// exactly as the sequential build produces. Probe: left rows split into
+/// morsels, each worker emits `(i, j)` pairs in left order against the
+/// partition tables, and the per-morsel vectors concatenate in morsel
+/// order. Output is therefore bit-identical to the sequential hash join
+/// for every partition count, thread count and interleaving.
+fn partitioned_hash_join(lk: &[i64], rk: &[i64], ctx: &ExecContext) -> (Vec<usize>, Vec<usize>) {
+    use std::collections::HashMap;
+    let workers = ctx.effective_threads();
+    let parts = (workers * 2).next_power_of_two().clamp(2, 64);
+    let shift = 64 - parts.trailing_zeros();
+    let mut part_rows: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    for (j, b) in rk.iter().enumerate() {
+        part_rows[partition_of(*b, shift)].push(j);
+    }
+    let tables: Vec<HashMap<i64, Vec<usize>>> = run_tasks(parts, workers, |p| {
+        let mut table: HashMap<i64, Vec<usize>> = HashMap::with_capacity(part_rows[p].len());
+        for &j in &part_rows[p] {
+            table.entry(rk[j]).or_default().push(j);
+        }
+        table
+    });
+    merge_index_morsels(run_morsels(lk.len(), ctx, |range| {
+        let mut lidx = Vec::new();
+        let mut ridx = Vec::new();
+        for i in range {
+            let a = lk[i];
+            if let Some(matches) = tables[partition_of(a, shift)].get(&a) {
+                for &j in matches {
+                    lidx.push(i);
+                    ridx.push(j);
+                }
+            }
+        }
+        (lidx, ridx)
+    }))
+}
+
 /// Sort-merge join over row indices: sorts index permutations of both sides
 /// by their key columns, then merges group × group.
 fn sort_merge_indices(
@@ -291,7 +425,7 @@ fn sort_merge_indices(
 ) -> (Vec<usize>, Vec<usize>) {
     if lcols.is_empty() {
         // No key to sort on: fall back to the nested loop (cross product).
-        return nested_loop_indices(ln, rn, lcols, rcols);
+        return nested_loop_indices(ln, rn, lcols, rcols, &ExecContext::default());
     }
     if let [(lk, rk)] = raw_keys(lcols, rcols).as_slice() {
         // Raw fast path: sort and merge on `i64` keys. For dictionary
@@ -378,84 +512,13 @@ fn sort_merge_raw(lk: &[i64], rk: &[i64]) -> (Vec<usize>, Vec<usize>) {
     (lidx, ridx)
 }
 
-/// Raw `i64` join keys — borrowed straight from `Int`/`Date` storage, or
-/// materialised once per batch for dictionary codes.
-enum RawKeys<'a> {
-    Borrowed(&'a [i64]),
-    Owned(Vec<i64>),
-}
-
-impl RawKeys<'_> {
-    fn as_slice(&self) -> &[i64] {
-        match self {
-            RawKeys::Borrowed(s) => s,
-            RawKeys::Owned(v) => v,
-        }
-    }
-}
-
-/// Raw keys for one equi-join pair, if the pair is integer-representable.
-///
-/// `Int`/`Int` and `Date`/`Date` borrow their storage. `Dict`/`Dict` joins
-/// compare codes instead of strings: the right side's *dictionary entries*
-/// (not its rows) are translated into the left code space once, and a right
-/// value missing from the left dictionary maps to `-1`, which can never
-/// equal a (non-negative) left code — so the translated keys join exactly
-/// like the strings they stand for.
-fn raw_key_pair<'a>(lc: &'a Column, rc: &'a Column) -> Option<(RawKeys<'a>, RawKeys<'a>)> {
-    match (lc, rc) {
-        (Column::Int(a), Column::Int(b)) | (Column::Date(a), Column::Date(b)) => {
-            Some((RawKeys::Borrowed(a), RawKeys::Borrowed(b)))
-        }
-        (
-            Column::Dict {
-                codes: a,
-                values: va,
-            },
-            Column::Dict {
-                codes: b,
-                values: vb,
-            },
-        ) => {
-            let left = RawKeys::Owned(a.iter().map(|&c| i64::from(c)).collect());
-            let right = if Arc::ptr_eq(va, vb) {
-                RawKeys::Owned(b.iter().map(|&c| i64::from(c)).collect())
-            } else {
-                let by_str: std::collections::HashMap<&str, i64> = va
-                    .iter()
-                    .enumerate()
-                    .map(|(i, s)| (&**s, i as i64))
-                    .collect();
-                let translated: Vec<i64> = vb
-                    .iter()
-                    .map(|s| by_str.get(&**s).copied().unwrap_or(-1))
-                    .collect();
-                RawKeys::Owned(b.iter().map(|&c| translated[c as usize]).collect())
-            };
-            Some((left, right))
-        }
-        _ => None,
-    }
-}
-
-/// When every key pair is integer-representable (`Int`/`Int`, `Date`/`Date`
-/// or `Dict`/`Dict`), returns the raw keys; empty otherwise. Kernels use
-/// the single-pair case as their fast path.
-fn raw_keys<'a>(lcols: &[&'a Column], rcols: &[&'a Column]) -> Vec<(RawKeys<'a>, RawKeys<'a>)> {
-    lcols
-        .iter()
-        .zip(rcols)
-        .map(|(lc, rc)| raw_key_pair(lc, rc))
-        .collect::<Option<Vec<_>>>()
-        .unwrap_or_default()
-}
-
 /// Hash-aggregation kernel: offsets resolved once, keys and accumulator
 /// feeds read straight from the columns, output built column-wise.
 pub(crate) fn aggregate_batch(
     batch: &Batch,
     group_by: &[AttrRef],
     aggs: &[AggExpr],
+    ctx: &ExecContext,
 ) -> Result<Batch, ExecError> {
     let gcols: Vec<&Column> = group_by
         .iter()
@@ -490,6 +553,7 @@ pub(crate) fn aggregate_batch(
                 &gcols,
                 &acols,
                 &keys,
+                ctx,
             ));
         }
     }
@@ -525,39 +589,77 @@ pub(crate) fn aggregate_batch(
     Ok(out)
 }
 
-/// Widest group-by the compact fixed-width aggregate key covers.
-const COMPACT_GROUP_KEY_COLS: usize = 4;
-
-/// The column's values as raw `i64`s: borrowed for `Int`/`Date`, owned
-/// codes for dictionary columns (code equality is value equality, which is
-/// all grouping needs).
-fn raw_ints(col: &Column) -> Option<RawKeys<'_>> {
-    match col {
-        Column::Int(v) | Column::Date(v) => Some(RawKeys::Borrowed(v)),
-        Column::Dict { codes, .. } => Some(RawKeys::Owned(
-            codes.iter().map(|&c| i64::from(c)).collect(),
-        )),
-        _ => None,
-    }
+/// The hash-build of one row range: groups in first-appearance order, with
+/// the packed key, representative row and accumulator states per group.
+struct GroupBuild {
+    keys: Vec<CompactKey>,
+    reps: Vec<usize>,
+    states: Vec<Vec<AggState>>,
 }
 
-/// Upper-bound hint for the group count: dictionary columns bound their
-/// distinct count by the value-table size, other columns only by the row
-/// count. Pre-sizing the map from `min(rows, Π per-column hints)` avoids
-/// rehashing during the build.
-fn group_cardinality_hint(gcols: &[&Column], rows: usize) -> usize {
-    let mut hint = 1usize;
-    for c in gcols {
-        let d = match c {
-            Column::Dict { values, .. } => values.len().max(1),
-            _ => rows,
-        };
-        hint = hint.saturating_mul(d);
-        if hint >= rows {
-            return rows;
+/// Builds group states for `range`'s rows. Groups come out in
+/// first-appearance order within the range; `reps` holds each group's first
+/// row index (absolute, not range-relative).
+fn build_groups(
+    range: Range<usize>,
+    key_slices: &[&[i64]],
+    acols: &[Option<&Column>],
+    n_aggs: usize,
+    capacity: usize,
+) -> GroupBuild {
+    use std::collections::HashMap;
+    let mut map: HashMap<CompactKey, usize> = HashMap::with_capacity(capacity);
+    let mut build = GroupBuild {
+        keys: Vec::new(),
+        reps: Vec::new(),
+        states: Vec::new(),
+    };
+    for i in range {
+        let key = pack_key(key_slices, i);
+        let next = build.states.len();
+        let gid = *map.entry(key).or_insert(next);
+        if gid == next {
+            build.keys.push(key);
+            build.reps.push(i);
+            build.states.push(vec![AggState::default(); n_aggs]);
+        }
+        for (state, col) in build.states[gid].iter_mut().zip(acols) {
+            state.feed(col.map(|c| c.value(i)));
         }
     }
-    hint
+    build
+}
+
+/// Merges per-morsel group builds **in morsel order**. Because morsel order
+/// is row order, a group's first appearance across the merged builds is its
+/// globally first row — so the merged `reps` and group order are exactly
+/// what a single sequential build over all rows produces, and state merging
+/// ([`AggState::merge`]) folds later-row partials into earlier-row partials
+/// just as sequential `feed`s would.
+fn merge_group_builds(parts: Vec<GroupBuild>, capacity: usize) -> GroupBuild {
+    use std::collections::HashMap;
+    let mut map: HashMap<CompactKey, usize> = HashMap::with_capacity(capacity);
+    let mut merged = GroupBuild {
+        keys: Vec::new(),
+        reps: Vec::new(),
+        states: Vec::new(),
+    };
+    for part in parts {
+        for ((key, rep), states) in part.keys.into_iter().zip(part.reps).zip(part.states) {
+            let next = merged.states.len();
+            let gid = *map.entry(key).or_insert(next);
+            if gid == next {
+                merged.keys.push(key);
+                merged.reps.push(rep);
+                merged.states.push(states);
+            } else {
+                for (dst, src) in merged.states[gid].iter_mut().zip(&states) {
+                    dst.merge(src);
+                }
+            }
+        }
+    }
+    merged
 }
 
 /// Hash-aggregation fast path for int/date/dict group keys: a fixed-width
@@ -565,7 +667,10 @@ fn group_cardinality_hint(gcols: &[&Column], rows: usize) -> usize {
 /// shares a width, so padding never collides), a hash map pre-sized from
 /// [`group_cardinality_hint`], and flat per-group state vectors. Output
 /// groups are sorted by decoded key order afterwards, matching the
-/// `BTreeMap` slow path and the row reference exactly.
+/// `BTreeMap` slow path and the row reference exactly. Under a parallel
+/// context each worker builds groups for its morsels locally and the
+/// partials merge in morsel order — bit-identical output either way.
+#[allow(clippy::too_many_arguments)]
 fn aggregate_compact(
     rows: usize,
     group_by: &[AttrRef],
@@ -573,28 +678,21 @@ fn aggregate_compact(
     gcols: &[&Column],
     acols: &[Option<&Column>],
     keys: &[RawKeys<'_>],
+    ctx: &ExecContext,
 ) -> Batch {
-    use std::collections::HashMap;
     let key_slices: Vec<&[i64]> = keys.iter().map(RawKeys::as_slice).collect();
-    let mut map: HashMap<[i64; COMPACT_GROUP_KEY_COLS], usize> =
-        HashMap::with_capacity(group_cardinality_hint(gcols, rows));
-    let mut reps: Vec<usize> = Vec::new();
-    let mut states: Vec<Vec<AggState>> = Vec::new();
-    for i in 0..rows {
-        let mut key = [i64::MIN; COMPACT_GROUP_KEY_COLS];
-        for (k, s) in key_slices.iter().enumerate() {
-            key[k] = s[i];
-        }
-        let next = states.len();
-        let gid = *map.entry(key).or_insert(next);
-        if gid == next {
-            reps.push(i);
-            states.push(vec![AggState::default(); aggs.len()]);
-        }
-        for (state, col) in states[gid].iter_mut().zip(acols) {
-            state.feed(col.map(|c| c.value(i)));
-        }
-    }
+    let hint = group_cardinality_hint(gcols, rows);
+    let GroupBuild { reps, states, .. } = if ctx.is_parallel(rows) {
+        let morsel_hint = hint.min(ctx.morsel());
+        merge_group_builds(
+            run_morsels(rows, ctx, |range| {
+                build_groups(range, &key_slices, acols, aggs.len(), morsel_hint)
+            }),
+            hint,
+        )
+    } else {
+        build_groups(0..rows, &key_slices, acols, aggs.len(), hint)
+    };
     let mut order: Vec<usize> = (0..reps.len()).collect();
     order.sort_by(|&x, &y| {
         gcols
@@ -634,7 +732,23 @@ pub fn materialize_view(
     definition: &Arc<Expr>,
     db: &mut Database,
 ) -> Result<(), ExecError> {
-    let result = execute(definition, db)?;
+    materialize_view_with(name, definition, db, &ExecContext::default())
+}
+
+/// Like [`materialize_view`], with explicit execution knobs. The stored
+/// view is bit-identical for every context — only refresh wall-clock
+/// changes.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from evaluating the definition.
+pub fn materialize_view_with(
+    name: impl Into<RelName>,
+    definition: &Arc<Expr>,
+    db: &mut Database,
+    ctx: &ExecContext,
+) -> Result<(), ExecError> {
+    let result = execute_with_context(definition, db, JoinAlgo::NestedLoop, ctx)?;
     db.insert_table(Table::from_batch(name, result.into_batch()));
     Ok(())
 }
@@ -663,8 +777,41 @@ const SELECTION_VECTOR_DENSITY_DEN: usize = 8;
 /// Returns [`ExecError::MissingAttr`] when the predicate references an
 /// attribute the batch does not carry.
 pub fn selection_mask(predicate: &Predicate, batch: &Batch) -> Result<Vec<bool>, ExecError> {
-    let mut mask = vec![true; batch.rows()];
-    and_predicate_adaptive(predicate, batch, &mut mask)?;
+    selection_mask_with(predicate, batch, &ExecContext::default())
+}
+
+/// Like [`selection_mask`], with explicit execution knobs. Under a parallel
+/// context the batch splits into morsels, each morsel evaluates the
+/// adaptive mask independently (short-circuiting within the morsel), and
+/// the per-morsel masks concatenate in morsel order. Predicates are pure
+/// per-row functions, so the mask is bit-identical for every context.
+///
+/// # Errors
+///
+/// Returns [`ExecError::MissingAttr`] when the predicate references an
+/// attribute the batch does not carry.
+pub fn selection_mask_with(
+    predicate: &Predicate,
+    batch: &Batch,
+    ctx: &ExecContext,
+) -> Result<Vec<bool>, ExecError> {
+    let rows = batch.rows();
+    if !ctx.is_parallel(rows) {
+        let mut mask = vec![true; rows];
+        and_predicate_adaptive(predicate, batch, &mut mask, 0)?;
+        return Ok(mask);
+    }
+    let parts = run_morsels(rows, ctx, |range| {
+        let mut part = vec![true; range.len()];
+        and_predicate_adaptive(predicate, batch, &mut part, range.start).map(|()| part)
+    });
+    // Every morsel evaluates the same predicate against the same schema, so
+    // all failures are identical; surfacing the first in morsel order keeps
+    // errors deterministic too.
+    let mut mask = Vec::with_capacity(rows);
+    for part in parts {
+        mask.extend(part?);
+    }
     Ok(mask)
 }
 
@@ -679,18 +826,19 @@ pub fn selection_mask(predicate: &Predicate, batch: &Batch) -> Result<Vec<bool>,
 /// attribute the batch does not carry.
 pub fn selection_mask_full(predicate: &Predicate, batch: &Batch) -> Result<Vec<bool>, ExecError> {
     let mut mask = vec![true; batch.rows()];
-    and_predicate(predicate, batch, &mut mask)?;
+    and_predicate(predicate, batch, &mut mask, 0)?;
     Ok(mask)
 }
 
-/// Evaluates `predicate` over the whole batch into a keep-mask.
-fn predicate_mask(predicate: &Predicate, batch: &Batch) -> Result<Vec<bool>, ExecError> {
-    selection_mask(predicate, batch)
-}
-
 /// ANDs `predicate`'s value into `mask`, column-at-a-time (full-width
-/// kernels, no selection vectors).
-fn and_predicate(p: &Predicate, b: &Batch, mask: &mut [bool]) -> Result<(), ExecError> {
+/// kernels, no selection vectors). `mask` covers batch rows
+/// `start .. start + mask.len()` — the morsel being evaluated.
+fn and_predicate(
+    p: &Predicate,
+    b: &Batch,
+    mask: &mut [bool],
+    start: usize,
+) -> Result<(), ExecError> {
     match p {
         Predicate::True => Ok(()),
         Predicate::Cmp(c) => {
@@ -698,19 +846,20 @@ fn and_predicate(p: &Predicate, b: &Batch, mask: &mut [bool]) -> Result<(), Exec
                 .index_of(&c.attr)
                 .ok_or_else(|| ExecError::MissingAttr(c.attr.clone()))?;
             match &c.rhs {
-                Rhs::Literal(v) => b.column(li).compare_literal_and(c.op, v, mask),
+                Rhs::Literal(v) => b.column(li).compare_literal_and_from(c.op, v, start, mask),
                 Rhs::Attr(a) => {
                     let ri = b
                         .index_of(a)
                         .ok_or_else(|| ExecError::MissingAttr(a.clone()))?;
-                    b.column(li).compare_column_and(c.op, b.column(ri), mask);
+                    b.column(li)
+                        .compare_column_and_from(c.op, b.column(ri), start, mask);
                 }
             }
             Ok(())
         }
         Predicate::And(ps) => {
             for p in ps {
-                and_predicate(p, b, mask)?;
+                and_predicate(p, b, mask, start)?;
             }
             Ok(())
         }
@@ -718,7 +867,7 @@ fn and_predicate(p: &Predicate, b: &Batch, mask: &mut [bool]) -> Result<(), Exec
             let mut any = vec![false; mask.len()];
             for p in ps {
                 let mut sub = vec![true; mask.len()];
-                and_predicate(p, b, &mut sub)?;
+                and_predicate(p, b, &mut sub, start)?;
                 for (a, s) in any.iter_mut().zip(&sub) {
                     *a = *a || *s;
                 }
@@ -732,11 +881,19 @@ fn and_predicate(p: &Predicate, b: &Batch, mask: &mut [bool]) -> Result<(), Exec
 }
 
 /// Like [`and_predicate`], but switches from full-width kernels to
-/// survivor-index (selection-vector) evaluation when density drops.
-fn and_predicate_adaptive(p: &Predicate, b: &Batch, mask: &mut [bool]) -> Result<(), ExecError> {
+/// survivor-index (selection-vector) evaluation when density drops. The
+/// switch is decided per morsel (`mask` is one morsel starting at batch row
+/// `start`; survivor indices are absolute batch rows), so each morsel
+/// short-circuits independently without changing any mask bit.
+fn and_predicate_adaptive(
+    p: &Predicate,
+    b: &Batch,
+    mask: &mut [bool],
+    start: usize,
+) -> Result<(), ExecError> {
     let rows = mask.len();
     match p {
-        Predicate::True | Predicate::Cmp(_) => and_predicate(p, b, mask),
+        Predicate::True | Predicate::Cmp(_) => and_predicate(p, b, mask, start),
         Predicate::And(ps) => {
             // Conjunct intersection commutes, so the evaluation order is
             // free to choose — but only after every attribute offset has
@@ -756,9 +913,9 @@ fn and_predicate_adaptive(p: &Predicate, b: &Batch, mask: &mut [bool]) -> Result
                 match &mut idx {
                     Some(idx) => retain_where(p, b, idx)?,
                     None => {
-                        and_predicate_adaptive(p, b, mask)?;
+                        and_predicate_adaptive(p, b, mask, start)?;
                         if rows >= SELECTION_VECTOR_MIN_ROWS && k + 1 < ps.len() {
-                            idx = sparse_indices(mask, true);
+                            idx = sparse_indices(mask, true, start);
                         }
                     }
                 }
@@ -766,7 +923,7 @@ fn and_predicate_adaptive(p: &Predicate, b: &Batch, mask: &mut [bool]) -> Result
             if let Some(idx) = idx {
                 mask.fill(false);
                 for i in idx {
-                    mask[i] = true;
+                    mask[i - start] = true;
                 }
             }
             Ok(())
@@ -782,18 +939,18 @@ fn and_predicate_adaptive(p: &Predicate, b: &Batch, mask: &mut [bool]) -> Result
                         let mut holds = undecided.clone();
                         retain_where(p, b, &mut holds)?;
                         for &i in &holds {
-                            any[i] = true;
+                            any[i - start] = true;
                         }
-                        undecided.retain(|&i| !any[i]);
+                        undecided.retain(|&i| !any[i - start]);
                     }
                     None => {
                         let mut sub = vec![true; rows];
-                        and_predicate_adaptive(p, b, &mut sub)?;
+                        and_predicate_adaptive(p, b, &mut sub, start)?;
                         for (a, s) in any.iter_mut().zip(&sub) {
                             *a = *a || *s;
                         }
                         if rows >= SELECTION_VECTOR_MIN_ROWS && k + 1 < ps.len() {
-                            idx = sparse_indices(&any, false);
+                            idx = sparse_indices(&any, false, start);
                         }
                     }
                 }
@@ -832,7 +989,9 @@ fn resolve_attrs(p: &Predicate, b: &Batch) -> Result<(), ExecError> {
 /// real distinct count, so `=` on it estimates `1/|dictionary|`; everything
 /// else falls back on the classic textbook constants. Estimates never touch
 /// results — they only pick which conjunct gets the chance to drop the
-/// evaluation into selection-vector mode first.
+/// evaluation into selection-vector mode first. They are also morsel-free
+/// (computed from whole-column statistics), so every morsel orders its
+/// conjuncts identically.
 fn selectivity_estimate(p: &Predicate, b: &Batch) -> f64 {
     match p {
         Predicate::True => 1.0,
@@ -856,12 +1015,13 @@ fn selectivity_estimate(p: &Predicate, b: &Batch) -> f64 {
     }
 }
 
-/// The indices whose mask entry equals `target`, or `None` as soon as their
-/// count reaches the 1-in-[`SELECTION_VECTOR_DENSITY_DEN`] density bound.
-/// Deciding *whether* to switch to selection-vector mode and building the
-/// vector itself share this single traversal, so a batch that stays dense
-/// pays at most one abandoned scan — not a count pass plus a collect pass.
-fn sparse_indices(mask: &[bool], target: bool) -> Option<Vec<usize>> {
+/// The absolute batch indices (mask offset + `base`) whose mask entry
+/// equals `target`, or `None` as soon as their count reaches the
+/// 1-in-[`SELECTION_VECTOR_DENSITY_DEN`] density bound. Deciding *whether*
+/// to switch to selection-vector mode and building the vector itself share
+/// this single traversal, so a morsel that stays dense pays at most one
+/// abandoned scan — not a count pass plus a collect pass.
+fn sparse_indices(mask: &[bool], target: bool, base: usize) -> Option<Vec<usize>> {
     let rows = mask.len();
     let mut idx = Vec::with_capacity(rows / SELECTION_VECTOR_DENSITY_DEN + 1);
     for (i, &m) in mask.iter().enumerate() {
@@ -869,16 +1029,16 @@ fn sparse_indices(mask: &[bool], target: bool) -> Option<Vec<usize>> {
             if (idx.len() + 1) * SELECTION_VECTOR_DENSITY_DEN >= rows {
                 return None;
             }
-            idx.push(i);
+            idx.push(base + i);
         }
     }
     Some(idx)
 }
 
 /// Keeps the rows of `idx` where `p` holds — predicate evaluation in
-/// selection-vector mode. Attribute offsets resolve once per comparison
-/// (never per row), and the scalar column kernels agree bit-for-bit with
-/// their vectorised twins.
+/// selection-vector mode over absolute batch row indices. Attribute
+/// offsets resolve once per comparison (never per row), and the scalar
+/// column kernels agree bit-for-bit with their vectorised twins.
 fn retain_where(p: &Predicate, b: &Batch, idx: &mut Vec<usize>) -> Result<(), ExecError> {
     match p {
         Predicate::True => Ok(()),
@@ -952,6 +1112,24 @@ impl AggState {
             }
             if self.max.as_ref().is_none_or(|m| v > *m) {
                 self.max = Some(v);
+            }
+        }
+    }
+
+    /// Folds another state's rows in. `other` must cover rows strictly
+    /// after `self`'s (morsel merge order), so keeping `self`'s extremum on
+    /// ties matches what sequential `feed`s of the same rows produce.
+    fn merge(&mut self, other: &AggState) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if let Some(m) = &other.min {
+            if self.min.as_ref().is_none_or(|cur| *m < *cur) {
+                self.min = Some(m.clone());
+            }
+        }
+        if let Some(m) = &other.max {
+            if self.max.as_ref().is_none_or(|cur| *m > *cur) {
+                self.max = Some(m.clone());
             }
         }
     }
@@ -1272,5 +1450,143 @@ mod join_algo_tests {
                 .canonicalized();
             assert_eq!(nested.rows(), out.rows(), "{algo:?}");
         }
+    }
+}
+
+#[cfg(test)]
+mod morsel_exec_tests {
+    //! Fixture-level determinism checks for the parallel kernels; the broad
+    //! randomized battery lives in `tests/engine_morsel.rs`.
+
+    use super::*;
+
+    /// Keys engineered so duplicate groups and join matches straddle every
+    /// morsel boundary at morsel_rows = 2 and 7.
+    fn db() -> Database {
+        let mut db = Database::new();
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 5), Value::Int(i % 3)])
+            .collect();
+        db.insert_table(Table::new(
+            "F",
+            [
+                AttrRef::new("F", "id"),
+                AttrRef::new("F", "k"),
+                AttrRef::new("F", "g"),
+            ],
+            rows,
+        ));
+        let rows: Vec<Vec<Value>> = (0..20).map(|i| vec![Value::Int(i % 5)]).collect();
+        db.insert_table(Table::new("D", [AttrRef::new("D", "k")], rows));
+        db
+    }
+
+    fn contexts() -> Vec<ExecContext> {
+        [1, 2, 4, 8]
+            .into_iter()
+            .flat_map(|threads| {
+                [1, 2, 7, 4096]
+                    .into_iter()
+                    .map(move |morsel_rows| ExecContext {
+                        threads,
+                        morsel_rows,
+                    })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_plans_are_bit_identical_to_sequential() {
+        let db = db();
+        let plans: Vec<Arc<Expr>> = vec![
+            Expr::select(
+                Expr::base("F"),
+                Predicate::and([
+                    Predicate::cmp(AttrRef::new("F", "k"), CompareOp::Eq, 2),
+                    Predicate::cmp(AttrRef::new("F", "id"), CompareOp::Lt, 90),
+                ]),
+            ),
+            Expr::join(
+                Expr::base("F"),
+                Expr::base("D"),
+                JoinCondition::on(AttrRef::new("F", "k"), AttrRef::new("D", "k")),
+            ),
+            Expr::aggregate(
+                Expr::base("F"),
+                [AttrRef::new("F", "k"), AttrRef::new("F", "g")],
+                [
+                    AggExpr::new(AggFunc::Sum, AttrRef::new("F", "id"), "total"),
+                    AggExpr::new(AggFunc::Min, AttrRef::new("F", "id"), "lo"),
+                    AggExpr::new(AggFunc::Max, AttrRef::new("F", "id"), "hi"),
+                    AggExpr::count_star("n"),
+                ],
+            ),
+        ];
+        for plan in &plans {
+            for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::SortMerge] {
+                let baseline = execute_with(plan, &db, algo).expect("sequential");
+                for ctx in contexts() {
+                    let out = execute_with_context(plan, &db, algo, &ctx).expect("parallel");
+                    assert_eq!(baseline.batch(), out.batch(), "algo {algo:?}, ctx {ctx:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mask_matches_full_width_baseline() {
+        let db = db();
+        let batch = db.table("F").unwrap().batch();
+        let p = Predicate::or([
+            Predicate::cmp(AttrRef::new("F", "k"), CompareOp::Eq, 1),
+            Predicate::and([
+                Predicate::cmp(AttrRef::new("F", "g"), CompareOp::Eq, 0),
+                Predicate::cmp(AttrRef::new("F", "id"), CompareOp::Ge, 50),
+            ]),
+        ]);
+        let full = selection_mask_full(&p, batch).expect("full");
+        for ctx in contexts() {
+            let mask = selection_mask_with(&p, batch, &ctx).expect("mask");
+            assert_eq!(full, mask, "ctx {ctx:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_errors_match_sequential_errors() {
+        let db = db();
+        let plan = Expr::select(
+            Expr::base("F"),
+            Predicate::cmp(AttrRef::new("F", "ghost"), CompareOp::Eq, 1),
+        );
+        let sequential = execute(&plan, &db).unwrap_err();
+        let ctx = ExecContext {
+            threads: 4,
+            morsel_rows: 7,
+        };
+        let parallel = execute_with_context(&plan, &db, JoinAlgo::NestedLoop, &ctx).unwrap_err();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn materialized_views_are_context_independent() {
+        let db = db();
+        let definition = Expr::aggregate(
+            Expr::join(
+                Expr::base("F"),
+                Expr::base("D"),
+                JoinCondition::on(AttrRef::new("F", "k"), AttrRef::new("D", "k")),
+            ),
+            [AttrRef::new("F", "g")],
+            [AggExpr::count_star("n")],
+        );
+        let mut seq_db = db.clone();
+        materialize_view("V", &definition, &mut seq_db).expect("sequential view");
+        let mut par_db = db.clone();
+        let ctx = ExecContext {
+            threads: 8,
+            morsel_rows: 7,
+        };
+        materialize_view_with("V", &definition, &mut par_db, &ctx).expect("parallel view");
+        assert_eq!(seq_db.table("V"), par_db.table("V"));
     }
 }

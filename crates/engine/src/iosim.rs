@@ -1,19 +1,31 @@
 //! Block-I/O simulation: execute a plan while counting the block accesses
 //! the paper's cost model charges for.
 //!
-//! Accounting is per *batch*: each operator runs as one columnar kernel call
-//! and is charged for its whole input/output in one step. Because every
-//! charge is a function of row counts alone, the totals are bit-identical to
-//! what the tuple-at-a-time engine reported — and stay pinned across storage
-//! changes (dictionary encoding, selection vectors) that alter how a batch
-//! is represented but not how many rows flow through each operator.
+//! Accounting is per *logical batch*: each operator runs as one columnar
+//! kernel call and is charged for its whole input/output in one step.
+//! Because every charge is a function of row counts alone, the totals are
+//! bit-identical to what the tuple-at-a-time engine reported — and stay
+//! pinned across storage changes (dictionary encoding, selection vectors)
+//! that alter how a batch is represented but not how many rows flow through
+//! each operator.
+//!
+//! The same discipline makes the totals independent of parallel execution:
+//! morsel kernels produce each operator's output by concatenating
+//! per-morsel partials **in morsel order** (never completion order), so an
+//! operator's row count — and with it every charge — is identical at any
+//! thread count or interleaving. Charges are accumulated per operator in
+//! plan (post-)order and folded into the report at the end, so the
+//! accounting path itself has no order left to vary; a regression test
+//! pins the totals at `threads = 1, 2, 8`.
 
 use std::sync::Arc;
 
 use mvdesign_algebra::Expr;
 
 use crate::batch::Batch;
-use crate::exec::{aggregate_batch, join_batch, op_label, project_batch, select_batch};
+use crate::exec::{
+    aggregate_batch, join_batch, op_label, project_batch, select_batch, ExecContext,
+};
 use crate::table::{Database, Table};
 use crate::{ExecError, JoinAlgo};
 
@@ -33,6 +45,15 @@ impl IoReport {
     pub fn total(&self) -> f64 {
         self.blocks_read + self.blocks_written
     }
+}
+
+/// One operator's charge, recorded in plan order. The final report is the
+/// fold of these in recording order — a deterministic reduction no matter
+/// how the kernels inside the operator were scheduled.
+#[derive(Debug, Clone, Copy)]
+struct OpCharge {
+    read: f64,
+    written: f64,
 }
 
 /// Executes `expr` against `db`, counting block accesses under the paper's
@@ -55,10 +76,37 @@ pub fn measure(
     db: &Database,
     records_per_block: f64,
 ) -> Result<(Table, IoReport), ExecError> {
+    measure_with(expr, db, records_per_block, &ExecContext::default())
+}
+
+/// Like [`measure`], running the plan's kernels under an explicit
+/// [`ExecContext`]. Charges are per logical batch — never per morsel — so
+/// the report is bit-identical for every thread count and morsel size
+/// (only wall-clock changes).
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from plan execution.
+pub fn measure_with(
+    expr: &Arc<Expr>,
+    db: &Database,
+    records_per_block: f64,
+    ctx: &ExecContext,
+) -> Result<(Table, IoReport), ExecError> {
     let bf = records_per_block.max(1.0);
-    let mut report = IoReport::default();
-    let batch = run(expr, db, bf, &mut report)?;
-    report.rows_out = batch.rows();
+    let mut charges: Vec<OpCharge> = Vec::new();
+    let batch = run(expr, db, bf, ctx, &mut charges)?;
+    let report = charges.iter().fold(
+        IoReport {
+            rows_out: batch.rows(),
+            ..IoReport::default()
+        },
+        |mut acc, c| {
+            acc.blocks_read += c.read;
+            acc.blocks_written += c.written;
+            acc
+        },
+    );
     let table = match &**expr {
         Expr::Base(name) => Table::from_batch(name.clone(), batch),
         _ => Table::from_batch(op_label(expr), batch),
@@ -77,7 +125,8 @@ fn run(
     expr: &Arc<Expr>,
     db: &Database,
     bf: f64,
-    report: &mut IoReport,
+    ctx: &ExecContext,
+    charges: &mut Vec<OpCharge>,
 ) -> Result<Batch, ExecError> {
     match &**expr {
         Expr::Base(name) => db
@@ -85,17 +134,21 @@ fn run(
             .map(|t| t.batch().clone())
             .ok_or_else(|| ExecError::UnknownRelation(name.clone())),
         Expr::Select { input, predicate } => {
-            let input = run(input, db, bf, report)?;
-            report.blocks_read += blocks(input.rows(), bf);
-            let out = select_batch(&input, predicate)?;
-            report.blocks_written += blocks(out.rows(), bf);
+            let input = run(input, db, bf, ctx, charges)?;
+            let out = select_batch(&input, predicate, ctx)?;
+            charges.push(OpCharge {
+                read: blocks(input.rows(), bf),
+                written: blocks(out.rows(), bf),
+            });
             Ok(out)
         }
         Expr::Project { input, attrs } => {
-            let input = run(input, db, bf, report)?;
-            report.blocks_read += blocks(input.rows(), bf);
+            let input = run(input, db, bf, ctx, charges)?;
             let out = project_batch(&input, attrs)?;
-            report.blocks_written += blocks(out.rows(), bf);
+            charges.push(OpCharge {
+                read: blocks(input.rows(), bf),
+                written: blocks(out.rows(), bf),
+            });
             Ok(out)
         }
         Expr::Aggregate {
@@ -103,18 +156,22 @@ fn run(
             group_by,
             aggs,
         } => {
-            let input = run(input, db, bf, report)?;
-            report.blocks_read += blocks(input.rows(), bf);
-            let out = aggregate_batch(&input, group_by, aggs)?;
-            report.blocks_written += blocks(out.rows(), bf);
+            let input = run(input, db, bf, ctx, charges)?;
+            let out = aggregate_batch(&input, group_by, aggs, ctx)?;
+            charges.push(OpCharge {
+                read: blocks(input.rows(), bf),
+                written: blocks(out.rows(), bf),
+            });
             Ok(out)
         }
         Expr::Join { left, right, on } => {
-            let l = run(left, db, bf, report)?;
-            let r = run(right, db, bf, report)?;
-            report.blocks_read += blocks(l.rows(), bf) * blocks(r.rows(), bf);
-            let out = join_batch(&l, &r, on, JoinAlgo::NestedLoop)?;
-            report.blocks_written += blocks(out.rows(), bf);
+            let l = run(left, db, bf, ctx, charges)?;
+            let r = run(right, db, bf, ctx, charges)?;
+            let out = join_batch(&l, &r, on, JoinAlgo::NestedLoop, ctx)?;
+            charges.push(OpCharge {
+                read: blocks(l.rows(), bf) * blocks(r.rows(), bf),
+                written: blocks(out.rows(), bf),
+            });
             Ok(out)
         }
     }
@@ -199,5 +256,35 @@ mod tests {
         let e = Expr::project(Expr::base("S"), [AttrRef::new("S", "k")]);
         let (_, io) = measure(&e, &db(), 10.0).unwrap();
         assert_eq!(io.rows_out, 50);
+    }
+
+    /// The satellite regression: the same plan at `threads = 1, 2, 8` (and
+    /// a morsel size small enough that every kernel actually fans out)
+    /// reports identical block totals *and* an identical result batch.
+    #[test]
+    fn charges_are_interleaving_independent() {
+        let e = Expr::aggregate(
+            Expr::select(
+                Expr::join(
+                    Expr::base("R"),
+                    Expr::base("S"),
+                    JoinCondition::on(AttrRef::new("R", "k"), AttrRef::new("S", "k")),
+                ),
+                Predicate::cmp(AttrRef::new("R", "id"), CompareOp::Lt, 80),
+            ),
+            [AttrRef::new("R", "k")],
+            [mvdesign_algebra::AggExpr::count_star("n")],
+        );
+        let db = db();
+        let (base_table, base_io) = measure(&e, &db, 10.0).unwrap();
+        for threads in [1, 2, 8] {
+            let ctx = ExecContext {
+                threads,
+                morsel_rows: 7,
+            };
+            let (table, io) = measure_with(&e, &db, 10.0, &ctx).unwrap();
+            assert_eq!(io, base_io, "threads={threads}");
+            assert_eq!(table.batch(), base_table.batch(), "threads={threads}");
+        }
     }
 }

@@ -23,6 +23,14 @@
 //! `engine_batch` property suite check the two engines produce identical
 //! bags on every plan they run.
 //!
+//! Execution can additionally fan out across cores: an [`ExecContext`]
+//! (default: single-threaded, so every existing call site is untouched)
+//! splits batches into fixed-size morsels and runs the hot kernels —
+//! selection masks, the raw-key hash join, compact hash aggregation — on
+//! scoped worker threads. Per-morsel partial results always merge in
+//! morsel order, so results are bit-identical at every thread count; the
+//! `engine_morsel` differential battery pins that property.
+//!
 //! # Example
 //!
 //! ```
@@ -59,9 +67,10 @@ mod table;
 pub use crate::batch::{Batch, Column};
 pub use crate::datagen::{Generator, GeneratorConfig};
 pub use crate::exec::{
-    execute, execute_with, materialize_view, selection_mask, selection_mask_full, ExecError,
-    JoinAlgo,
+    execute, execute_with, execute_with_context, materialize_view, materialize_view_with,
+    selection_mask, selection_mask_full, selection_mask_with, ExecContext, ExecError, JoinAlgo,
+    DEFAULT_MORSEL_ROWS,
 };
-pub use crate::iosim::{measure, IoReport};
+pub use crate::iosim::{measure, measure_with, IoReport};
 pub use crate::profile::{profile_database, ProfileConfig};
 pub use crate::table::{Database, Table};

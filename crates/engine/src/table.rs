@@ -7,6 +7,12 @@
 //! touches tuples. Dictionary-encoded text columns rehydrate the same way:
 //! strings are only built (one `Arc` bump per cell) when the row façade is
 //! actually asked for, never on the batch execution path.
+//!
+//! Tables are `Sync` and safe to share by reference across the morsel
+//! engine's scoped workers: columns are immutable behind `Arc`s, and the
+//! lazy row cache is a [`OnceLock`], so concurrent first calls to
+//! [`Table::rows`] race only on which thread's (identical) materialisation
+//! wins publication.
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -10,7 +10,9 @@ use std::sync::Arc;
 use mvdesign_algebra::{parse_query_with, Expr, ParseError, Value};
 use mvdesign_catalog::{Catalog, RelName};
 use mvdesign_core::{DesignResult, ViewCatalog};
-use mvdesign_engine::{execute, materialize_view, Database, ExecError, Table};
+use mvdesign_engine::{
+    execute_with_context, materialize_view_with, Database, ExecContext, ExecError, JoinAlgo, Table,
+};
 
 /// Errors raised by [`Warehouse`] operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +75,8 @@ pub struct Warehouse {
     views: ViewCatalog,
     stale: bool,
     refreshes: u64,
+    /// Execution knobs for serve and refresh (default: single-threaded).
+    exec: ExecContext,
 }
 
 impl Warehouse {
@@ -95,9 +99,31 @@ impl Warehouse {
             views,
             stale: true,
             refreshes: 0,
+            exec: ExecContext::default(),
         };
         warehouse.refresh()?;
         Ok(warehouse)
+    }
+
+    /// Sets the execution knobs (thread count, morsel size) used for every
+    /// later serve and refresh, returning the warehouse for chaining.
+    /// Answers and stored views are bit-identical under every context —
+    /// only wall-clock changes.
+    #[must_use]
+    pub fn with_exec_context(mut self, exec: ExecContext) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Sets the execution knobs on an existing warehouse (see
+    /// [`Warehouse::with_exec_context`]).
+    pub fn set_exec_context(&mut self, exec: ExecContext) {
+        self.exec = exec;
+    }
+
+    /// The execution knobs serve and refresh currently run under.
+    pub fn exec_context(&self) -> ExecContext {
+        self.exec
     }
 
     /// The base-plus-views database.
@@ -157,7 +183,7 @@ impl Warehouse {
     /// Returns [`WarehouseError::Exec`] when a view definition fails.
     pub fn refresh(&mut self) -> Result<(), WarehouseError> {
         for (name, definition) in self.views.views().to_vec() {
-            materialize_view(name, &definition, &mut self.db)?;
+            materialize_view_with(name, &definition, &mut self.db, &self.exec)?;
         }
         self.stale = false;
         self.refreshes += 1;
@@ -183,7 +209,12 @@ impl Warehouse {
     /// Returns [`WarehouseError::Exec`] for execution failures.
     pub fn query_expr(&self, expr: &Arc<Expr>) -> Result<Table, WarehouseError> {
         let routed = self.views.rewrite(expr);
-        Ok(execute(&routed, &self.db)?)
+        Ok(execute_with_context(
+            &routed,
+            &self.db,
+            JoinAlgo::NestedLoop,
+            &self.exec,
+        )?)
     }
 }
 
@@ -280,7 +311,7 @@ pub struct MeasuredPeriod {
 mod tests {
     use super::*;
     use mvdesign_core::Designer;
-    use mvdesign_engine::{Generator, GeneratorConfig};
+    use mvdesign_engine::{execute, Generator, GeneratorConfig};
     use mvdesign_workload::paper_example;
 
     fn warehouse() -> Warehouse {
@@ -386,6 +417,32 @@ mod tests {
             shared > 0,
             "no view carries a dictionary column — sharing untested"
         );
+    }
+
+    #[test]
+    fn parallel_serve_and_refresh_match_single_threaded() {
+        // The same design, data and queries under a parallel context: every
+        // stored view and every answer must be bit-identical to the
+        // single-threaded warehouse.
+        let sequential = warehouse();
+        let mut parallel = warehouse().with_exec_context(ExecContext {
+            threads: 4,
+            morsel_rows: 16,
+        });
+        parallel.refresh().expect("parallel refresh");
+        for (name, t) in sequential.database().iter() {
+            assert_eq!(
+                Some(t),
+                parallel.database().table(name.as_str()),
+                "table {name} differs under parallel refresh"
+            );
+        }
+        let scenario = paper_example();
+        for q in scenario.workload.queries() {
+            let a = sequential.query_expr(q.root()).expect("sequential");
+            let b = parallel.query_expr(q.root()).expect("parallel");
+            assert_eq!(a.batch(), b.batch(), "{} differs", q.name());
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ echo "== tier-1: bench smoke (--test mode) =="
 cargo bench -p mvdesign-bench --bench selection_scaling -- --test
 cargo bench -p mvdesign-bench --bench engine_and_optimizer -- --test
 cargo bench -p mvdesign-bench --bench engine_batch -- --test
+cargo bench -p mvdesign-bench --bench engine_parallel -- --test
 
 echo "== tier-1: paper artifacts still reproduce =="
 cargo run --release -p mvdesign-bench --bin repro -- fig9 > /dev/null
