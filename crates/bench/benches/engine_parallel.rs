@@ -93,6 +93,7 @@ fn bench_parallel_kernels(c: &mut Criterion) {
             let ctx = ExecContext {
                 threads,
                 morsel_rows: MORSEL_ROWS,
+                mem_budget: None,
             };
             let out = execute_with_context(expr, &db, algo, &ctx).expect("executes");
             assert_eq!(

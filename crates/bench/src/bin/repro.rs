@@ -997,10 +997,11 @@ fn write_bench_artifact(path: &str, label: &str, cores: usize, rows: &[String]) 
         "    {{\n      \"rev\": \"{label}\",\n      \"results\": [\n{}\n      ]\n    }}",
         rows.join(",\n")
     );
+    let mem = mvdesign_bench::host_mem_bytes();
     let runs = mvdesign_bench::upsert_run(mvdesign_bench::load_runs(path), label, run);
-    let json = mvdesign_bench::render_bench_file(cores, &runs);
+    let json = mvdesign_bench::render_bench_file(cores, mem, &runs);
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!("\nwrote {path} run \"{label}\" ({cores} core(s) available)");
+    println!("\nwrote {path} run \"{label}\" ({cores} core(s), {mem} bytes RAM)");
 }
 
 /// Wall-clock comparison of the columnar batch engine against the preserved
@@ -1014,9 +1015,13 @@ fn write_bench_artifact(path: &str, label: &str, cores: usize, rows: &[String]) 
 /// second section times the morsel-driven parallel engine on a 1M-row
 /// scenario at several thread counts (default 1, 2 and all cores;
 /// `--threads N` adds an explicit count), asserting every parallel result
-/// bit-identical to the single-threaded run before timing. Writes
-/// `BENCH_engine.json` as one labelled run
-/// (`repro perf-engine <label> [--threads N]`, default `working-tree`).
+/// bit-identical to the single-threaded run before timing. A third,
+/// out-of-core section ([`perf_engine_paged`]) sweeps buffer-pool budgets
+/// from an eighth of the data to twice the data (or the single
+/// `--mem-budget <bytes>` value) and records each operator's
+/// measured-vs-predicted block accesses. Writes `BENCH_engine.json` as one
+/// labelled run (`repro perf-engine <label> [--threads N]
+/// [--mem-budget <bytes>]`, default `working-tree`).
 fn perf_engine() {
     use mvdesign::algebra::{AggExpr, AggFunc, AttrRef, CompareOp, JoinCondition, Predicate};
     use mvdesign::catalog::{AttrType, Catalog};
@@ -1029,9 +1034,16 @@ fn perf_engine() {
     let cores = mvdesign_bench::host_cores();
     let mut label = "working-tree".to_string();
     let mut thread_counts: Vec<usize> = vec![1, 2, cores.max(1)];
+    let mut mem_budget: Option<usize> = None;
     let mut argv = std::env::args().skip(2);
     while let Some(arg) = argv.next() {
-        if arg == "--threads" {
+        if arg == "--mem-budget" {
+            let bytes: usize = argv
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--mem-budget takes a byte count");
+            mem_budget = Some(bytes.max(1));
+        } else if arg == "--threads" {
             let n: usize = argv
                 .next()
                 .and_then(|v| v.parse().ok())
@@ -1311,6 +1323,7 @@ fn perf_engine() {
         full_ms / adaptive_ms.max(1e-9)
     );
     perf_engine_parallel(&mut rows_json, &thread_counts);
+    perf_engine_paged(&mut rows_json, mem_budget);
     write_bench_artifact("BENCH_engine.json", &label, cores, &rows_json);
 }
 
@@ -1402,6 +1415,7 @@ fn perf_engine_parallel(rows_json: &mut Vec<String>, thread_counts: &[usize]) {
         let single = ExecContext {
             threads: 1,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            mem_budget: None,
         };
         let baseline = execute_with_context(expr, &db, algo, &single).expect("executes");
         let mut single_ms = f64::NAN;
@@ -1409,6 +1423,7 @@ fn perf_engine_parallel(rows_json: &mut Vec<String>, thread_counts: &[usize]) {
             let ctx = ExecContext {
                 threads,
                 morsel_rows: DEFAULT_MORSEL_ROWS,
+                mem_budget: None,
             };
             let out = execute_with_context(expr, &db, algo, &ctx).expect("executes");
             assert_eq!(
@@ -1436,6 +1451,187 @@ fn perf_engine_parallel(rows_json: &mut Vec<String>, thread_counts: &[usize]) {
                  \"batch_ms\": {ms:.4}, \"speedup\": {scaling:.2}, \
                  \"batch_rows_per_sec\": {throughput:.0}}}",
                 out.len()
+            ));
+        }
+    }
+}
+
+/// The out-of-core section of `perf-engine`: a fact table several times any
+/// pool budget in the sweep, paged into a
+/// [`BufferPool`](mvdesign::engine::BufferPool) and scanned,
+/// hash-joined and hash-aggregated under memory budgets from an eighth of
+/// the data to twice the data (`--mem-budget <bytes>` pins a single
+/// budget instead). At the smallest budget the data is ≥8× the pool and
+/// both the hash join and the aggregation outgrow the operator budget, so
+/// eviction **and** operator spill are exercised. Every paged result is
+/// asserted bit-identical to the resident run before timing, and each row
+/// records the per-operator measured-vs-predicted block-access
+/// differential: predicted blocks from the paper's `iosim` model with one
+/// block per page, measured block reads from the pool's cold-start miss
+/// counters ([`measure_paged`](mvdesign::engine::measure_paged)), plus the
+/// relative error between them.
+fn perf_engine_paged(rows_json: &mut Vec<String>, budget_override: Option<usize>) {
+    use std::sync::Arc;
+
+    use mvdesign::algebra::{AggExpr, AggFunc, AttrRef, CompareOp, JoinCondition, Predicate};
+    use mvdesign::engine::{
+        batch_bytes, execute_with_context, measure_paged, Batch, BufferPool, Column, Database,
+        ExecContext, JoinAlgo, Table, DEFAULT_MORSEL_ROWS, DEFAULT_PAGE_ROWS,
+    };
+
+    const FACT_ROWS: usize = 200_000;
+    const DIM_ROWS: usize = 5_000;
+
+    let mut resident = Database::new();
+    resident.insert_table(Table::from_batch(
+        "OFact",
+        Batch::new(
+            vec![
+                AttrRef::new("OFact", "id"),
+                AttrRef::new("OFact", "k"),
+                AttrRef::new("OFact", "m"),
+            ],
+            vec![
+                Arc::new(Column::Int((0..FACT_ROWS as i64).collect())),
+                Arc::new(Column::Int(
+                    (0..FACT_ROWS as i64)
+                        .map(|i| i.wrapping_mul(2_654_435_761) % DIM_ROWS as i64)
+                        .collect(),
+                )),
+                Arc::new(Column::Int(
+                    (0..FACT_ROWS as i64).map(|i| i % 100).collect(),
+                )),
+            ],
+        ),
+    ));
+    resident.insert_table(Table::from_batch(
+        "ODim",
+        Batch::new(
+            vec![AttrRef::new("ODim", "did")],
+            vec![Arc::new(Column::Int((0..DIM_ROWS as i64).collect()))],
+        ),
+    ));
+    let data_bytes: usize = resident.iter().map(|(_, t)| batch_bytes(t.batch())).sum();
+    let budgets: Vec<usize> = match budget_override {
+        Some(b) => vec![b],
+        None => vec![data_bytes / 8, data_bytes / 2, data_bytes, data_bytes * 2],
+    };
+    if budget_override.is_none() {
+        assert!(
+            data_bytes >= 8 * budgets[0],
+            "the smallest default budget must make the data at least 8x the pool"
+        );
+    }
+
+    let scan = Expr::select(
+        Expr::base("OFact"),
+        Predicate::cmp(AttrRef::new("OFact", "m"), CompareOp::Lt, 50),
+    );
+    let join = Expr::join(
+        Expr::base("OFact"),
+        Expr::base("ODim"),
+        JoinCondition::on(AttrRef::new("OFact", "k"), AttrRef::new("ODim", "did")),
+    );
+    let aggregate = Expr::aggregate(
+        Expr::base("OFact"),
+        [AttrRef::new("OFact", "m")],
+        [
+            AggExpr::new(AggFunc::Sum, AttrRef::new("OFact", "id"), "total"),
+            AggExpr::count_star("n"),
+        ],
+    );
+    type OCase<'a> = (&'a str, &'a std::sync::Arc<Expr>, JoinAlgo, usize);
+    let cases: Vec<OCase<'_>> = vec![
+        ("scan-filter-paged", &scan, JoinAlgo::NestedLoop, FACT_ROWS),
+        (
+            "join-hash-paged",
+            &join,
+            JoinAlgo::Hash,
+            FACT_ROWS + DIM_ROWS,
+        ),
+        (
+            "hash-aggregate-paged",
+            &aggregate,
+            JoinAlgo::NestedLoop,
+            FACT_ROWS,
+        ),
+    ];
+
+    println!(
+        "\n{:<22} {:>12} {:>9} {:>12} {:>16}   per-operator predicted vs measured blocks",
+        "kernel (paged)", "budget B", "rows out", "batch ms", "batch rows/s"
+    );
+    for &budget in &budgets {
+        for &(kernel, expr, algo, rows_in) in &cases {
+            let resident_ctx = ExecContext {
+                threads: 1,
+                morsel_rows: DEFAULT_MORSEL_ROWS,
+                mem_budget: None,
+            };
+            let baseline =
+                execute_with_context(expr, &resident, algo, &resident_ctx).expect("resident");
+
+            let mut pdb = resident.clone();
+            let pool = BufferPool::new(Some(budget));
+            pdb.page_out(&pool, DEFAULT_PAGE_ROWS);
+            let ctx = ExecContext {
+                threads: 1,
+                morsel_rows: DEFAULT_MORSEL_ROWS,
+                mem_budget: Some(budget),
+            };
+            let out = execute_with_context(expr, &pdb, algo, &ctx).expect("paged executes");
+            assert_eq!(
+                baseline.batch(),
+                out.batch(),
+                "{kernel}: paged result differs at budget {budget}"
+            );
+            let ms = time_ms(|| {
+                execute_with_context(expr, &pdb, algo, &ctx)
+                    .expect("paged executes")
+                    .len()
+            });
+            if budget * 8 <= data_bytes {
+                assert!(
+                    pool.stats().evictions > 0,
+                    "{kernel}: an 8x-oversized dataset must force eviction"
+                );
+            }
+
+            // The differential runs on a cold pool so the miss counters
+            // measure every block the operators actually read.
+            let mut cold = resident.clone();
+            let cold_pool = BufferPool::new(Some(budget));
+            cold.page_out(&cold_pool, DEFAULT_PAGE_ROWS);
+            let (_, io) =
+                measure_paged(expr, &cold, DEFAULT_PAGE_ROWS as f64, &ctx).expect("measures");
+            let mut ops: Vec<String> = Vec::new();
+            let mut ops_text = String::new();
+            for (op, charge) in io.per_operator() {
+                let predicted = charge.read;
+                let measured = charge.pool_misses;
+                let rel_err = if predicted > 0.0 {
+                    (measured as f64 - predicted).abs() / predicted
+                } else {
+                    0.0
+                };
+                ops.push(format!(
+                    "{{\"op\": \"{op}\", \"predicted_blocks\": {predicted:.1}, \
+                     \"measured_block_reads\": {measured}, \"rel_err\": {rel_err:.4}}}"
+                ));
+                ops_text.push_str(&format!(" {op}:{predicted:.0}/{measured}"));
+            }
+            let throughput = rows_in as f64 / (ms / 1e3).max(1e-9);
+            println!(
+                "{kernel:<22} {budget:>12} {:>9} {ms:>12.3} {throughput:>16.0}  {ops_text}",
+                out.len()
+            );
+            rows_json.push(format!(
+                "    {{\"kernel\": \"{kernel}\", \"baseline\": \"resident\", \
+                 \"mem_budget\": {budget}, \"data_bytes\": {data_bytes}, \
+                 \"rows_in\": {rows_in}, \"rows_out\": {}, \"batch_ms\": {ms:.4}, \
+                 \"batch_rows_per_sec\": {throughput:.0}, \"operators\": [{}]}}",
+                out.len(),
+                ops.join(", ")
             ));
         }
     }

@@ -110,6 +110,24 @@ pub fn host_cores() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// The machine's physical memory in bytes (from `/proc/meminfo`'s
+/// `MemTotal`), recorded next to [`host_cores`] in every `BENCH_*.json`
+/// artifact so readers can judge the out-of-core numbers. `0` when the
+/// platform does not expose it.
+pub fn host_mem_bytes() -> u64 {
+    let Ok(meminfo) = std::fs::read_to_string("/proc/meminfo") else {
+        return 0;
+    };
+    meminfo
+        .lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix("MemTotal:")?;
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            Some(kb * 1024)
+        })
+        .unwrap_or(0)
+}
+
 /// Pulls the serialized run objects back out of a `BENCH_*.json` artifact
 /// written by [`render_bench_file`] (no JSON parser in-tree; the format is
 /// our own, brace-balanced and two-space indented).
@@ -163,9 +181,9 @@ pub fn load_runs(path: &str) -> Vec<String> {
 }
 
 /// Renders a complete `BENCH_*.json` artifact around the given runs.
-pub fn render_bench_file(host_cores: usize, runs: &[String]) -> String {
+pub fn render_bench_file(host_cores: usize, host_mem_bytes: u64, runs: &[String]) -> String {
     format!(
-        "{{\n  \"host_cores\": {host_cores},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"host_cores\": {host_cores},\n  \"host_mem_bytes\": {host_mem_bytes},\n  \"runs\": [\n{}\n  ]\n}}\n",
         runs.join(",\n")
     )
 }
@@ -184,8 +202,19 @@ mod tests {
     fn bench_runs_round_trip_through_the_rendered_file() {
         let a = run_object("before", "        {\"x\": 1}");
         let b = run_object("after", "        {\"x\": 2}");
-        let file = render_bench_file(8, &[a.clone(), b.clone()]);
+        let file = render_bench_file(8, 16 * 1024 * 1024 * 1024, &[a.clone(), b.clone()]);
+        assert!(file.contains("\"host_mem_bytes\": 17179869184"));
         assert_eq!(extract_runs(&file), vec![a, b]);
+    }
+
+    #[test]
+    fn host_mem_bytes_reads_proc_meminfo() {
+        // On Linux (where CI runs) MemTotal is always present; elsewhere the
+        // probe degrades to 0 rather than failing.
+        let mem = host_mem_bytes();
+        if std::path::Path::new("/proc/meminfo").exists() {
+            assert!(mem > 0, "MemTotal should parse on Linux");
+        }
     }
 
     #[test]

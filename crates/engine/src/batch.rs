@@ -405,6 +405,106 @@ impl Column {
     fn is_text_backed(&self) -> bool {
         matches!(self, Column::Text(_) | Column::Dict { .. })
     }
+
+    /// A copy of the rows `range`, **variant-preserving**: an `Int` slice
+    /// stays `Int`, a `Dict` slice shares the value table, and a `Mixed`
+    /// slice stays `Mixed` even when the sliced values happen to be
+    /// homogeneous. The paged storage layer relies on this: pages must
+    /// reassemble into exactly the representation they were cut from, or
+    /// the derived `PartialEq` on [`Batch`] would see a difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` is out of bounds.
+    pub(crate) fn slice(&self, range: std::ops::Range<usize>) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(v[range].to_vec()),
+            Column::Text(v) => Column::Text(v[range].to_vec()),
+            Column::Date(v) => Column::Date(v[range].to_vec()),
+            Column::Dict { codes, values } => Column::Dict {
+                codes: codes[range].to_vec(),
+                values: Arc::clone(values),
+            },
+            Column::Mixed(v) => Column::Mixed(v[range].to_vec()),
+        }
+    }
+
+    /// Concatenates column pieces back into one column, reproducing the
+    /// representation the resident engine would have produced:
+    ///
+    /// * pieces of one typed variant concatenate into that variant,
+    /// * `Dict` pieces sharing one value table concatenate codes and keep
+    ///   the shared table,
+    /// * anything else re-canonicalises through [`Column::from_values`],
+    ///   exactly like a whole-column `gather` over heterogeneous values.
+    ///
+    /// The mixed-variant case arises when per-page gathers of a `Mixed`
+    /// column each re-canonicalise to different variants; `from_values`
+    /// over the concatenated values is then identical to the single
+    /// full-width gather.
+    pub(crate) fn concat(parts: &[&Column]) -> Column {
+        match parts {
+            [] => Column::empty(),
+            [only] => (*only).clone(),
+            _ => {
+                if parts.iter().all(|c| matches!(c, Column::Int(_))) {
+                    return Column::Int(
+                        parts
+                            .iter()
+                            .flat_map(|c| match c {
+                                Column::Int(v) => v.iter().copied(),
+                                _ => unreachable!(),
+                            })
+                            .collect(),
+                    );
+                }
+                if parts.iter().all(|c| matches!(c, Column::Date(_))) {
+                    return Column::Date(
+                        parts
+                            .iter()
+                            .flat_map(|c| match c {
+                                Column::Date(v) => v.iter().copied(),
+                                _ => unreachable!(),
+                            })
+                            .collect(),
+                    );
+                }
+                if parts.iter().all(|c| matches!(c, Column::Text(_))) {
+                    return Column::Text(
+                        parts
+                            .iter()
+                            .flat_map(|c| match c {
+                                Column::Text(v) => v.iter().map(Arc::clone),
+                                _ => unreachable!(),
+                            })
+                            .collect(),
+                    );
+                }
+                if let Some(table) = parts[0].dict_values() {
+                    if parts
+                        .iter()
+                        .all(|c| c.dict_values().is_some_and(|t| Arc::ptr_eq(t, table)))
+                    {
+                        return Column::Dict {
+                            codes: parts
+                                .iter()
+                                .flat_map(|c| match c {
+                                    Column::Dict { codes, .. } => codes.iter().copied(),
+                                    _ => unreachable!(),
+                                })
+                                .collect(),
+                            values: Arc::clone(table),
+                        };
+                    }
+                }
+                Column::from_values(
+                    parts
+                        .iter()
+                        .flat_map(|c| (0..c.len()).map(move |i| c.value(i))),
+                )
+            }
+        }
+    }
 }
 
 /// A header plus one column per attribute — the unit every batch operator

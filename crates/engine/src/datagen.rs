@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::batch::{Batch, Column};
+use crate::storage::BufferPool;
 use crate::table::{Database, Table};
 
 /// Configuration for [`Generator`].
@@ -99,6 +100,22 @@ impl Generator {
             let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
             db.insert_table(Table::from_batch(name.clone(), Batch::new(attrs, columns)));
         }
+        db
+    }
+
+    /// Generates one table per catalog relation and pages every table into
+    /// `pool` (see [`Database::page_out`]). The data is identical to
+    /// [`Generator::database`] under the same seed — paging changes
+    /// residency, never content — so out-of-core fixtures and benchmarks
+    /// share their seeds with the resident ones.
+    pub fn paged_database(
+        &self,
+        catalog: &Catalog,
+        pool: &Arc<BufferPool>,
+        page_rows: usize,
+    ) -> Database {
+        let mut db = self.database(catalog);
+        db.page_out(pool, page_rows);
         db
     }
 
@@ -301,6 +318,18 @@ mod tests {
         // The dictionary holds distinct strings and decodes to Text values.
         for i in 0..div.len() {
             assert!(matches!(col.value(i), Value::Text(_)));
+        }
+    }
+
+    #[test]
+    fn paged_database_is_the_resident_database_paged() {
+        let c = catalog();
+        let resident = Generator::new().database(&c);
+        let pool = BufferPool::new(Some(8 * 1024));
+        let paged = Generator::new().paged_database(&c, &pool, 64);
+        for (name, t) in paged.iter() {
+            assert!(t.pool().is_some(), "{name} not paged");
+            assert_eq!(Some(t), resident.table(name.as_str()), "{name} differs");
         }
     }
 

@@ -30,6 +30,7 @@
 
 mod keys;
 mod morsel;
+mod paged;
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -50,6 +51,7 @@ use keys::{
 };
 use morsel::{run_morsels, run_tasks};
 pub use morsel::{ExecContext, DEFAULT_MORSEL_ROWS};
+pub(crate) use paged::{aggregate_view, exec_view, join_view, project_view, select_view, View};
 
 /// Errors raised while executing an expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +61,8 @@ pub enum ExecError {
     UnknownRelation(RelName),
     /// An operator referenced an attribute its input does not carry.
     MissingAttr(AttrRef),
+    /// A spill-partitioned operator could not read or write its spill file.
+    Spill(String),
 }
 
 impl fmt::Display for ExecError {
@@ -66,6 +70,7 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::UnknownRelation(r) => write!(f, "no table for relation `{r}`"),
             ExecError::MissingAttr(a) => write!(f, "input carries no attribute `{a}`"),
+            ExecError::Spill(e) => write!(f, "operator spill failed: {e}"),
         }
     }
 }
@@ -136,8 +141,8 @@ pub fn execute_with_context(
             .cloned()
             .ok_or_else(|| ExecError::UnknownRelation(name.clone())),
         _ => {
-            let batch = exec_batch(expr, db, algo, ctx)?;
-            Ok(Table::from_batch(op_label(expr), batch))
+            let view = exec_view(expr, db, algo, ctx)?;
+            Ok(Table::from_batch(op_label(expr), view.into_batch()))
         }
     }
 }
@@ -151,42 +156,6 @@ pub(crate) fn op_label(expr: &Expr) -> &'static str {
         Expr::Project { .. } => "π",
         Expr::Join { .. } => "⋈",
         Expr::Aggregate { .. } => "γ",
-    }
-}
-
-/// Recursive batch evaluation — the engine's spine.
-pub(crate) fn exec_batch(
-    expr: &Arc<Expr>,
-    db: &Database,
-    algo: JoinAlgo,
-    ctx: &ExecContext,
-) -> Result<Batch, ExecError> {
-    match &**expr {
-        Expr::Base(name) => db
-            .table(name.as_str())
-            .map(|t| t.batch().clone())
-            .ok_or_else(|| ExecError::UnknownRelation(name.clone())),
-        Expr::Select { input, predicate } => {
-            let b = exec_batch(input, db, algo, ctx)?;
-            select_batch(&b, predicate, ctx)
-        }
-        Expr::Project { input, attrs } => {
-            let b = exec_batch(input, db, algo, ctx)?;
-            project_batch(&b, attrs)
-        }
-        Expr::Join { left, right, on } => {
-            let l = exec_batch(left, db, algo, ctx)?;
-            let r = exec_batch(right, db, algo, ctx)?;
-            join_batch(&l, &r, on, algo, ctx)
-        }
-        Expr::Aggregate {
-            input,
-            group_by,
-            aggs,
-        } => {
-            let b = exec_batch(input, db, algo, ctx)?;
-            aggregate_batch(&b, group_by, aggs, ctx)
-        }
     }
 }
 
@@ -238,15 +207,29 @@ pub(crate) fn join_batch(
     }
     let lcols: Vec<&Column> = pairs.iter().map(|&(li, _)| l.column(li)).collect();
     let rcols: Vec<&Column> = pairs.iter().map(|&(_, ri)| r.column(ri)).collect();
-    let (lidx, ridx) = match algo {
-        JoinAlgo::NestedLoop => nested_loop_indices(l.rows(), r.rows(), &lcols, &rcols, ctx),
-        JoinAlgo::Hash => hash_indices(l.rows(), r.rows(), &lcols, &rcols, ctx),
+    let (lidx, ridx) = join_indices(l.rows(), r.rows(), &lcols, &rcols, algo, ctx)?;
+    Ok(Batch::hstack(&l.gather(&lidx), &r.gather(&ridx)))
+}
+
+/// Dispatches the resolved key columns to the requested join algorithm.
+/// Shared by the resident kernel ([`join_batch`]) and the paged view kernel,
+/// so both sides of the differential battery run the very same index code.
+fn join_indices(
+    ln: usize,
+    rn: usize,
+    lcols: &[&Column],
+    rcols: &[&Column],
+    algo: JoinAlgo,
+    ctx: &ExecContext,
+) -> Result<(Vec<usize>, Vec<usize>), ExecError> {
+    match algo {
+        JoinAlgo::NestedLoop => Ok(nested_loop_indices(ln, rn, lcols, rcols, ctx)),
+        JoinAlgo::Hash => hash_indices(ln, rn, lcols, rcols, ctx),
         // Sort-merge stays single-threaded: the sort dominates its cost and
         // a deterministic parallel merge would need a different (range
         // partitioned) decomposition than morsels provide.
-        JoinAlgo::SortMerge => sort_merge_indices(l.rows(), r.rows(), &lcols, &rcols),
-    };
-    Ok(Batch::hstack(&l.gather(&lidx), &r.gather(&ridx)))
+        JoinAlgo::SortMerge => Ok(sort_merge_indices(ln, rn, lcols, rcols)),
+    }
 }
 
 /// Concatenates per-morsel (left, right) index vectors in morsel order —
@@ -318,21 +301,29 @@ fn nested_loop_indices(
 /// cross join hashes everything under the empty key, degenerating
 /// gracefully. The single-key integer/dictionary case hashes raw `i64`s —
 /// text-keyed joins over dictionary columns never hash a string — and is
-/// the path that goes partitioned-parallel under a parallel context.
+/// the path that goes partitioned-parallel under a parallel context, or
+/// spill-partitioned (Grace) when the key state exceeds the memory budget.
 fn hash_indices(
     ln: usize,
     rn: usize,
     lcols: &[&Column],
     rcols: &[&Column],
     ctx: &ExecContext,
-) -> (Vec<usize>, Vec<usize>) {
+) -> Result<(Vec<usize>, Vec<usize>), ExecError> {
     use std::collections::HashMap;
     let mut lidx = Vec::new();
     let mut ridx = Vec::new();
     if let [(lk, rk)] = raw_keys(lcols, rcols).as_slice() {
         let (lk, rk) = (lk.as_slice(), rk.as_slice());
+        // The spill check comes before the parallel check: under a small
+        // budget the join partitions to disk whether or not it would also
+        // have fanned out, so low-memory reruns exercise the Grace path at
+        // every thread count.
+        if spill_needed(ctx, (ln + rn) * JOIN_RECORD_BYTES) {
+            return grace_hash_join(lk, rk, ctx);
+        }
         if ctx.is_parallel(ln.max(rn)) {
-            return partitioned_hash_join(lk, rk, ctx);
+            return Ok(partitioned_hash_join(lk, rk, ctx));
         }
         let mut built: HashMap<i64, Vec<usize>> = HashMap::new();
         for (j, b) in rk.iter().enumerate() {
@@ -346,7 +337,7 @@ fn hash_indices(
                 }
             }
         }
-        return (lidx, ridx);
+        return Ok((lidx, ridx));
     }
     let mut built: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
     for j in 0..rn {
@@ -362,7 +353,150 @@ fn hash_indices(
             }
         }
     }
-    (lidx, ridx)
+    Ok((lidx, ridx))
+}
+
+/// Bytes per spilled join record: a raw `i64` key plus a `u64` row index.
+const JOIN_RECORD_BYTES: usize = 16;
+
+/// Bytes per spilled aggregation record: a packed [`CompactKey`] plus a
+/// `u64` row index.
+const AGG_RECORD_BYTES: usize = std::mem::size_of::<CompactKey>() + 8;
+
+/// Spilled partition runs are flushed in buffers of this many bytes, so
+/// scatter memory stays bounded by `partitions × SPILL_RUN_BYTES` no matter
+/// how large the inputs are.
+const SPILL_RUN_BYTES: usize = 64 * 1024;
+
+/// Whether an operator about to hold `bytes` of transient state must switch
+/// to its spill-partitioned variant. The threshold is half the budget — the
+/// operator shares memory with the input pages it is reading.
+fn spill_needed(ctx: &ExecContext, bytes: usize) -> bool {
+    ctx.mem_budget.is_some_and(|budget| bytes > budget / 2)
+}
+
+/// Partition count for a spilling operator: enough budget-sized chunks to
+/// cover the state, rounded to a power of two so [`partition_of`]'s top-bit
+/// radix applies, clamped to keep per-partition buffers sane. A pure
+/// function of sizes — never of thread count — though nothing downstream
+/// depends on that: the order-restoring merges make results identical at
+/// any partition count.
+fn spill_partitions(state_bytes: usize, ctx: &ExecContext) -> usize {
+    let budget = ctx.mem_budget.unwrap_or(state_bytes).max(1);
+    state_bytes
+        .div_ceil(budget)
+        .next_power_of_two()
+        .clamp(2, 256)
+}
+
+fn spill_error(e: std::io::Error) -> ExecError {
+    ExecError::Spill(e.to_string())
+}
+
+/// Scatters `(key, row)` records into per-partition runs on `store`, one
+/// buffered sequential pass. Each record is [`JOIN_RECORD_BYTES`]: key as
+/// `i64` LE then row index as `u64` LE. Because the pass is sequential,
+/// every partition's concatenated runs hold its rows in ascending row
+/// order — the property the order-restoring merges rely on.
+fn scatter_raw_keys(
+    keys: &[i64],
+    store: &crate::storage::SpillStore,
+    parts: usize,
+    shift: u32,
+) -> Result<Vec<Vec<(u64, u64)>>, ExecError> {
+    let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); parts];
+    let mut runs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); parts];
+    for (i, k) in keys.iter().enumerate() {
+        let p = partition_of(*k, shift);
+        bufs[p].extend_from_slice(&k.to_le_bytes());
+        bufs[p].extend_from_slice(&(i as u64).to_le_bytes());
+        if bufs[p].len() >= SPILL_RUN_BYTES {
+            runs[p].push(store.write(&bufs[p]).map_err(spill_error)?);
+            bufs[p].clear();
+        }
+    }
+    for (p, buf) in bufs.iter().enumerate() {
+        if !buf.is_empty() {
+            runs[p].push(store.write(buf).map_err(spill_error)?);
+        }
+    }
+    Ok(runs)
+}
+
+/// Reads one partition's `(key, row)` records back in run (= row) order.
+fn read_raw_records(
+    store: &crate::storage::SpillStore,
+    runs: &[(u64, u64)],
+) -> Result<Vec<(i64, usize)>, ExecError> {
+    let mut records = Vec::new();
+    for &(offset, len) in runs {
+        let bytes = store.read(offset, len).map_err(spill_error)?;
+        for rec in bytes.chunks_exact(JOIN_RECORD_BYTES) {
+            let key = i64::from_le_bytes(rec[..8].try_into().expect("8-byte key"));
+            let row = u64::from_le_bytes(rec[8..].try_into().expect("8-byte row index"));
+            records.push((key, row as usize));
+        }
+    }
+    Ok(records)
+}
+
+/// Grace (spill-partitioned) hash join on raw `i64` keys, used when the
+/// key state would blow the memory budget.
+///
+/// Both sides scatter `(key, row)` records into radix partitions on an
+/// operator-local [`crate::storage::SpillStore`] file; each partition is
+/// then small enough to build and probe in memory on its own. A key lives
+/// in exactly one partition, so per-partition output pairs are the
+/// sequential join's pairs for that partition's probe rows, with per-key
+/// build matches ascending in `j`. The final merge walks probe rows
+/// `i = 0..ln` and drains partition `partition_of(lk[i])`'s pair cursor
+/// while it still points at `i` — reproducing the sequential probe order
+/// bit-for-bit at any partition count.
+fn grace_hash_join(
+    lk: &[i64],
+    rk: &[i64],
+    ctx: &ExecContext,
+) -> Result<(Vec<usize>, Vec<usize>), ExecError> {
+    use std::collections::HashMap;
+    let parts = spill_partitions((lk.len() + rk.len()) * JOIN_RECORD_BYTES, ctx);
+    let shift = 64 - parts.trailing_zeros();
+    let store = crate::storage::SpillStore::create().map_err(spill_error)?;
+    let right_runs = scatter_raw_keys(rk, &store, parts, shift)?;
+    let left_runs = scatter_raw_keys(lk, &store, parts, shift)?;
+
+    let mut part_pairs: Vec<std::vec::IntoIter<(usize, usize)>> = Vec::with_capacity(parts);
+    for p in 0..parts {
+        let mut built: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (key, j) in read_raw_records(&store, &right_runs[p])? {
+            built.entry(key).or_default().push(j);
+        }
+        let mut pairs = Vec::new();
+        for (key, i) in read_raw_records(&store, &left_runs[p])? {
+            if let Some(matches) = built.get(&key) {
+                for &j in matches {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        part_pairs.push(pairs.into_iter());
+    }
+
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
+    let mut heads: Vec<Option<(usize, usize)>> =
+        part_pairs.iter_mut().map(Iterator::next).collect();
+    for (i, k) in lk.iter().enumerate() {
+        let p = partition_of(*k, shift);
+        while let Some((pi, pj)) = heads[p] {
+            if pi != i {
+                break;
+            }
+            lidx.push(pi);
+            ridx.push(pj);
+            heads[p] = part_pairs[p].next();
+        }
+    }
+    Ok((lidx, ridx))
 }
 
 /// Radix partition of a raw key: a multiplicative (Fibonacci) hash keeps
@@ -546,15 +680,7 @@ pub(crate) fn aggregate_batch(
             .map(|c| raw_ints(c))
             .collect::<Option<Vec<_>>>()
         {
-            return Ok(aggregate_compact(
-                batch.rows(),
-                group_by,
-                aggs,
-                &gcols,
-                &acols,
-                &keys,
-                ctx,
-            ));
+            return aggregate_compact(batch.rows(), group_by, aggs, &gcols, &acols, &keys, ctx);
         }
     }
 
@@ -679,8 +805,14 @@ fn aggregate_compact(
     acols: &[Option<&Column>],
     keys: &[RawKeys<'_>],
     ctx: &ExecContext,
-) -> Batch {
+) -> Result<Batch, ExecError> {
     let key_slices: Vec<&[i64]> = keys.iter().map(RawKeys::as_slice).collect();
+    // The spill check comes before the parallel check, mirroring the hash
+    // join: under a small budget the aggregation partitions its key records
+    // to disk at every thread count.
+    if spill_needed(ctx, rows * AGG_RECORD_BYTES) {
+        return aggregate_spill(rows, group_by, aggs, gcols, acols, &key_slices, ctx);
+    }
     let hint = group_cardinality_hint(gcols, rows);
     let GroupBuild { reps, states, .. } = if ctx.is_parallel(rows) {
         let morsel_hint = hint.min(ctx.morsel());
@@ -693,6 +825,22 @@ fn aggregate_compact(
     } else {
         build_groups(0..rows, &key_slices, acols, aggs.len(), hint)
     };
+    Ok(finalize_groups(group_by, aggs, gcols, &reps, &states))
+}
+
+/// Sorts finished groups by decoded key order and lays the result out
+/// column-wise — the shared tail of the in-memory and spilled compact
+/// aggregation paths. Distinct groups have distinct decoded keys (raw keys
+/// are values or dictionary codes, and dictionary tables hold unique
+/// strings), so the sort has a unique total order and the output does not
+/// depend on which path — or which partitioning — produced the groups.
+fn finalize_groups(
+    group_by: &[AttrRef],
+    aggs: &[AggExpr],
+    gcols: &[&Column],
+    reps: &[usize],
+    states: &[Vec<AggState>],
+) -> Batch {
     let mut order: Vec<usize> = (0..reps.len()).collect();
     order.sort_by(|&x, &y| {
         gcols
@@ -717,6 +865,91 @@ fn aggregate_compact(
         }
     }
     Batch::new(attrs, columns.into_iter().map(Arc::new).collect())
+}
+
+/// Mixes a packed group key down to one `i64` for radix partitioning.
+fn fold_compact_key(key: &CompactKey) -> i64 {
+    let mut h: i64 = 0;
+    for lane in key {
+        h = h.wrapping_mul(0x0100_0000_01B3).wrapping_add(*lane);
+    }
+    h
+}
+
+/// Spill-partitioned hash aggregation, used when the packed-key record
+/// state would blow the memory budget.
+///
+/// One buffered sequential pass scatters `(packed key, row)` records into
+/// radix partitions on an operator-local spill file, so each partition's
+/// records come back in ascending row order. Every group key lives in
+/// exactly one partition, so building that partition's groups by feeding
+/// `acols` at the stored row indices produces, for each group, exactly the
+/// states and first-row representative the single in-memory build produces.
+/// The concatenated per-partition groups then share [`finalize_groups`]'s
+/// key-order sort, which makes the output identical to the in-memory path
+/// at any partition count.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_spill(
+    rows: usize,
+    group_by: &[AttrRef],
+    aggs: &[AggExpr],
+    gcols: &[&Column],
+    acols: &[Option<&Column>],
+    key_slices: &[&[i64]],
+    ctx: &ExecContext,
+) -> Result<Batch, ExecError> {
+    use std::collections::HashMap;
+    let parts = spill_partitions(rows * AGG_RECORD_BYTES, ctx);
+    let shift = 64 - parts.trailing_zeros();
+    let store = crate::storage::SpillStore::create().map_err(spill_error)?;
+
+    let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); parts];
+    let mut runs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); parts];
+    for i in 0..rows {
+        let key = pack_key(key_slices, i);
+        let p = partition_of(fold_compact_key(&key), shift);
+        for lane in &key {
+            bufs[p].extend_from_slice(&lane.to_le_bytes());
+        }
+        bufs[p].extend_from_slice(&(i as u64).to_le_bytes());
+        if bufs[p].len() >= SPILL_RUN_BYTES {
+            runs[p].push(store.write(&bufs[p]).map_err(spill_error)?);
+            bufs[p].clear();
+        }
+    }
+    for (p, buf) in bufs.iter().enumerate() {
+        if !buf.is_empty() {
+            runs[p].push(store.write(buf).map_err(spill_error)?);
+        }
+    }
+
+    let mut reps: Vec<usize> = Vec::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    for part_runs in runs.iter().take(parts) {
+        let mut map: HashMap<CompactKey, usize> = HashMap::new();
+        for &(offset, len) in part_runs {
+            let bytes = store.read(offset, len).map_err(spill_error)?;
+            for rec in bytes.chunks_exact(AGG_RECORD_BYTES) {
+                let mut key = CompactKey::default();
+                for (lane, chunk) in key.iter_mut().zip(rec.chunks_exact(8)) {
+                    *lane = i64::from_le_bytes(chunk.try_into().expect("8-byte lane"));
+                }
+                let i =
+                    u64::from_le_bytes(rec[AGG_RECORD_BYTES - 8..].try_into().expect("8-byte row"))
+                        as usize;
+                let next = states.len();
+                let gid = *map.entry(key).or_insert(next);
+                if gid == next {
+                    reps.push(i);
+                    states.push(vec![AggState::default(); aggs.len()]);
+                }
+                for (state, col) in states[gid].iter_mut().zip(acols) {
+                    state.feed(col.map(|c| c.value(i)));
+                }
+            }
+        }
+    }
+    Ok(finalize_groups(group_by, aggs, gcols, &reps, &states))
 }
 
 /// Computes `definition` and stores the result under `name`, so later
@@ -1490,6 +1723,7 @@ mod morsel_exec_tests {
                     .map(move |morsel_rows| ExecContext {
                         threads,
                         morsel_rows,
+                        mem_budget: None,
                     })
             })
             .collect()
@@ -1562,6 +1796,7 @@ mod morsel_exec_tests {
         let ctx = ExecContext {
             threads: 4,
             morsel_rows: 7,
+            mem_budget: None,
         };
         let parallel = execute_with_context(&plan, &db, JoinAlgo::NestedLoop, &ctx).unwrap_err();
         assert_eq!(sequential, parallel);
@@ -1585,6 +1820,7 @@ mod morsel_exec_tests {
         let ctx = ExecContext {
             threads: 8,
             morsel_rows: 7,
+            mem_budget: None,
         };
         materialize_view_with("V", &definition, &mut par_db, &ctx).expect("parallel view");
         assert_eq!(seq_db.table("V"), par_db.table("V"));

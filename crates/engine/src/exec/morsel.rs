@@ -34,6 +34,12 @@ pub struct ExecContext {
     pub threads: usize,
     /// Rows per morsel (clamped to at least 1).
     pub morsel_rows: usize,
+    /// Operator memory budget in bytes (`None` = unbounded). When set,
+    /// the hash join and hash aggregation switch to spill-partitioned
+    /// (Grace) variants once their estimated state exceeds a share of the
+    /// budget — results are bit-identical either way (pinned by
+    /// `tests/engine_paged.rs`), only the memory high-water changes.
+    pub mem_budget: Option<usize>,
 }
 
 impl Default for ExecContext {
@@ -41,6 +47,7 @@ impl Default for ExecContext {
         Self {
             threads: 1,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            mem_budget: None,
         }
     }
 }
@@ -174,6 +181,7 @@ mod tests {
         let ctx = ExecContext {
             threads: 4,
             morsel_rows: 7,
+            mem_budget: None,
         };
         let ranges = run_morsels(23, &ctx, |r| r);
         assert_eq!(ranges.len(), 4);
@@ -195,6 +203,7 @@ mod tests {
         let ctx = ExecContext {
             threads: 4,
             morsel_rows: 1,
+            mem_budget: None,
         };
         let out = run_morsels(100, &ctx, |r| r.start);
         let expected: Vec<usize> = (0..100).collect();

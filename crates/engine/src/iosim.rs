@@ -5,9 +5,9 @@
 //! kernel call and is charged for its whole input/output in one step.
 //! Because every charge is a function of row counts alone, the totals are
 //! bit-identical to what the tuple-at-a-time engine reported — and stay
-//! pinned across storage changes (dictionary encoding, selection vectors)
-//! that alter how a batch is represented but not how many rows flow through
-//! each operator.
+//! pinned across storage changes (dictionary encoding, selection vectors,
+//! paged storage) that alter how a batch is represented but not how many
+//! rows flow through each operator.
 //!
 //! The same discipline makes the totals independent of parallel execution:
 //! morsel kernels produce each operator's output by concatenating
@@ -17,20 +17,58 @@
 //! plan (post-)order and folded into the report at the end, so the
 //! accounting path itself has no order left to vary; a regression test
 //! pins the totals at `threads = 1, 2, 8`.
+//!
+//! Since the paged-storage refactor the simulator carries a second,
+//! *measured* accounting mode: [`measure_paged`] snapshots the database's
+//! buffer-pool miss counters around each operator kernel and records the
+//! delta in that operator's [`OpCharge`], next to the paper's per-batch
+//! charges. A pool miss is a page actually decoded from memory-or-spill —
+//! the closest physical analogue of the block read the model predicts.
+//! Miss counts are *measurements*: under a parallel context, which worker
+//! first pins a page (and whether eviction struck between two pins)
+//! depends on scheduling, so unlike the modelled charges they may vary
+//! run-to-run and are never asserted exactly under parallelism. Under
+//! [`measure`]/[`measure_with`] the miss field is always zero, keeping the
+//! modelled reports fully deterministic.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use mvdesign_algebra::Expr;
 
-use crate::batch::Batch;
 use crate::exec::{
-    aggregate_batch, join_batch, op_label, project_batch, select_batch, ExecContext,
+    aggregate_view, join_view, op_label, project_view, select_view, ExecContext, View,
 };
+use crate::storage::BufferPool;
 use crate::table::{Database, Table};
 use crate::{ExecError, JoinAlgo};
 
-/// Observed I/O of one plan execution.
+/// One operator's charge, recorded in plan (post-)order. The final report
+/// is the fold of these in recording order — a deterministic reduction no
+/// matter how the kernels inside the operator were scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCharge {
+    /// The operator's display label (`σ`, `π`, `⋈`, `γ`).
+    pub op: &'static str,
+    /// Modelled blocks read (the paper's per-batch charge).
+    pub read: f64,
+    /// Modelled blocks written for the operator's output.
+    pub written: f64,
+    /// Buffer-pool misses observed while the operator's kernel ran —
+    /// pages actually decoded from memory-or-spill. Always zero outside
+    /// [`measure_paged`]; a measurement (not a model) inside it.
+    pub pool_misses: u64,
+}
+
+impl OpCharge {
+    /// Modelled total block accesses for this operator.
+    pub fn total(&self) -> f64 {
+        self.read + self.written
+    }
+}
+
+/// Observed I/O of one plan execution.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct IoReport {
     /// Blocks read by selections, projections and join scans.
     pub blocks_read: f64,
@@ -38,6 +76,8 @@ pub struct IoReport {
     pub blocks_written: f64,
     /// Rows in the final result.
     pub rows_out: usize,
+    /// Per-operator charges in plan (post-)order.
+    charges: Vec<OpCharge>,
 }
 
 impl IoReport {
@@ -45,15 +85,27 @@ impl IoReport {
     pub fn total(&self) -> f64 {
         self.blocks_read + self.blocks_written
     }
-}
 
-/// One operator's charge, recorded in plan order. The final report is the
-/// fold of these in recording order — a deterministic reduction no matter
-/// how the kernels inside the operator were scheduled.
-#[derive(Debug, Clone, Copy)]
-struct OpCharge {
-    read: f64,
-    written: f64,
+    /// The per-operator charges in plan (post-)order.
+    pub fn charges(&self) -> &[OpCharge] {
+        &self.charges
+    }
+
+    /// Charges summed per operator label — one [`OpCharge`] per distinct
+    /// `op`, keyed and ordered by the label.
+    pub fn per_operator(&self) -> BTreeMap<&'static str, OpCharge> {
+        let mut per_op: BTreeMap<&'static str, OpCharge> = BTreeMap::new();
+        for c in &self.charges {
+            let e = per_op.entry(c.op).or_insert(OpCharge {
+                op: c.op,
+                ..OpCharge::default()
+            });
+            e.read += c.read;
+            e.written += c.written;
+            e.pool_misses += c.pool_misses;
+        }
+        per_op
+    }
 }
 
 /// Executes `expr` against `db`, counting block accesses under the paper's
@@ -82,7 +134,8 @@ pub fn measure(
 /// Like [`measure`], running the plan's kernels under an explicit
 /// [`ExecContext`]. Charges are per logical batch — never per morsel — so
 /// the report is bit-identical for every thread count and morsel size
-/// (only wall-clock changes).
+/// (only wall-clock changes). Pool-miss fields stay zero; use
+/// [`measure_paged`] for the measured mode.
 ///
 /// # Errors
 ///
@@ -93,20 +146,56 @@ pub fn measure_with(
     records_per_block: f64,
     ctx: &ExecContext,
 ) -> Result<(Table, IoReport), ExecError> {
+    measure_impl(expr, db, records_per_block, ctx, &[])
+}
+
+/// Like [`measure_with`], additionally recording each operator's observed
+/// buffer-pool misses (see the module docs) in its [`OpCharge`]. The
+/// modelled charges and totals are identical to [`measure_with`]'s; only
+/// the `pool_misses` fields differ. Pools are discovered from the
+/// database's paged tables; a fully resident database measures all-zero
+/// misses.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from plan execution.
+pub fn measure_paged(
+    expr: &Arc<Expr>,
+    db: &Database,
+    records_per_block: f64,
+    ctx: &ExecContext,
+) -> Result<(Table, IoReport), ExecError> {
+    let mut pools: Vec<Arc<BufferPool>> = Vec::new();
+    for (_, table) in db.iter() {
+        if let Some(pool) = table.pool() {
+            if !pools.iter().any(|p| Arc::ptr_eq(p, pool)) {
+                pools.push(Arc::clone(pool));
+            }
+        }
+    }
+    measure_impl(expr, db, records_per_block, ctx, &pools)
+}
+
+fn measure_impl(
+    expr: &Arc<Expr>,
+    db: &Database,
+    records_per_block: f64,
+    ctx: &ExecContext,
+    pools: &[Arc<BufferPool>],
+) -> Result<(Table, IoReport), ExecError> {
     let bf = records_per_block.max(1.0);
     let mut charges: Vec<OpCharge> = Vec::new();
-    let batch = run(expr, db, bf, ctx, &mut charges)?;
-    let report = charges.iter().fold(
-        IoReport {
-            rows_out: batch.rows(),
-            ..IoReport::default()
-        },
-        |mut acc, c| {
-            acc.blocks_read += c.read;
-            acc.blocks_written += c.written;
-            acc
-        },
-    );
+    let view = run(expr, db, bf, ctx, pools, &mut charges)?;
+    let batch = view.into_batch();
+    let mut report = IoReport {
+        rows_out: batch.rows(),
+        charges,
+        ..IoReport::default()
+    };
+    for c in &report.charges {
+        report.blocks_read += c.read;
+        report.blocks_written += c.written;
+    }
     let table = match &**expr {
         Expr::Base(name) => Table::from_batch(name.clone(), batch),
         _ => Table::from_batch(op_label(expr), batch),
@@ -121,33 +210,45 @@ fn blocks(rows: usize, bf: f64) -> f64 {
     (rows as f64 / bf).ceil()
 }
 
+/// Total misses across the measured pools right now.
+fn pool_misses(pools: &[Arc<BufferPool>]) -> u64 {
+    pools.iter().map(|p| p.stats().misses).sum()
+}
+
 fn run(
     expr: &Arc<Expr>,
     db: &Database,
     bf: f64,
     ctx: &ExecContext,
+    pools: &[Arc<BufferPool>],
     charges: &mut Vec<OpCharge>,
-) -> Result<Batch, ExecError> {
+) -> Result<View, ExecError> {
     match &**expr {
         Expr::Base(name) => db
             .table(name.as_str())
-            .map(|t| t.batch().clone())
+            .map(View::of_table)
             .ok_or_else(|| ExecError::UnknownRelation(name.clone())),
         Expr::Select { input, predicate } => {
-            let input = run(input, db, bf, ctx, charges)?;
-            let out = select_batch(&input, predicate, ctx)?;
+            let input = run(input, db, bf, ctx, pools, charges)?;
+            let before = pool_misses(pools);
+            let out = select_view(&input, predicate, ctx)?;
             charges.push(OpCharge {
+                op: op_label(expr),
                 read: blocks(input.rows(), bf),
                 written: blocks(out.rows(), bf),
+                pool_misses: pool_misses(pools) - before,
             });
             Ok(out)
         }
         Expr::Project { input, attrs } => {
-            let input = run(input, db, bf, ctx, charges)?;
-            let out = project_batch(&input, attrs)?;
+            let input = run(input, db, bf, ctx, pools, charges)?;
+            let before = pool_misses(pools);
+            let out = project_view(&input, attrs)?;
             charges.push(OpCharge {
+                op: op_label(expr),
                 read: blocks(input.rows(), bf),
                 written: blocks(out.rows(), bf),
+                pool_misses: pool_misses(pools) - before,
             });
             Ok(out)
         }
@@ -156,21 +257,27 @@ fn run(
             group_by,
             aggs,
         } => {
-            let input = run(input, db, bf, ctx, charges)?;
-            let out = aggregate_batch(&input, group_by, aggs, ctx)?;
+            let input = run(input, db, bf, ctx, pools, charges)?;
+            let before = pool_misses(pools);
+            let out = aggregate_view(&input, group_by, aggs, ctx)?;
             charges.push(OpCharge {
+                op: op_label(expr),
                 read: blocks(input.rows(), bf),
                 written: blocks(out.rows(), bf),
+                pool_misses: pool_misses(pools) - before,
             });
             Ok(out)
         }
         Expr::Join { left, right, on } => {
-            let l = run(left, db, bf, ctx, charges)?;
-            let r = run(right, db, bf, ctx, charges)?;
-            let out = join_batch(&l, &r, on, JoinAlgo::NestedLoop, ctx)?;
+            let l = run(left, db, bf, ctx, pools, charges)?;
+            let r = run(right, db, bf, ctx, pools, charges)?;
+            let before = pool_misses(pools);
+            let out = join_view(&l, &r, on, JoinAlgo::NestedLoop, ctx)?;
             charges.push(OpCharge {
+                op: op_label(expr),
                 read: blocks(l.rows(), bf) * blocks(r.rows(), bf),
                 written: blocks(out.rows(), bf),
+                pool_misses: pool_misses(pools) - before,
             });
             Ok(out)
         }
@@ -258,6 +365,72 @@ mod tests {
         assert_eq!(io.rows_out, 50);
     }
 
+    #[test]
+    fn per_operator_sums_charges_by_label() {
+        // σ over π over σ: the selection label occurs twice (the algebra
+        // constructor only fuses *adjacent* selections), so `per_operator`
+        // has a duplicate label to sum.
+        let e = Expr::select(
+            Expr::project(
+                Expr::select(
+                    Expr::base("R"),
+                    Predicate::cmp(AttrRef::new("R", "id"), CompareOp::Lt, 10),
+                ),
+                [AttrRef::new("R", "id")],
+            ),
+            Predicate::cmp(AttrRef::new("R", "id"), CompareOp::Lt, 5),
+        );
+        let (out, io) = measure(&e, &db(), 10.0).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(io.charges().len(), 3);
+        let per_op = io.per_operator();
+        let select = per_op.get("σ").expect("two selections recorded");
+        assert_eq!(select.read, 10.0 + 1.0);
+        assert_eq!(select.written, 1.0 + 1.0);
+        assert_eq!(select.pool_misses, 0);
+        let project = per_op.get("π").expect("one projection recorded");
+        assert_eq!(project.read, 1.0);
+        let total: f64 = per_op.values().map(OpCharge::total).sum();
+        assert_eq!(total, io.total());
+    }
+
+    /// Cold scan over a paged single-column table with
+    /// `records_per_block = page_rows`: the paper's predicted block reads
+    /// for the scan equal the page count, which equals the observed pool
+    /// misses exactly (one column ⇒ one page per block).
+    #[test]
+    fn paged_scan_misses_match_predicted_blocks_when_block_is_a_page() {
+        let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int(i)]).collect();
+        let resident_db = {
+            let mut db = Database::new();
+            db.insert_table(Table::new("S", [AttrRef::new("S", "k")], rows.clone()));
+            db
+        };
+        // A zero-budget pool spills every page at registration, so each
+        // scan pin decodes it again — the fully cold case.
+        let mut cold_db = resident_db.clone();
+        let cold_pool = BufferPool::new(Some(0));
+        cold_db.page_out(&cold_pool, 10);
+
+        let e = Expr::select(
+            Expr::base("S"),
+            Predicate::cmp(AttrRef::new("S", "k"), CompareOp::Lt, 1000),
+        );
+        let ctx = ExecContext::default();
+        let (out, io) = measure_paged(&e, &cold_db, 10.0, &ctx).unwrap();
+        assert_eq!(out.len(), 100);
+        let select = io.per_operator()["σ"];
+        assert_eq!(select.read, 10.0, "predicted: 100 rows / 10 per block");
+        assert_eq!(
+            select.pool_misses, 10,
+            "observed: 10 cold pages decoded for the scan"
+        );
+        // The modelled charges are storage-independent.
+        let (_, resident_io) = measure(&e, &resident_db, 10.0).unwrap();
+        assert_eq!(io.blocks_read, resident_io.blocks_read);
+        assert_eq!(io.blocks_written, resident_io.blocks_written);
+    }
+
     /// The satellite regression: the same plan at `threads = 1, 2, 8` (and
     /// a morsel size small enough that every kernel actually fans out)
     /// reports identical block totals *and* an identical result batch.
@@ -281,6 +454,7 @@ mod tests {
             let ctx = ExecContext {
                 threads,
                 morsel_rows: 7,
+                mem_budget: None,
             };
             let (table, io) = measure_with(&e, &db, 10.0, &ctx).unwrap();
             assert_eq!(io, base_io, "threads={threads}");

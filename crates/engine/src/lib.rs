@@ -31,6 +31,16 @@
 //! morsel order, so results are bit-identical at every thread count; the
 //! `engine_morsel` differential battery pins that property.
 //!
+//! Storage can be *out-of-core*: [`storage`] cuts columns into fixed-size
+//! pages held in a [`BufferPool`] with a byte budget and clock eviction to
+//! a spill file, the executor streams paged tables page-by-page, and hash
+//! joins/aggregations whose state outgrows [`ExecContext::mem_budget`]
+//! take Grace-style partitioned spill paths. Eviction changes residency,
+//! never content, so results stay bit-identical at any pool size — and
+//! [`measure_paged`] reports each operator's *measured* pool misses next
+//! to the modelled block charges, grounding the paper's cost model in
+//! actual page traffic.
+//!
 //! # Example
 //!
 //! ```
@@ -62,6 +72,7 @@ mod exec;
 mod iosim;
 mod profile;
 pub mod row_reference;
+pub mod storage;
 mod table;
 
 pub use crate::batch::{Batch, Column};
@@ -71,6 +82,7 @@ pub use crate::exec::{
     selection_mask, selection_mask_full, selection_mask_with, ExecContext, ExecError, JoinAlgo,
     DEFAULT_MORSEL_ROWS,
 };
-pub use crate::iosim::{measure, measure_with, IoReport};
+pub use crate::iosim::{measure, measure_paged, measure_with, IoReport, OpCharge};
 pub use crate::profile::{profile_database, ProfileConfig};
+pub use crate::storage::{batch_bytes, BufferPool, PagedBatch, PoolStats, DEFAULT_PAGE_ROWS};
 pub use crate::table::{Database, Table};

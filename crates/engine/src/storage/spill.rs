@@ -1,0 +1,143 @@
+//! Append-only spill files for evicted pages and operator state.
+//!
+//! A [`SpillStore`] is one temporary file plus a cursor: writers append a
+//! byte run and get back its `(offset, len)` location, readers fetch a run
+//! by location. Both sides share one mutex — spill traffic is page-sized,
+//! so lock hold times are dominated by the I/O itself. The file is deleted
+//! when the store is dropped.
+//!
+//! The spill directory is `MVDESIGN_SPILL_DIR` when set, otherwise the
+//! workspace's `target/mvdesign-spill/` — spill never writes outside the
+//! repository checkout by default.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Distinguishes spill files of concurrent stores within one process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The directory spill files are created in: `MVDESIGN_SPILL_DIR` when
+/// set, otherwise `target/mvdesign-spill/` under the workspace root.
+pub(crate) fn spill_dir() -> PathBuf {
+    match std::env::var_os("MVDESIGN_SPILL_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/mvdesign-spill"
+        )),
+    }
+}
+
+/// An append-only temporary file holding spilled byte runs.
+///
+/// Runs are addressed by the `(offset, len)` pair returned from
+/// [`SpillStore::write`]; they are immutable once written. The backing
+/// file is removed on drop.
+#[derive(Debug)]
+pub struct SpillStore {
+    file: Mutex<Cursor>,
+    path: PathBuf,
+}
+
+#[derive(Debug)]
+struct Cursor {
+    file: File,
+    len: u64,
+}
+
+impl SpillStore {
+    /// Creates a fresh spill file (see the module docs for where).
+    pub fn create() -> io::Result<Self> {
+        let dir = spill_dir();
+        fs::create_dir_all(&dir)?;
+        let name = format!(
+            "spill-{}-{}.bin",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = dir.join(name);
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        Ok(Self {
+            file: Mutex::new(Cursor { file, len: 0 }),
+            path,
+        })
+    }
+
+    /// Appends `bytes` and returns their `(offset, len)` location.
+    pub fn write(&self, bytes: &[u8]) -> io::Result<(u64, u64)> {
+        let mut cur = self.file.lock().expect("spill store poisoned");
+        let offset = cur.len;
+        cur.file.seek(SeekFrom::Start(offset))?;
+        cur.file.write_all(bytes)?;
+        cur.len = offset + bytes.len() as u64;
+        Ok((offset, bytes.len() as u64))
+    }
+
+    /// Reads the `len` bytes starting at `offset` (a location previously
+    /// returned by [`SpillStore::write`]).
+    pub fn read(&self, offset: u64, len: u64) -> io::Result<Vec<u8>> {
+        let mut cur = self.file.lock().expect("spill store poisoned");
+        cur.file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        cur.file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.file.lock().expect("spill store poisoned").len
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_round_trip_and_file_is_removed_on_drop() {
+        let store = SpillStore::create().expect("create spill store");
+        let path = store.path().to_path_buf();
+        let a = store.write(b"hello").expect("write");
+        let b = store.write(b"paged world").expect("write");
+        assert_eq!(a, (0, 5));
+        assert_eq!(b, (5, 11));
+        assert_eq!(store.read(a.0, a.1).expect("read"), b"hello");
+        assert_eq!(store.read(b.0, b.1).expect("read"), b"paged world");
+        assert_eq!(store.bytes_written(), 16);
+        assert!(path.exists());
+        drop(store);
+        assert!(!path.exists(), "spill file must be deleted on drop");
+    }
+
+    #[test]
+    fn interleaved_reads_do_not_corrupt_appends() {
+        let store = SpillStore::create().expect("create spill store");
+        let first = store.write(&[1, 2, 3]).expect("write");
+        let _ = store.read(first.0, first.1).expect("read");
+        // The next write must land *after* the first run even though the
+        // read moved the file cursor.
+        let second = store.write(&[9, 9]).expect("write");
+        assert_eq!(second.0, 3);
+        assert_eq!(store.read(first.0, first.1).expect("read"), [1, 2, 3]);
+        assert_eq!(store.read(second.0, second.1).expect("read"), [9, 9]);
+    }
+}

@@ -11,7 +11,8 @@ use mvdesign_algebra::{parse_query_with, Expr, ParseError, Value};
 use mvdesign_catalog::{Catalog, RelName};
 use mvdesign_core::{DesignResult, ViewCatalog};
 use mvdesign_engine::{
-    execute_with_context, materialize_view_with, Database, ExecContext, ExecError, JoinAlgo, Table,
+    execute_with_context, materialize_view_with, BufferPool, Database, ExecContext, ExecError,
+    JoinAlgo, Table, DEFAULT_PAGE_ROWS,
 };
 
 /// Errors raised by [`Warehouse`] operations.
@@ -77,6 +78,8 @@ pub struct Warehouse {
     refreshes: u64,
     /// Execution knobs for serve and refresh (default: single-threaded).
     exec: ExecContext,
+    /// Buffer pool backing paged tables when a memory budget is set.
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl Warehouse {
@@ -100,6 +103,7 @@ impl Warehouse {
             stale: true,
             refreshes: 0,
             exec: ExecContext::default(),
+            pool: None,
         };
         warehouse.refresh()?;
         Ok(warehouse)
@@ -124,6 +128,46 @@ impl Warehouse {
     /// The execution knobs serve and refresh currently run under.
     pub fn exec_context(&self) -> ExecContext {
         self.exec
+    }
+
+    /// Caps warehouse memory, returning the warehouse for chaining: every
+    /// table pages out into a [`BufferPool`] with this byte budget, serve
+    /// and refresh stream pages through the pool, and the hash-join and
+    /// aggregation operators spill to disk when their transient state
+    /// outgrows the budget. `None` returns the warehouse to fully resident
+    /// operation. Answers and stored views are bit-identical under every
+    /// budget — only residency and wall-clock change.
+    #[must_use]
+    pub fn with_mem_budget(mut self, budget: Option<usize>) -> Self {
+        self.set_mem_budget(budget);
+        self
+    }
+
+    /// Sets the memory budget on an existing warehouse (see
+    /// [`Warehouse::with_mem_budget`]).
+    pub fn set_mem_budget(&mut self, budget: Option<usize>) {
+        self.exec.mem_budget = budget;
+        match budget {
+            Some(bytes) => {
+                let pool = BufferPool::new(Some(bytes));
+                self.db.page_out(&pool, DEFAULT_PAGE_ROWS);
+                self.pool = Some(pool);
+            }
+            None => {
+                self.db.make_resident();
+                self.pool = None;
+            }
+        }
+    }
+
+    /// The configured memory budget in bytes, when one is set.
+    pub fn mem_budget(&self) -> Option<usize> {
+        self.exec.mem_budget
+    }
+
+    /// The buffer pool backing paged tables, when a budget is set.
+    pub fn buffer_pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref()
     }
 
     /// The base-plus-views database.
@@ -184,6 +228,12 @@ impl Warehouse {
     pub fn refresh(&mut self) -> Result<(), WarehouseError> {
         for (name, definition) in self.views.views().to_vec() {
             materialize_view_with(name, &definition, &mut self.db, &self.exec)?;
+        }
+        if let Some(pool) = &self.pool {
+            // Freshly materialized views (and appended-to base tables) are
+            // resident; fold them back into the pool. Untouched tables keep
+            // their existing pages.
+            self.db.page_out_resident(pool, DEFAULT_PAGE_ROWS);
         }
         self.stale = false;
         self.refreshes += 1;
@@ -428,6 +478,7 @@ mod tests {
         let mut parallel = warehouse().with_exec_context(ExecContext {
             threads: 4,
             morsel_rows: 16,
+            mem_budget: None,
         });
         parallel.refresh().expect("parallel refresh");
         for (name, t) in sequential.database().iter() {
@@ -442,6 +493,47 @@ mod tests {
             let a = sequential.query_expr(q.root()).expect("sequential");
             let b = parallel.query_expr(q.root()).expect("parallel");
             assert_eq!(a.batch(), b.batch(), "{} differs", q.name());
+        }
+    }
+
+    #[test]
+    fn budgeted_warehouse_matches_resident_and_repages_on_refresh() {
+        let resident = warehouse();
+        // A budget far smaller than the data forces eviction on every scan.
+        let mut budgeted = warehouse().with_mem_budget(Some(4 * 1024));
+        assert_eq!(budgeted.mem_budget(), Some(4 * 1024));
+        let pool = Arc::clone(budgeted.buffer_pool().expect("pool exists"));
+        let scenario = paper_example();
+        for q in scenario.workload.queries() {
+            let a = resident.query_expr(q.root()).expect("resident");
+            let b = budgeted.query_expr(q.root()).expect("budgeted");
+            assert_eq!(a.batch(), b.batch(), "{} differs under budget", q.name());
+        }
+        assert!(
+            pool.stats().misses > 0,
+            "a 4 KiB pool over this data must evict and re-read pages"
+        );
+        // Refresh rebuilds views resident, then folds them back into the
+        // same pool; answers stay identical.
+        budgeted.refresh().expect("budgeted refresh");
+        assert!(budgeted
+            .buffer_pool()
+            .is_some_and(|p| Arc::ptr_eq(p, &pool)));
+        for q in scenario.workload.queries() {
+            let a = resident.query_expr(q.root()).expect("resident");
+            let b = budgeted.query_expr(q.root()).expect("refreshed budgeted");
+            assert_eq!(a.batch(), b.batch(), "{} differs after refresh", q.name());
+        }
+        // Lifting the budget returns the warehouse to resident operation.
+        budgeted.set_mem_budget(None);
+        assert_eq!(budgeted.mem_budget(), None);
+        assert!(budgeted.buffer_pool().is_none());
+        for (name, t) in resident.database().iter() {
+            assert_eq!(
+                Some(t),
+                budgeted.database().table(name.as_str()),
+                "table {name} differs after returning resident"
+            );
         }
     }
 

@@ -24,6 +24,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== tier-1: tests =="
 cargo test -q --workspace
 
+echo "== tier-1: low-memory batteries (forced eviction + spill) =="
+MVDESIGN_MEM_BUDGET=256 cargo test -q --release -p mvdesign --test engine_morsel
+MVDESIGN_MEM_BUDGET=256 cargo test -q --release -p mvdesign --test engine_paged
+
 echo "== tier-1: bench smoke (--test mode) =="
 cargo bench -p mvdesign-bench --bench selection_scaling -- --test
 cargo bench -p mvdesign-bench --bench engine_and_optimizer -- --test

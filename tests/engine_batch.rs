@@ -367,3 +367,129 @@ fn iosim_aggregate_block_counts_are_unchanged() {
     assert_eq!(report.blocks_written, 1.0);
     assert_eq!(report.total(), 11.0);
 }
+
+/// `push_row` (via [`Table::extend_rows`]) on a table whose columns are
+/// shared with a paged twin must copy-on-write: the append lands in the
+/// extended handle only, while the pool-backed pages — and every other
+/// handle still reading them — keep the original values. Covered at both a
+/// single page per column (the materialised batch can share the frame's
+/// `Arc` directly) and multiple pages per column.
+#[test]
+fn push_row_on_a_shared_page_copies_before_writing() {
+    use mvdesign::engine::BufferPool;
+    for page_rows in [4usize, 16] {
+        let mut original = Table::new(
+            "S",
+            [AttrRef::new("S", "a"), AttrRef::new("S", "t")],
+            (0..10)
+                .map(|i| vec![Value::Int(i), Value::text(format!("v{}", i % 3))])
+                .collect(),
+        );
+        let pool = BufferPool::new(None);
+        original.page_out(&pool, page_rows);
+        let twin = original.clone();
+        let mut extended = original.clone();
+        extended.extend_rows(vec![vec![Value::Int(99), Value::text("fresh")]]);
+        assert_eq!(extended.len(), 11);
+        assert_eq!(extended.batch().column(0).value(10), Value::Int(99));
+        // The paged twin and the original handle still read the old pages.
+        for t in [&twin, &original] {
+            assert_eq!(t.len(), 10, "page mutated through a shared handle");
+            assert_eq!(t.batch().column(0).value(9), Value::Int(9));
+            assert_eq!(t.batch().column(1).value(9), Value::text("v0"));
+        }
+    }
+}
+
+/// A join over a paged input gathers its payload page-on-demand; with three
+/// rows per page and match indices scattered across the whole table, every
+/// gathered run spans page boundaries — and must stay bit-identical to the
+/// resident gather, dictionary tables included.
+#[test]
+fn paged_gather_spanning_page_boundaries_matches_resident() {
+    use mvdesign::engine::{execute_with_context, BufferPool, ExecContext};
+    let mut resident = Database::new();
+    resident.insert_table(Table::new(
+        "L",
+        [
+            AttrRef::new("L", "id"),
+            AttrRef::new("L", "k"),
+            AttrRef::new("L", "t"),
+        ],
+        (0..13)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 4),
+                    Value::text(format!("v{}", i % 5)),
+                ]
+            })
+            .collect(),
+    ));
+    resident.insert_table(Table::new(
+        "R",
+        [AttrRef::new("R", "k")],
+        // Duplicate keys: each match gathers several L rows from
+        // non-adjacent pages.
+        (0..8).map(|j| vec![Value::Int(j % 4)]).collect(),
+    ));
+    let q = Expr::join(
+        Expr::base("L"),
+        Expr::base("R"),
+        JoinCondition::on(AttrRef::new("L", "k"), AttrRef::new("R", "k")),
+    );
+    let mut paged = resident.clone();
+    let pool = BufferPool::new(Some(0));
+    paged.page_out(&pool, 3);
+    for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::SortMerge] {
+        let base = execute_with(&q, &resident, algo).expect("resident");
+        let out = execute_with_context(&q, &paged, algo, &ExecContext::default()).expect("paged");
+        assert_eq!(base.batch(), out.batch(), "{algo:?} gather differs");
+    }
+    assert!(
+        pool.stats().misses > 0,
+        "a zero-byte pool must re-read pages"
+    );
+}
+
+/// Filtering down to zero rows — and filtering a zero-row table — must
+/// produce the same empty batch (same attrs, same column variants) whether
+/// the input is resident or paged. A zero-row table pages out to zero
+/// pages, so this also covers the empty `PagedBatch` round-trip.
+#[test]
+fn empty_batch_filter_matches_resident_and_paged() {
+    use mvdesign::engine::{execute_with_context, BufferPool, ExecContext};
+    let attrs = [AttrRef::new("E", "a"), AttrRef::new("E", "t")];
+    let none_match = Expr::select(
+        Expr::base("E"),
+        Predicate::cmp(AttrRef::new("E", "a"), CompareOp::Gt, 1_000),
+    );
+    for rows in [0usize, 9] {
+        let mut resident = Database::new();
+        resident.insert_table(Table::new(
+            "E",
+            attrs.clone(),
+            (0..rows as i64)
+                .map(|i| vec![Value::Int(i), Value::text(format!("v{}", i % 2))])
+                .collect(),
+        ));
+        let mut paged = resident.clone();
+        let pool = BufferPool::new(None);
+        paged.page_out(&pool, 4);
+        let base = execute_with(&none_match, &resident, JoinAlgo::NestedLoop).expect("resident");
+        let out = execute_with_context(
+            &none_match,
+            &paged,
+            JoinAlgo::NestedLoop,
+            &ExecContext::default(),
+        )
+        .expect("paged");
+        assert_eq!(base.len(), 0);
+        assert_eq!(
+            base.batch(),
+            out.batch(),
+            "empty filter differs at {rows} rows"
+        );
+        assert_eq!(out.attrs(), &attrs, "attrs lost through an empty filter");
+    }
+}

@@ -173,6 +173,16 @@ fn effective_threads(sampled: usize) -> usize {
     }
 }
 
+/// The operator memory budget the battery runs at: unlimited, unless the
+/// `MVDESIGN_MEM_BUDGET` env knob sets one (CI's low-memory job sets a few
+/// hundred bytes, forcing the Grace hash-join and spilling-aggregation
+/// paths under every context — results must not move).
+fn env_mem_budget() -> Option<usize> {
+    std::env::var("MVDESIGN_MEM_BUDGET")
+        .ok()
+        .map(|v| v.parse().expect("MVDESIGN_MEM_BUDGET is a byte count"))
+}
+
 const MORSEL_SIZES: [usize; 4] = [1, 7, 64, 4096];
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
@@ -198,6 +208,7 @@ proptest! {
         let ctx = ExecContext {
             threads: effective_threads(THREAD_COUNTS[threads_sel]),
             morsel_rows: MORSEL_SIZES[morsel_sel],
+            mem_budget: env_mem_budget(),
         };
         for algo in [JoinAlgo::NestedLoop, JoinAlgo::Hash, JoinAlgo::SortMerge] {
             let sequential = execute_with(&q, &db, algo).expect("single-threaded executes");
@@ -255,6 +266,7 @@ proptest! {
         let ctx = ExecContext {
             threads: effective_threads(THREAD_COUNTS[threads_sel]),
             morsel_rows: MORSEL_SIZES[morsel_sel],
+            mem_budget: env_mem_budget(),
         };
         let sequential = selection_mask(&p, batch).expect("mask evaluates");
         let parallel = selection_mask_with(&p, batch, &ctx).expect("parallel mask evaluates");
@@ -278,6 +290,7 @@ proptest! {
         let ctx = ExecContext {
             threads: effective_threads(THREAD_COUNTS[threads_sel]),
             morsel_rows: MORSEL_SIZES[morsel_sel],
+            mem_budget: env_mem_budget(),
         };
         let (base_table, base_io) = measure(&q, &db, f64::from(bf)).expect("iosim executes");
         let (table, io) = measure_with(&q, &db, f64::from(bf), &ctx)
@@ -331,6 +344,7 @@ fn morsel_boundaries_do_not_reorder_output() {
                 let ctx = ExecContext {
                     threads,
                     morsel_rows,
+                    mem_budget: env_mem_budget(),
                 };
                 let parallel = execute_with_context(&q, &db, algo, &ctx).expect("parallel");
                 assert_eq!(
@@ -359,6 +373,7 @@ fn all_cores_context_matches_sequential() {
     let ctx = ExecContext {
         threads: 0,
         morsel_rows: 16,
+        mem_budget: env_mem_budget(),
     };
     let sequential = execute_with(&q, &db, JoinAlgo::Hash).expect("sequential");
     let parallel = execute_with_context(&q, &db, JoinAlgo::Hash, &ctx).expect("all cores");
