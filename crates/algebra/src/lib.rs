@@ -35,6 +35,7 @@
 
 mod aggregate;
 mod arena;
+pub mod delta;
 mod dot;
 mod expr;
 mod predicate;
@@ -46,6 +47,9 @@ mod visit;
 
 pub use crate::aggregate::{AggExpr, AggFunc, AGG_RELATION};
 pub use crate::arena::{ExprArena, ExprId};
+pub use crate::delta::{
+    label_deltas, maintenance_plan, Delta, DeltaLabels, DeltaMode, MaintenancePlan, NodeDelta,
+};
 pub use crate::dot::dot_graph;
 pub use crate::expr::{Expr, JoinCondition};
 pub use crate::predicate::{CompareOp, Comparison, Predicate, Rhs};

@@ -13,11 +13,13 @@
 //! (closed-form U*), `perf` (memoized search engine vs naive re-evaluation;
 //! writes `BENCH_selection.json`), `perf-engine` (columnar batch engine vs
 //! the tuple-at-a-time reference on star-schema scan/join/aggregate
-//! microbenchmarks; writes `BENCH_engine.json`), `audit` (the correctness
-//! battery: structural invariants, differential cost oracles, executable
-//! semantics over the paper/star/TPC-H/degenerate scenarios).
+//! microbenchmarks; writes `BENCH_engine.json`), `perf-maintain`
+//! (delta-fold refresh vs full recompute across append fractions, plus the
+//! joint policy-selection flip; writes `BENCH_maintain.json`), `audit` (the
+//! correctness battery: structural invariants, differential cost oracles,
+//! executable semantics over the paper/star/TPC-H/degenerate scenarios).
 //!
-//! `perf` and `perf-engine` take an optional label (`repro perf <label>`,
+//! `perf`, `perf-engine` and `perf-maintain` take an optional label (`repro perf <label>`,
 //! default `working-tree`); re-running a label replaces that entry in the
 //! artifact instead of appending a duplicate. `perf-engine` additionally
 //! accepts `--threads N` to add an explicit thread count to its morsel
@@ -102,6 +104,9 @@ fn main() {
     }
     if want("perf-engine") {
         perf_engine();
+    }
+    if want("perf-maintain") {
+        perf_maintain();
     }
     if want("audit") {
         audit();
@@ -1002,6 +1007,190 @@ fn write_bench_artifact(path: &str, label: &str, cores: usize, rows: &[String]) 
     let json = mvdesign_bench::render_bench_file(cores, mem, &runs);
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("\nwrote {path} run \"{label}\" ({cores} core(s), {mem} bytes RAM)");
+}
+
+/// Wall-clock comparison of delta-fold refresh against full recompute on
+/// the paper warehouse, across append fractions from 0.1% to 50% of the
+/// base data. Both policies are first asserted to leave bit-identical
+/// canonical stored views — only then is the refresh timed (best of three
+/// fresh warehouses per policy, so every timed refresh starts from the
+/// same appended-but-stale state). A second section records the joint
+/// policy-selection scenario in which the delta cost model flips the
+/// exhaustive optimum from "materialize nothing" to "materialize the join
+/// and fold its deltas". Writes `BENCH_maintain.json`
+/// (`repro perf-maintain <label>`, default `working-tree`).
+fn perf_maintain() {
+    use std::time::Instant;
+
+    use mvdesign::algebra::{AttrRef, JoinCondition, Value};
+    use mvdesign::catalog::{AttrType, Catalog};
+    use mvdesign::core::Mvpp;
+    use mvdesign::engine::{Generator, GeneratorConfig, JoinAlgo};
+    use mvdesign::prelude::Designer;
+    use mvdesign::warehouse::{RefreshPolicy, Warehouse};
+
+    section("Perf: delta-fold refresh vs full recompute");
+    let label = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "working-tree".to_string());
+    let cores = mvdesign_bench::host_cores();
+    let mut rows: Vec<String> = Vec::new();
+
+    let scenario = paper_example();
+    let design = Designer::new()
+        .design(&scenario.catalog, &scenario.workload)
+        .expect("paper example designs");
+    let gen = GeneratorConfig {
+        seed: 0xbe7a,
+        scale: 1.0,
+        max_rows: 30_000,
+    };
+    let base = Generator::with_config(gen).database(&scenario.catalog);
+    let twin = Generator::with_config(GeneratorConfig {
+        seed: gen.seed ^ 0xA99E,
+        ..gen
+    })
+    .database(&scenario.catalog);
+
+    println!(
+        "{:>11} {:>9} {:>13} {:>10} {:>9} {:>7} {:>11}",
+        "append frac", "rows", "recompute ms", "delta ms", "speedup", "folded", "recomputed"
+    );
+    for fraction in [0.001f64, 0.01, 0.05, 0.2, 0.5] {
+        let batches: Vec<(String, Vec<Vec<Value>>)> = base
+            .iter()
+            .map(|(name, t)| {
+                let src = twin.table(name.as_str()).expect("twin relation");
+                let take = ((t.len() as f64 * fraction).ceil() as usize).clamp(1, src.len());
+                (name.to_string(), src.rows()[..take].to_vec())
+            })
+            .collect();
+        let appended: usize = batches.iter().map(|(_, r)| r.len()).sum();
+
+        let build = |policy: RefreshPolicy| {
+            let mut w = Warehouse::new_with_join_algo(
+                scenario.catalog.clone(),
+                base.clone(),
+                &design,
+                JoinAlgo::Hash,
+            )
+            .expect("warehouse builds")
+            .with_refresh_policy(policy);
+            for (rel, rows) in &batches {
+                w.append(rel.clone(), rows.clone())
+                    .expect("append is valid");
+            }
+            w
+        };
+
+        // Correctness gate: both maintenance policies must leave the
+        // identical stored views before either is timed.
+        let mut delta_w = build(RefreshPolicy::Delta);
+        let delta_report = delta_w.refresh().expect("delta refresh");
+        let mut rec_w = build(RefreshPolicy::Recompute);
+        rec_w.refresh().expect("recompute refresh");
+        for (vname, _) in delta_w.views().views() {
+            let folded = delta_w
+                .database()
+                .table(vname.as_str())
+                .expect("delta view stored")
+                .canonicalized();
+            let recomputed = rec_w
+                .database()
+                .table(vname.as_str())
+                .expect("recomputed view stored")
+                .canonicalized();
+            assert_eq!(
+                folded.rows(),
+                recomputed.rows(),
+                "view {vname}: delta fold and recompute disagree at fraction {fraction}"
+            );
+        }
+
+        let time_refresh = |policy: RefreshPolicy| {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let mut w = build(policy);
+                let t = Instant::now();
+                std::hint::black_box(w.refresh().expect("refresh runs"));
+                best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            }
+            best
+        };
+        let delta_ms = time_refresh(RefreshPolicy::Delta);
+        let recompute_ms = time_refresh(RefreshPolicy::Recompute);
+        let speedup = recompute_ms / delta_ms.max(1e-9);
+        println!(
+            "{:>10.1}% {appended:>9} {recompute_ms:>13.3} {delta_ms:>10.3} {speedup:>8.1}x {:>7} {:>11}",
+            fraction * 100.0,
+            delta_report.folded,
+            delta_report.recomputed
+        );
+        rows.push(format!(
+            "    {{\"delta_fraction\": {fraction}, \"appended_rows\": {appended}, \
+             \"recompute_ms\": {recompute_ms:.3}, \"delta_ms\": {delta_ms:.3}, \
+             \"speedup\": {speedup:.2}, \"folded\": {}, \"recomputed\": {}}}",
+            delta_report.folded, delta_report.recomputed
+        ));
+    }
+
+    section("Joint policy selection: the delta cost model flips the optimum");
+    let mut c = Catalog::new();
+    for (name, records, blocks) in [("A", 10_000.0, 1_000.0), ("B", 20_000.0, 2_000.0)] {
+        c.relation(name)
+            .attr("k", AttrType::Int)
+            .records(records)
+            .blocks(blocks)
+            .update_frequency(5.0)
+            .finish()
+            .expect("relation is valid");
+    }
+    c.set_join_selectivity(
+        AttrRef::new("A", "k"),
+        AttrRef::new("B", "k"),
+        1.0 / 20_000.0,
+    )
+    .expect("join selectivity registers");
+    let ab = Expr::join(
+        Expr::base("A"),
+        Expr::base("B"),
+        JoinCondition::on(AttrRef::new("A", "k"), AttrRef::new("B", "k")),
+    );
+    let mut m = Mvpp::new();
+    m.insert_query("Q1", 2.0, &ab);
+    let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
+    let a = AnnotatedMvpp::annotate(m, &est, UpdateWeighting::Max);
+    let mode = MaintenanceMode::SharedRecompute;
+    let ex = ExhaustiveSelection::default();
+    let plain = ex.select(&a, mode);
+    let plain_cost = evaluate(&a, &plain, mode);
+    let joint = ex.select_with_policies(&a, mode);
+    assert!(
+        joint.cost.total < plain_cost.total,
+        "joint policy selection must beat recompute-only here"
+    );
+    println!(
+        "recompute-only optimum: |M|={}, total {:.0}",
+        plain.len(),
+        plain_cost.total
+    );
+    println!(
+        "joint optimum:          |M|={}, delta-maintained {}, total {:.0}",
+        joint.views.len(),
+        joint.delta_views.len(),
+        joint.cost.total
+    );
+    rows.push(format!(
+        "    {{\"scenario\": \"policy-flip\", \"plain_views\": {}, \"plain_total\": {:.1}, \
+         \"joint_views\": {}, \"joint_delta_views\": {}, \"joint_total\": {:.1}}}",
+        plain.len(),
+        plain_cost.total,
+        joint.views.len(),
+        joint.delta_views.len(),
+        joint.cost.total
+    ));
+
+    write_bench_artifact("BENCH_maintain.json", &label, cores, &rows);
 }
 
 /// Wall-clock comparison of the columnar batch engine against the preserved

@@ -55,6 +55,12 @@ impl MaintenancePolicy {
     }
 }
 
+/// The per-period append fraction `|ΔR|/|R|` the delta cost model assumes
+/// when the maintenance policy does not state one (i.e. under
+/// [`MaintenancePolicy::Recompute`], where the fraction only feeds the
+/// *alternative* [`NodeAnnotation::delta_cm`] column).
+pub const DEFAULT_DELTA_FRACTION: f64 = 0.1;
+
 /// Everything the paper labels one MVPP vertex with.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeAnnotation {
@@ -68,6 +74,14 @@ pub struct NodeAnnotation {
     /// `Cm(v)`: cost of maintaining `v` if materialized. Recomputation
     /// maintenance (the paper's assumption) makes `Cm(v) = Ca(v)`.
     pub cm: f64,
+    /// `Cmᵟ(v)`: cost of maintaining `v` by delta propagation instead of
+    /// recomputation — every operator below `v` re-run at its *delta*
+    /// cardinality (the `ΔR⋈S ∪ R⋈ΔS ∪ ΔR⋈ΔS` expansion sizes a join's
+    /// delta at `(1+f)^k − 1` of its result for `k` base inputs with append
+    /// fraction `f`), plus one scan of the stored view to fold the delta
+    /// in. Zero for leaves; never charged above a full recomputation per
+    /// operator.
+    pub delta_cm: f64,
     /// Cost of scanning a materialized copy of `R(v)`.
     pub scan: f64,
     /// `Σ_{q ∈ Ov} fq(q)`: combined frequency of queries using `v`.
@@ -132,6 +146,18 @@ impl AnnotatedMvpp {
             anc_sets[node.id().0] = up;
         }
 
+        // Append fraction feeding the delta-maintenance column: the policy's
+        // stated fraction when it has one, the model default otherwise.
+        let delta_fraction = match policy {
+            MaintenancePolicy::Incremental { .. } => policy.work_fraction(),
+            MaintenancePolicy::Recompute => DEFAULT_DELTA_FRACTION,
+        };
+        // Per-node delta size as a fraction of the full result. A node over
+        // `k` base relations each growing by fraction `f` has a new state
+        // `(1+f)^k` times the old per-relation product, so its delta is
+        // `(1+f)^k − 1` of the old result — capped at 1 (a delta pass never
+        // costs more than the recomputation it replaces).
+        let mut delta_factors: Vec<f64> = Vec::with_capacity(n);
         let mut annotations: Vec<NodeAnnotation> = Vec::with_capacity(n);
         for node in mvpp.nodes() {
             let stats = est.stats(node.expr());
@@ -153,6 +179,25 @@ impl AnnotatedMvpp {
                 MaintenancePolicy::Recompute => ca,
                 MaintenancePolicy::Incremental { .. } if node.is_leaf() => 0.0,
                 MaintenancePolicy::Incremental { .. } => policy.work_fraction() * ca + scan,
+            };
+            let leaves_below = desc_sets[node.id().0]
+                .iter()
+                .filter(|d| mvpp.node(*d).is_leaf())
+                .count()
+                .max(1);
+            let delta_factor = ((1.0 + delta_fraction).powi(leaves_below as i32) - 1.0).min(1.0);
+            delta_factors.push(delta_factor);
+            let delta_cm = if node.is_leaf() {
+                0.0
+            } else {
+                // Every operator below `v` re-runs at its own delta size
+                // (leaves have zero op_cost), plus one scan of the stored
+                // view to apply the result.
+                let mut total = op_cost * delta_factor;
+                for d in desc_sets[node.id().0].iter() {
+                    total += annotations[d.0].op_cost * delta_factors[d.0];
+                }
+                total + scan
             };
             // `Σ fq` over the queries using this node, in root order — same
             // order (and therefore same float sum) as `queries_using` gives.
@@ -176,6 +221,7 @@ impl AnnotatedMvpp {
                 op_cost,
                 ca,
                 cm,
+                delta_cm,
                 scan,
                 fq_weight,
                 fu_weight,
@@ -412,6 +458,26 @@ mod tests {
     fn dot_contains_ca_labels() {
         let a = annotated();
         assert!(a.to_dot("fig3").contains("Ca=30600"));
+    }
+
+    #[test]
+    fn delta_cm_charges_delta_sized_work_plus_scan() {
+        let a = annotated();
+        let join = a.mvpp().find(&tmp2()).unwrap();
+        let ann = a.annotation(join);
+        // The join sits over two base relations (delta factor
+        // 1.1² − 1 = 0.21), the σ below it over one (0.1); the stored view
+        // is scanned once to fold the delta in.
+        let want = (1.1f64.powi(2) - 1.0) * 30_100.0 + 0.1 * 500.0 + ann.scan;
+        assert!(
+            (ann.delta_cm - want).abs() < 1e-6,
+            "{} vs {want}",
+            ann.delta_cm
+        );
+        assert!(ann.delta_cm < ann.cm, "delta maintenance beats recompute");
+        for leaf in a.mvpp().leaves() {
+            assert_eq!(a.annotation(leaf).delta_cm, 0.0);
+        }
     }
 }
 

@@ -18,11 +18,13 @@
 //!    atoms inside pushed-down disjunctions (which only widen a shared leaf)
 //!    are allowed.
 //! 3. **Differential cost oracles** ([`check_cost_paths`],
-//!    [`check_greedy_trace`], [`reference_greedy`], [`greedy_no_prune`]):
-//!    [`evaluate`], [`evaluate_set`] and the [`IncrementalEvaluator`] must
-//!    agree *to the last bit* on any materialization choice, and the greedy's
-//!    incremental `Cs` bookkeeping must equal savings recomputed from scratch
-//!    with the slow `BTreeSet`-based traversals.
+//!    [`check_policy_cost_paths`], [`check_greedy_trace`],
+//!    [`reference_greedy`], [`greedy_no_prune`]): [`evaluate`],
+//!    [`evaluate_set`] and the [`IncrementalEvaluator`] must agree *to the
+//!    last bit* on any materialization choice — under pure recompute
+//!    maintenance and under every probed per-view delta-policy assignment —
+//!    and the greedy's incremental `Cs` bookkeeping must equal savings
+//!    recomputed from scratch with the slow `BTreeSet`-based traversals.
 //!
 //! Violations are collected into an [`AuditReport`] instead of panicking so a
 //! single audit pass can surface every problem at once.
@@ -35,7 +37,10 @@ use mvdesign_algebra::{output_attrs, Expr, ExprArena, Predicate};
 use mvdesign_catalog::Catalog;
 
 use crate::annotate::AnnotatedMvpp;
-use crate::evaluate::{evaluate, evaluate_set, CostBreakdown, MaintenanceMode};
+use crate::evaluate::{
+    choose_policies, evaluate, evaluate_set, evaluate_set_with_policies, CostBreakdown,
+    MaintenanceMode,
+};
 use crate::greedy::{GreedySelection, SelectionTrace, TraceStep, TraceVerdict};
 use crate::incremental::IncrementalEvaluator;
 use crate::mvpp::{Mvpp, NodeId};
@@ -433,6 +438,53 @@ pub fn check_cost_paths(
     report
 }
 
+/// Cross-checks the policy-aware cost paths on each materialization choice.
+///
+/// Three delta-policy assignments are probed per choice: nothing
+/// incremental (which must additionally reproduce the plain [`evaluate`]
+/// result bit-for-bit — the digit-identity guarantee for the paper's
+/// tables), everything incremental, and the cost-optimal assignment from
+/// [`choose_policies`]. For each one, [`evaluate_set_with_policies`] and the
+/// [`IncrementalEvaluator`] (via
+/// [`set_delta_policies`](IncrementalEvaluator::set_delta_policies)) must
+/// agree **bit-for-bit** on every field of the breakdown.
+pub fn check_policy_cost_paths(
+    a: &AnnotatedMvpp,
+    choices: &[BTreeSet<NodeId>],
+    mode: MaintenanceMode,
+) -> AuditReport {
+    let mut report = AuditReport::new();
+    let capacity = a.mvpp().len();
+
+    for m in choices {
+        let set = NodeSet::from_ids(capacity, m.iter().copied());
+        let probes = [
+            NodeSet::with_capacity(capacity),
+            set.clone(),
+            choose_policies(a, &set, mode),
+        ];
+        let mut inc = IncrementalEvaluator::new(a, mode);
+        inc.set_frontier(&set);
+        for delta in &probes {
+            let reference = evaluate_set_with_policies(a, &set, delta, mode);
+            inc.set_delta_policies(delta);
+            compare_breakdowns(
+                &mut report,
+                "incremental-policies",
+                m,
+                &reference,
+                &inc.breakdown(),
+            );
+            if delta.is_empty() {
+                let plain = evaluate(a, m, mode);
+                compare_breakdowns(&mut report, "policies-empty-delta", m, &plain, &reference);
+            }
+        }
+    }
+
+    report
+}
+
 fn compare_breakdowns(
     report: &mut AuditReport,
     path: &str,
@@ -762,6 +814,7 @@ pub fn audit_annotated(a: &AnnotatedMvpp, catalog: &Catalog) -> AuditReport {
     choices.push(greedy_m);
     for mode in [MaintenanceMode::SharedRecompute, MaintenanceMode::Isolated] {
         report.merge(check_cost_paths(a, &choices, mode));
+        report.merge(check_policy_cost_paths(a, &choices, mode));
     }
     report
 }
@@ -892,5 +945,24 @@ mod tests {
     fn greedy_trace_replays_bit_exactly() {
         let (a, _) = annotated();
         check_greedy_trace(&a).assert_clean("greedy replay");
+    }
+
+    #[test]
+    fn policy_cost_paths_agree_on_every_subset_here() {
+        let (a, _) = annotated();
+        let interior = a.mvpp().interior();
+        let mut choices = Vec::new();
+        for mask in 0u32..(1 << interior.len()) {
+            let m: BTreeSet<NodeId> = interior
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, v)| *v)
+                .collect();
+            choices.push(m);
+        }
+        for mode in [MaintenanceMode::SharedRecompute, MaintenanceMode::Isolated] {
+            check_policy_cost_paths(&a, &choices, mode).assert_clean("policy subsets");
+        }
     }
 }

@@ -128,6 +128,106 @@ pub(crate) fn maintenance_cost(a: &AnnotatedMvpp, m: &NodeSet, mode: Maintenance
     maintenance + 0.0
 }
 
+/// [`evaluate`] with a per-view maintenance-policy choice: views in `delta`
+/// fold append deltas into their stored state (charging
+/// [`NodeAnnotation::delta_cm`](crate::annotate::NodeAnnotation::delta_cm))
+/// instead of recomputing. Query processing is untouched — a stored view
+/// reads the same however it is maintained — so the policy choice moves
+/// only the maintenance term.
+pub fn evaluate_with_policies(
+    a: &AnnotatedMvpp,
+    m: &BTreeSet<NodeId>,
+    delta: &BTreeSet<NodeId>,
+    mode: MaintenanceMode,
+) -> CostBreakdown {
+    let n = a.mvpp().len();
+    evaluate_set_with_policies(
+        a,
+        &NodeSet::from_ids(n, m.iter().copied()),
+        &NodeSet::from_ids(n, delta.iter().copied()),
+        mode,
+    )
+}
+
+/// [`evaluate_with_policies`] over dense [`NodeSet`]s — the search hot
+/// path. With an empty `delta` set this is digit-identical to
+/// [`evaluate_set`] (it takes the same code path).
+pub fn evaluate_set_with_policies(
+    a: &AnnotatedMvpp,
+    m: &NodeSet,
+    delta: &NodeSet,
+    mode: MaintenanceMode,
+) -> CostBreakdown {
+    if !delta.intersects(m) {
+        return evaluate_set(a, m, mode);
+    }
+    let mut cost = evaluate_set(a, m, mode);
+    cost.maintenance = maintenance_cost_with_policies(a, m, delta, mode);
+    cost.total = cost.query_processing + cost.maintenance + 0.0;
+    cost
+}
+
+/// The maintenance term under a per-view policy choice: views in `delta`
+/// charge `fu·Cmᵟ` each (delta propagation runs per view against the stored
+/// base state) and drop out of the recompute pass; the rest are charged by
+/// [`maintenance_cost`] exactly as before.
+pub(crate) fn maintenance_cost_with_policies(
+    a: &AnnotatedMvpp,
+    m: &NodeSet,
+    delta: &NodeSet,
+    mode: MaintenanceMode,
+) -> f64 {
+    let mvpp = a.mvpp();
+    let mut recompute = NodeSet::with_capacity(mvpp.len());
+    recompute.copy_from(m);
+    let mut delta_term = 0.0;
+    for v in m.iter() {
+        if mvpp.node(v).is_leaf() || !delta.contains(v) {
+            continue;
+        }
+        recompute.remove(v);
+        let ann = a.annotation(v);
+        delta_term += ann.fu_weight * ann.delta_cm;
+    }
+    maintenance_cost(a, &recompute, mode) + delta_term + 0.0
+}
+
+/// Chooses a per-view maintenance policy for the materialized set `m` —
+/// the subset of views that should fold deltas rather than recompute.
+///
+/// Deterministic coordinate descent: sweep the views in ascending id order,
+/// flipping a view's policy whenever that strictly lowers the maintenance
+/// term, and repeat until a full sweep changes nothing. Under
+/// [`MaintenanceMode::Isolated`] the term is separable per view, so one
+/// sweep is exact (`min(Cm, Cmᵟ)` per view); under
+/// [`MaintenanceMode::SharedRecompute`] later sweeps can improve further
+/// because removing a view from the recompute pass only pays off once no
+/// other recomputed view still needs its sub-DAG.
+pub fn choose_policies(a: &AnnotatedMvpp, m: &NodeSet, mode: MaintenanceMode) -> NodeSet {
+    let mvpp = a.mvpp();
+    let mut delta = NodeSet::with_capacity(mvpp.len());
+    let mut best = maintenance_cost_with_policies(a, m, &delta, mode);
+    loop {
+        let mut improved = false;
+        for v in m.iter() {
+            if mvpp.node(v).is_leaf() {
+                continue;
+            }
+            delta.toggle(v);
+            let cost = maintenance_cost_with_policies(a, m, &delta, mode);
+            if cost < best {
+                best = cost;
+                improved = true;
+            } else {
+                delta.toggle(v);
+            }
+        }
+        if !improved {
+            return delta;
+        }
+    }
+}
+
 /// Cost of answering the workload with *multiple-query processing* instead
 /// of materialization — the alternative the paper distinguishes itself from
 /// in §3.2.
@@ -416,5 +516,73 @@ mod tests {
         let cost = evaluate(&a, &[shared].into(), MaintenanceMode::SharedRecompute);
         let sum: f64 = cost.per_query.iter().map(|(_, c)| c).sum();
         assert!((sum - cost.query_processing).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_delta_set_is_digit_identical_to_evaluate() {
+        let a = annotated();
+        let m: BTreeSet<_> = [a.mvpp().find(&tmp2()).unwrap()].into();
+        for mode in [MaintenanceMode::SharedRecompute, MaintenanceMode::Isolated] {
+            let plain = evaluate(&a, &m, mode);
+            let with = evaluate_with_policies(&a, &m, &BTreeSet::new(), mode);
+            assert_eq!(plain, with, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn delta_policy_charges_delta_cm_and_leaves_queries_alone() {
+        let a = annotated();
+        let shared = a.mvpp().find(&tmp2()).unwrap();
+        let m: BTreeSet<_> = [shared].into();
+        let delta: BTreeSet<_> = [shared].into();
+        for mode in [MaintenanceMode::SharedRecompute, MaintenanceMode::Isolated] {
+            let plain = evaluate(&a, &m, mode);
+            let with = evaluate_with_policies(&a, &m, &delta, mode);
+            assert_eq!(
+                plain.query_processing, with.query_processing,
+                "policy must not move the query term ({mode:?})"
+            );
+            let ann = a.annotation(shared);
+            assert_eq!(with.maintenance, ann.fu_weight * ann.delta_cm, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn choose_policies_flips_views_whose_delta_cm_wins() {
+        let a = annotated();
+        let shared = a.mvpp().find(&tmp2()).unwrap();
+        let ann = a.annotation(shared);
+        assert!(
+            ann.delta_cm < ann.cm,
+            "fixture: delta maintenance is cheaper"
+        );
+        let n = a.mvpp().len();
+        let m = NodeSet::from_ids(n, [shared]);
+        for mode in [MaintenanceMode::Isolated, MaintenanceMode::SharedRecompute] {
+            let delta = choose_policies(&a, &m, mode);
+            assert!(delta.contains(shared), "{mode:?}");
+            let with = evaluate_set_with_policies(&a, &m, &delta, mode);
+            let without = evaluate_set(&a, &m, mode);
+            assert!(
+                with.total < without.total,
+                "the chosen policies must lower total cost ({mode:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_policies_keeps_recompute_when_delta_loses() {
+        // A view whose stored result is as large as its input makes the
+        // scan-to-apply term dominate: recompute stays the better policy.
+        let a = annotated();
+        let n = a.mvpp().len();
+        for v in a.mvpp().interior() {
+            let ann = a.annotation(v);
+            if ann.delta_cm >= ann.cm {
+                let m = NodeSet::from_ids(n, [v]);
+                let delta = choose_policies(&a, &m, MaintenanceMode::Isolated);
+                assert!(delta.is_empty(), "node {v} should keep recompute");
+            }
+        }
     }
 }

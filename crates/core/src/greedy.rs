@@ -3,7 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::annotate::AnnotatedMvpp;
+use crate::annotate::{AnnotatedMvpp, NodeAnnotation};
 use crate::mvpp::NodeId;
 
 /// What the algorithm decided about one candidate node.
@@ -102,8 +102,40 @@ impl GreedySelection {
 
     /// Runs the algorithm, returning the chosen set and the decision trace.
     pub fn run(&self, a: &AnnotatedMvpp) -> (BTreeSet<NodeId>, SelectionTrace) {
+        self.run_inner(a, a.weight_ordered_interior(), |ann| ann.cm)
+    }
+
+    /// Policy-aware Figure 9: every node is charged its cheaper maintenance
+    /// policy, `min(Cm, ΔCm)`, both when ordering `LV` and in the
+    /// incremental saving `Cs`. A node that loses under full recompute but
+    /// wins under delta maintenance becomes profitable here; the caller
+    /// assigns the actual per-view policy afterwards with
+    /// [`choose_policies`](crate::evaluate::choose_policies).
+    pub fn run_with_policies(&self, a: &AnnotatedMvpp) -> (BTreeSet<NodeId>, SelectionTrace) {
+        let eff_cm = |ann: &NodeAnnotation| ann.cm.min(ann.delta_cm);
+        let eff_weight =
+            |ann: &NodeAnnotation| ann.fq_weight * ann.ca - ann.fu_weight * eff_cm(ann);
+        let mut lv: Vec<NodeId> = a
+            .mvpp()
+            .interior()
+            .into_iter()
+            .filter(|v| eff_weight(a.annotation(*v)) > 0.0)
+            .collect();
+        lv.sort_by(|x, y| {
+            let wx = eff_weight(a.annotation(*x));
+            let wy = eff_weight(a.annotation(*y));
+            wy.total_cmp(&wx).then(x.0.cmp(&y.0))
+        });
+        self.run_inner(a, lv, eff_cm)
+    }
+
+    fn run_inner(
+        &self,
+        a: &AnnotatedMvpp,
+        mut lv: Vec<NodeId>,
+        eff_cm: impl Fn(&NodeAnnotation) -> f64,
+    ) -> (BTreeSet<NodeId>, SelectionTrace) {
         let mvpp = a.mvpp();
-        let mut lv = a.weight_ordered_interior();
         let mut trace = SelectionTrace {
             initial_lv: lv.clone(),
             steps: Vec::new(),
@@ -140,7 +172,7 @@ impl GreedySelection {
                 .filter(|u| m.contains(u))
                 .map(|u| a.annotation(u).ca)
                 .sum();
-            let cs = ann.fq_weight * (ann.ca - replicated) - ann.fu_weight * ann.cm;
+            let cs = ann.fq_weight * (ann.ca - replicated) - ann.fu_weight * eff_cm(ann);
 
             if cs > 0.0 {
                 m.insert(v);

@@ -9,14 +9,14 @@
 //! the *visible part* of the frontier, so revisiting a previously-seen
 //! configuration costs a hash lookup.
 //!
-//! Results are bit-identical to [`evaluate_set`]: the per-query walks are the
+//! Results are bit-identical to [`evaluate_set`](crate::evaluate::evaluate_set): the per-query walks are the
 //! same function, and the total is re-summed in root order on every change so
 //! floating-point association never differs.
 
 use std::collections::HashMap;
 
 use crate::annotate::{AnnotatedMvpp, MaintenancePolicy};
-use crate::evaluate::{evaluate_set, query_cost_set, CostBreakdown, MaintenanceMode};
+use crate::evaluate::{evaluate_set_with_policies, query_cost_set, CostBreakdown, MaintenanceMode};
 use crate::mvpp::NodeId;
 use crate::nodeset::NodeSet;
 
@@ -68,6 +68,11 @@ pub struct IncrementalEvaluator<'a> {
     /// Per-node `fu_weight · scan` apply terms — `Some` only under the
     /// incremental maintenance policy.
     apply_term: Option<Vec<f64>>,
+    /// Views maintained by delta propagation instead of recomputation —
+    /// they charge `delta_term` and drop out of the recompute pass.
+    delta: NodeSet,
+    /// Per-node `fu_weight · delta_cm`, precomputed like `recompute_term`.
+    delta_term: Vec<f64>,
     /// Word mask of non-leaf nodes (leaves are stored relations and never
     /// charge maintenance).
     notleaf: Vec<u64>,
@@ -114,6 +119,12 @@ impl<'a> IncrementalEvaluator<'a> {
                 MaintenanceMode::SharedRecompute => ann.fu_weight * ann.op_cost * fraction,
             });
         }
+        let delta_term = (0..n)
+            .map(|id| {
+                let ann = a.annotation(NodeId(id));
+                ann.fu_weight * ann.delta_cm
+            })
+            .collect();
         let apply_term = match (mode, policy) {
             (MaintenanceMode::SharedRecompute, MaintenancePolicy::Incremental { .. }) => Some(
                 (0..n)
@@ -135,6 +146,8 @@ impl<'a> IncrementalEvaluator<'a> {
             memo: (0..roots.len()).map(|_| HashMap::new()).collect(),
             recompute_term,
             apply_term,
+            delta: NodeSet::with_capacity(n),
+            delta_term,
             notleaf,
             scratch_needed: Vec::new(),
             scratch_dirty: Vec::new(),
@@ -216,10 +229,25 @@ impl<'a> IncrementalEvaluator<'a> {
         self.m.contains(v)
     }
 
+    /// Sets the per-view maintenance policies: views in `delta` fold append
+    /// deltas (charging `fu·Cmᵟ`) instead of recomputing. Only the
+    /// maintenance term moves — no query re-walks, so re-costing a policy
+    /// change stays O(1) in workload size and O(affected-queries) overall.
+    pub fn set_delta_policies(&mut self, delta: &NodeSet) {
+        self.delta.copy_from(delta);
+        self.maintenance = self.current_maintenance();
+    }
+
+    /// The views currently maintained by delta propagation.
+    pub fn delta_policies(&self) -> &NodeSet {
+        &self.delta
+    }
+
     /// Full cost breakdown of the current frontier — bit-identical to
-    /// [`evaluate_set`] on the same set.
+    /// [`evaluate_set`](crate::evaluate::evaluate_set) on the same set (or
+    /// [`evaluate_set_with_policies`] when delta policies are set).
     pub fn breakdown(&self) -> CostBreakdown {
-        evaluate_set(self.a, &self.m, self.mode)
+        evaluate_set_with_policies(self.a, &self.m, &self.delta, self.mode)
     }
 
     /// Number of full query-walks performed so far (memo misses). A naive
@@ -258,7 +286,7 @@ impl<'a> IncrementalEvaluator<'a> {
     }
 
     /// Re-derives the aggregate terms from per-root costs, summing in root
-    /// order exactly as [`evaluate_set`] does.
+    /// order exactly as [`evaluate_set`](crate::evaluate::evaluate_set) does.
     fn resum(&mut self) {
         let mut qp = 0.0;
         for (i, (_, fq, _)) in self.a.mvpp().roots().iter().enumerate() {
@@ -273,15 +301,24 @@ impl<'a> IncrementalEvaluator<'a> {
     }
 
     /// Maintenance of the current frontier — bit-identical to
-    /// [`crate::evaluate`]'s `maintenance_cost`: the per-node products were
-    /// precomputed with the same operand order, and summation is ascending by
-    /// node id exactly as the set-based iteration there.
+    /// [`crate::evaluate`]'s `maintenance_cost` (and, with delta policies
+    /// set, to its `maintenance_cost_with_policies`): the per-node products
+    /// were precomputed with the same operand order, summation is ascending
+    /// by node id exactly as the set-based iteration there, and views under
+    /// a delta policy are masked out of the recompute pass word-wise.
     fn current_maintenance(&mut self) -> f64 {
+        let delta_words = self.delta.words();
+        // Per-word membership of the recompute pass: materialized and not
+        // under a delta policy.
+        let rw = |w: usize, word: u64| -> u64 {
+            word & self.notleaf.get(w).copied().unwrap_or(0)
+                & !delta_words.get(w).copied().unwrap_or(0)
+        };
         let maintenance = match self.mode {
             MaintenanceMode::Isolated => {
                 let mut s = 0.0;
                 for (w, word) in self.m.words().iter().enumerate() {
-                    let mut bits = word & self.notleaf.get(w).copied().unwrap_or(0);
+                    let mut bits = rw(w, *word);
                     while bits != 0 {
                         let n = w * 64 + bits.trailing_zeros() as usize;
                         bits &= bits - 1;
@@ -291,14 +328,14 @@ impl<'a> IncrementalEvaluator<'a> {
                 s
             }
             MaintenanceMode::SharedRecompute => {
-                // One refresh pass touches every materialized node and its
+                // One refresh pass touches every recomputed node and its
                 // descendants; gather that closure with word-wise ORs over
                 // the cached descendant bitsets.
                 let mut needed = std::mem::take(&mut self.scratch_needed);
                 needed.clear();
                 needed.resize(self.notleaf.len(), 0);
                 for (w, word) in self.m.words().iter().enumerate() {
-                    let mut bits = word & self.notleaf.get(w).copied().unwrap_or(0);
+                    let mut bits = rw(w, *word);
                     while bits != 0 {
                         let bit = bits.trailing_zeros() as usize;
                         bits &= bits - 1;
@@ -323,7 +360,7 @@ impl<'a> IncrementalEvaluator<'a> {
                     Some(terms) => {
                         let mut ap = 0.0;
                         for (w, word) in self.m.words().iter().enumerate() {
-                            let mut bits = word & self.notleaf.get(w).copied().unwrap_or(0);
+                            let mut bits = rw(w, *word);
                             while bits != 0 {
                                 let n = w * 64 + bits.trailing_zeros() as usize;
                                 bits &= bits - 1;
@@ -337,7 +374,20 @@ impl<'a> IncrementalEvaluator<'a> {
                 s + apply
             }
         };
-        maintenance + 0.0
+        // Delta-policy views charge their own propagation term, summed in
+        // ascending id order like `maintenance_cost_with_policies`.
+        let mut delta_sum = 0.0;
+        for (w, word) in self.m.words().iter().enumerate() {
+            let mut bits = word
+                & self.notleaf.get(w).copied().unwrap_or(0)
+                & delta_words.get(w).copied().unwrap_or(0);
+            while bits != 0 {
+                let n = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                delta_sum += self.delta_term[n];
+            }
+        }
+        ((maintenance + 0.0) + delta_sum) + 0.0
     }
 }
 
@@ -345,6 +395,7 @@ impl<'a> IncrementalEvaluator<'a> {
 mod tests {
     use super::*;
     use crate::annotate::UpdateWeighting;
+    use crate::evaluate::evaluate_set;
     use crate::generate::{generate_mvpps, GenerateConfig};
     use crate::workload::Workload;
     use mvdesign_algebra::{parse_query_with, Query};
@@ -446,6 +497,52 @@ mod tests {
                 assert_eq!(eval.flip(v), evaluate_set(&a, &reference, mode).total);
             }
         }
+    }
+
+    #[test]
+    fn delta_policies_match_evaluate_with_policies_exactly() {
+        use crate::evaluate::evaluate_set_with_policies;
+        for mode in [MaintenanceMode::SharedRecompute, MaintenanceMode::Isolated] {
+            let a = fixture();
+            let n = a.mvpp().len();
+            let mut eval = IncrementalEvaluator::new(&a, mode);
+            let mut m = NodeSet::with_capacity(n);
+            let mut delta = NodeSet::with_capacity(n);
+            let interior = a.mvpp().interior();
+            let mut x = 0xdeadbeefcafef00du64;
+            for _ in 0..200 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let v = interior[(x % interior.len() as u64) as usize];
+                if x & 1 == 0 {
+                    m.toggle(v);
+                    eval.flip(v);
+                } else {
+                    delta.toggle(v);
+                    eval.set_delta_policies(&delta);
+                }
+                let want = evaluate_set_with_policies(&a, &m, &delta, mode);
+                assert_eq!(eval.total(), want.total, "{mode:?} diverged");
+                assert_eq!(eval.breakdown(), want);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_changes_do_not_rewalk_queries() {
+        let a = fixture();
+        let mut eval = IncrementalEvaluator::new(&a, MaintenanceMode::SharedRecompute);
+        let interior = a.mvpp().interior();
+        for v in &interior {
+            eval.flip(*v);
+        }
+        let walks = eval.walks();
+        let delta = NodeSet::from_ids(a.mvpp().len(), interior.iter().copied());
+        eval.set_delta_policies(&delta);
+        assert_eq!(eval.walks(), walks, "policy flips touch only maintenance");
+        eval.set_delta_policies(&NodeSet::with_capacity(a.mvpp().len()));
+        assert_eq!(eval.walks(), walks);
     }
 
     #[test]

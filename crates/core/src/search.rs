@@ -9,7 +9,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::annotate::AnnotatedMvpp;
-use crate::evaluate::{evaluate_set, MaintenanceMode};
+use crate::evaluate::{
+    choose_policies, evaluate_set, evaluate_set_with_policies, CostBreakdown, MaintenanceMode,
+};
 use crate::greedy::GreedySelection;
 use crate::incremental::IncrementalEvaluator;
 use crate::mvpp::NodeId;
@@ -19,6 +21,20 @@ use crate::parallel;
 /// MVPPs below this node count run every algorithm sequentially: thread
 /// spawn overhead would dominate the per-evaluation work.
 const PARALLEL_MIN_NODES: usize = 64;
+
+/// A joint materialization + maintenance-policy decision: which nodes to
+/// materialize and, of those, which to maintain by delta propagation (the
+/// rest are fully recomputed on refresh).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyChoice {
+    /// The nodes to materialize.
+    pub views: BTreeSet<NodeId>,
+    /// Materialized nodes refreshed incrementally — always a subset of
+    /// `views`.
+    pub delta_views: BTreeSet<NodeId>,
+    /// The evaluated cost of the joint choice.
+    pub cost: CostBreakdown,
+}
 
 /// A view-selection algorithm: picks which MVPP nodes to materialize.
 ///
@@ -30,6 +46,35 @@ pub trait SelectionAlgorithm: fmt::Debug + Sync {
 
     /// Chooses the set of nodes to materialize.
     fn select(&self, a: &AnnotatedMvpp, mode: MaintenanceMode) -> BTreeSet<NodeId>;
+
+    /// Chooses the set of nodes to materialize **and** a per-view
+    /// maintenance policy.
+    ///
+    /// The default runs [`select`](Self::select) unchanged and then gives
+    /// each chosen view its cheaper policy
+    /// ([`choose_policies`](crate::evaluate::choose_policies)), so the
+    /// selected set — and every number derived from plain `select` — is
+    /// untouched. Algorithms that can search the joint space (greedy,
+    /// exhaustive, genetic) override this with a policy-aware search, which
+    /// may pick a *different* set: a view too expensive to recompute on
+    /// every update can still pay for itself under delta maintenance.
+    fn select_with_policies(&self, a: &AnnotatedMvpp, mode: MaintenanceMode) -> PolicyChoice {
+        let views = self.select(a, mode);
+        let m = NodeSet::from_ids(a.mvpp().len(), views.iter().copied());
+        joint_choice(a, mode, m)
+    }
+}
+
+/// Packages a materialization set with its cheapest per-view policies and
+/// the resulting evaluated cost.
+fn joint_choice(a: &AnnotatedMvpp, mode: MaintenanceMode, m: NodeSet) -> PolicyChoice {
+    let delta = choose_policies(a, &m, mode);
+    let cost = evaluate_set_with_policies(a, &m, &delta, mode);
+    PolicyChoice {
+        views: m.to_btree(),
+        delta_views: delta.to_btree(),
+        cost,
+    }
 }
 
 impl SelectionAlgorithm for GreedySelection {
@@ -39,6 +84,11 @@ impl SelectionAlgorithm for GreedySelection {
 
     fn select(&self, a: &AnnotatedMvpp, _mode: MaintenanceMode) -> BTreeSet<NodeId> {
         self.run(a).0
+    }
+
+    fn select_with_policies(&self, a: &AnnotatedMvpp, mode: MaintenanceMode) -> PolicyChoice {
+        let (views, _) = self.run_with_policies(a);
+        joint_choice(a, mode, NodeSet::from_ids(a.mvpp().len(), views))
     }
 }
 
@@ -195,6 +245,47 @@ impl SelectionAlgorithm for ExhaustiveSelection {
                 .expect("at least one range")
         };
         mask_to_set(best.1, &candidates, a.mvpp().len()).to_btree()
+    }
+
+    /// Exact joint optimum: every subset is costed at its policy-optimal
+    /// maintenance. The scan runs sequentially — choosing policies rewrites
+    /// only the maintenance term (no per-query walks), so each Gray step
+    /// stays cheap — and keeps the numerically-smallest mask among cost
+    /// ties, as in [`select`](Self::select).
+    fn select_with_policies(&self, a: &AnnotatedMvpp, mode: MaintenanceMode) -> PolicyChoice {
+        let mut candidates: Vec<NodeId> = a.mvpp().interior();
+        if candidates.len() > self.max_nodes {
+            candidates.sort_by(|x, y| {
+                let wx = a.annotation(*x).weight;
+                let wy = a.annotation(*y).weight;
+                wy.total_cmp(&wx)
+            });
+            candidates.truncate(self.max_nodes);
+        }
+        let total: u64 = 1 << candidates.len();
+        let mut eval = IncrementalEvaluator::new(a, mode);
+        let mut best = (f64::INFINITY, 0u64, NodeSet::with_capacity(a.mvpp().len()));
+        for i in 0..total {
+            if i > 0 {
+                // gray(i) and gray(i-1) differ exactly in bit
+                // trailing_zeros(i).
+                eval.flip(candidates[i.trailing_zeros() as usize]);
+            }
+            let delta = choose_policies(a, eval.frontier(), mode);
+            eval.set_delta_policies(&delta);
+            let cost = eval.total();
+            let mask = gray(i);
+            if cost < best.0 || (cost == best.0 && mask < best.1) {
+                best = (cost, mask, delta);
+            }
+        }
+        let m = mask_to_set(best.1, &candidates, a.mvpp().len());
+        let cost = evaluate_set_with_policies(a, &m, &best.2, mode);
+        PolicyChoice {
+            views: m.to_btree(),
+            delta_views: best.2.to_btree(),
+            cost,
+        }
     }
 }
 
@@ -372,66 +463,19 @@ impl GeneticSelection {
             .map(|(_, id)| *id)
             .collect()
     }
-}
 
-impl SelectionAlgorithm for GeneticSelection {
-    fn name(&self) -> &'static str {
-        "genetic"
-    }
-
-    fn select(&self, a: &AnnotatedMvpp, mode: MaintenanceMode) -> BTreeSet<NodeId> {
-        let candidates = a.mvpp().interior();
+    /// Seeds the population (greedy, empty, random fill) and evolves it with
+    /// the supplied batch scorer, returning the fittest genome. All
+    /// randomness flows from `self.seed`; the scorer consumes none, so two
+    /// runs with scorers that agree on every genome evolve identically.
+    fn evolve(
+        &self,
+        a: &AnnotatedMvpp,
+        candidates: &[NodeId],
+        mut score: impl FnMut(Vec<Vec<bool>>) -> Vec<(f64, Vec<bool>)>,
+    ) -> Vec<bool> {
         let n = candidates.len();
-        if n == 0 {
-            return BTreeSet::new();
-        }
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let capacity = a.mvpp().len();
-        let fitness = |genes: &[bool]| -> f64 {
-            let set = NodeSet::from_ids(
-                capacity,
-                genes
-                    .iter()
-                    .zip(&candidates)
-                    .filter(|(g, _)| **g)
-                    .map(|(_, id)| *id),
-            );
-            evaluate_set(a, &set, mode).total
-        };
-        let threads = if capacity < PARALLEL_MIN_NODES {
-            1
-        } else {
-            parallel::threads_for(self.parallelism, usize::MAX)
-        };
-        // Fitness consumes no randomness, so evaluating a batch of
-        // individuals in parallel (in population order) leaves the RNG stream
-        // — and therefore the whole evolution — untouched. On a single
-        // thread a persistent incremental evaluator is used instead: elites
-        // and convergent offspring revisit frontiers, so the per-root memo
-        // turns most scorings into cache hits. `set_frontier` produces the
-        // identical float as `evaluate_set`, so the evolved population — and
-        // the selected set — does not depend on which path scored it.
-        let mut seq_eval = (threads <= 1).then(|| IncrementalEvaluator::new(a, mode));
-        let mut score = |batch: Vec<Vec<bool>>| -> Vec<(f64, Vec<bool>)> {
-            match seq_eval.as_mut() {
-                Some(eval) => batch
-                    .into_iter()
-                    .map(|genes| {
-                        let set = NodeSet::from_ids(
-                            capacity,
-                            genes
-                                .iter()
-                                .zip(&candidates)
-                                .filter(|(g, _)| **g)
-                                .map(|(_, id)| *id),
-                        );
-                        eval.set_frontier(&set);
-                        (eval.total(), genes)
-                    })
-                    .collect(),
-                None => parallel::ordered_map(batch, threads, &|_, genes| (fitness(&genes), genes)),
-            }
-        };
 
         // Seed population: greedy, empty, random fill.
         let greedy = GreedySelection::new().run(a).0;
@@ -487,7 +531,109 @@ impl SelectionAlgorithm for GeneticSelection {
             population = next;
         }
         population.sort_by(|x, y| x.0.total_cmp(&y.0));
-        Self::decode(&population[0].1, &candidates)
+        population.swap_remove(0).1
+    }
+}
+
+impl SelectionAlgorithm for GeneticSelection {
+    fn name(&self) -> &'static str {
+        "genetic"
+    }
+
+    fn select(&self, a: &AnnotatedMvpp, mode: MaintenanceMode) -> BTreeSet<NodeId> {
+        let candidates = a.mvpp().interior();
+        if candidates.is_empty() {
+            return BTreeSet::new();
+        }
+        let capacity = a.mvpp().len();
+        let fitness = |genes: &[bool]| -> f64 {
+            let set = NodeSet::from_ids(
+                capacity,
+                genes
+                    .iter()
+                    .zip(&candidates)
+                    .filter(|(g, _)| **g)
+                    .map(|(_, id)| *id),
+            );
+            evaluate_set(a, &set, mode).total
+        };
+        let threads = if capacity < PARALLEL_MIN_NODES {
+            1
+        } else {
+            parallel::threads_for(self.parallelism, usize::MAX)
+        };
+        // Fitness consumes no randomness, so evaluating a batch of
+        // individuals in parallel (in population order) leaves the RNG stream
+        // — and therefore the whole evolution — untouched. On a single
+        // thread a persistent incremental evaluator is used instead: elites
+        // and convergent offspring revisit frontiers, so the per-root memo
+        // turns most scorings into cache hits. `set_frontier` produces the
+        // identical float as `evaluate_set`, so the evolved population — and
+        // the selected set — does not depend on which path scored it.
+        let mut seq_eval = (threads <= 1).then(|| IncrementalEvaluator::new(a, mode));
+        let score = |batch: Vec<Vec<bool>>| -> Vec<(f64, Vec<bool>)> {
+            match seq_eval.as_mut() {
+                Some(eval) => batch
+                    .into_iter()
+                    .map(|genes| {
+                        let set = NodeSet::from_ids(
+                            capacity,
+                            genes
+                                .iter()
+                                .zip(&candidates)
+                                .filter(|(g, _)| **g)
+                                .map(|(_, id)| *id),
+                        );
+                        eval.set_frontier(&set);
+                        (eval.total(), genes)
+                    })
+                    .collect(),
+                None => parallel::ordered_map(batch, threads, &|_, genes| (fitness(&genes), genes)),
+            }
+        };
+        let best = self.evolve(a, &candidates, score);
+        Self::decode(&best, &candidates)
+    }
+
+    /// Joint evolution: the same seeded run as [`select`](Self::select),
+    /// but every genome is scored at its policy-optimal total. Scoring
+    /// shares one incremental evaluator (policy re-costing touches only the
+    /// maintenance term), so it always runs sequentially; the RNG stream —
+    /// and hence the evolution — is still fully determined by the seed.
+    fn select_with_policies(&self, a: &AnnotatedMvpp, mode: MaintenanceMode) -> PolicyChoice {
+        let candidates = a.mvpp().interior();
+        let capacity = a.mvpp().len();
+        if candidates.is_empty() {
+            return joint_choice(a, mode, NodeSet::with_capacity(capacity));
+        }
+        let mut eval = IncrementalEvaluator::new(a, mode);
+        let best = self.evolve(a, &candidates, |batch: Vec<Vec<bool>>| {
+            batch
+                .into_iter()
+                .map(|genes| {
+                    let set = NodeSet::from_ids(
+                        capacity,
+                        genes
+                            .iter()
+                            .zip(&candidates)
+                            .filter(|(g, _)| **g)
+                            .map(|(_, id)| *id),
+                    );
+                    let delta = choose_policies(a, &set, mode);
+                    eval.set_frontier(&set);
+                    eval.set_delta_policies(&delta);
+                    (eval.total(), genes)
+                })
+                .collect()
+        });
+        let m = NodeSet::from_ids(
+            capacity,
+            best.iter()
+                .zip(&candidates)
+                .filter(|(g, _)| **g)
+                .map(|(_, id)| *id),
+        );
+        joint_choice(a, mode, m)
     }
 }
 
@@ -669,6 +815,144 @@ mod tests {
             r.select(&a, MaintenanceMode::SharedRecompute),
             r.select(&a, MaintenanceMode::SharedRecompute)
         );
+    }
+
+    /// Two-relation join read `fq` times between refreshes, with both base
+    /// relations updated `u` times. Tuned (see the flip tests) so the join
+    /// is too expensive to recompute on every update but pays for itself
+    /// under delta maintenance.
+    fn flip_annotated(fq: f64, u: f64) -> AnnotatedMvpp {
+        let mut c = Catalog::new();
+        for (name, records, blocks) in [("A", 10_000.0, 1_000.0), ("B", 20_000.0, 2_000.0)] {
+            c.relation(name)
+                .attr("k", AttrType::Int)
+                .records(records)
+                .blocks(blocks)
+                .update_frequency(u)
+                .finish()
+                .unwrap();
+        }
+        c.set_join_selectivity(
+            AttrRef::new("A", "k"),
+            AttrRef::new("B", "k"),
+            1.0 / 20_000.0,
+        )
+        .unwrap();
+        let ab = Expr::join(
+            Expr::base("A"),
+            Expr::base("B"),
+            JoinCondition::on(AttrRef::new("A", "k"), AttrRef::new("B", "k")),
+        );
+        let mut m = Mvpp::new();
+        m.insert_query("Q1", fq, &ab);
+        let est = CostEstimator::new(&c, EstimationMode::Analytic, PaperCostModel::default());
+        AnnotatedMvpp::annotate(m, &est, UpdateWeighting::Max)
+    }
+
+    #[test]
+    fn joint_policy_selection_flips_the_selected_set() {
+        // The ISSUE's acceptance scenario: under pure recompute the join is
+        // not worth materializing (5 updates × Cm dwarfs the read saving),
+        // so plain exhaustive keeps everything virtual. Under the delta
+        // cost model the same view pays for itself — the joint search
+        // materializes it and maintains it incrementally.
+        let a = flip_annotated(2.0, 5.0);
+        let mode = MaintenanceMode::SharedRecompute;
+        let exhaustive = ExhaustiveSelection::default();
+        assert!(exhaustive.select(&a, mode).is_empty());
+
+        let joint = exhaustive.select_with_policies(&a, mode);
+        let ab = a.mvpp().interior()[0];
+        assert_eq!(joint.views, [ab].into_iter().collect());
+        assert_eq!(joint.delta_views, joint.views);
+        let none = evaluate(&a, &BTreeSet::new(), mode).total;
+        assert!(
+            joint.cost.total < none,
+            "joint {} vs all-virtual {none}",
+            joint.cost.total
+        );
+    }
+
+    #[test]
+    fn policy_aware_greedy_materializes_delta_profitable_views() {
+        let a = flip_annotated(2.0, 5.0);
+        let g = GreedySelection::new();
+        assert!(g.run(&a).0.is_empty());
+        let ab = a.mvpp().interior()[0];
+        assert_eq!(g.run_with_policies(&a).0, [ab].into_iter().collect());
+
+        // And through the trait: the joint choice beats the plain one.
+        let mode = MaintenanceMode::SharedRecompute;
+        let joint = g.select_with_policies(&a, mode);
+        let plain_total = evaluate(&a, &g.select(&a, mode), mode).total;
+        assert!(joint.cost.total < plain_total);
+        assert_eq!(joint.delta_views, joint.views);
+    }
+
+    #[test]
+    fn default_select_with_policies_preserves_the_selected_set() {
+        // Algorithms without a joint override pick the same views as
+        // `select`; the policy pass can only cheapen maintenance.
+        let a = annotated();
+        let mode = MaintenanceMode::SharedRecompute;
+        for algo in [
+            &RandomSearch::default() as &dyn SelectionAlgorithm,
+            &SimulatedAnnealing::default(),
+            &MaterializeAll,
+            &MaterializeNone,
+        ] {
+            let plain = algo.select(&a, mode);
+            let joint = algo.select_with_policies(&a, mode);
+            assert_eq!(joint.views, plain, "{} changed its views", algo.name());
+            assert!(
+                joint.delta_views.iter().all(|v| joint.views.contains(v)),
+                "{}: delta views must be materialized",
+                algo.name()
+            );
+            assert!(
+                joint.cost.total <= evaluate(&a, &plain, mode).total + 1e-9,
+                "{}: policies made the choice worse",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn joint_exhaustive_is_a_lower_bound_for_joint_algorithms() {
+        for a in [annotated(), flip_annotated(2.0, 5.0)] {
+            let mode = MaintenanceMode::SharedRecompute;
+            let best = ExhaustiveSelection::default()
+                .select_with_policies(&a, mode)
+                .cost
+                .total;
+            for algo in [
+                &GreedySelection::new() as &dyn SelectionAlgorithm,
+                &MaterializeAll,
+                &MaterializeNone,
+                &RandomSearch::default(),
+                &SimulatedAnnealing::default(),
+                &GeneticSelection::default(),
+            ] {
+                let cost = algo.select_with_policies(&a, mode).cost.total;
+                assert!(
+                    best <= cost + 1e-6,
+                    "{} beat joint exhaustive: {cost} < {best}",
+                    algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn genetic_joint_finds_the_flip_and_is_deterministic() {
+        let a = flip_annotated(2.0, 5.0);
+        let mode = MaintenanceMode::SharedRecompute;
+        let g = GeneticSelection::default();
+        let joint = g.select_with_policies(&a, mode);
+        let exact = ExhaustiveSelection::default().select_with_policies(&a, mode);
+        // One interior candidate: the GA must land on the exact optimum.
+        assert_eq!(joint, exact);
+        assert_eq!(joint, g.select_with_policies(&a, mode));
     }
 
     #[test]

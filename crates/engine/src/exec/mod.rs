@@ -28,6 +28,7 @@
 //! single-threaded twin regardless of thread count, morsel size or OS
 //! scheduling.
 
+pub mod delta;
 mod keys;
 mod morsel;
 mod paged;

@@ -77,6 +77,7 @@ mod table;
 
 pub use crate::batch::{Batch, Column};
 pub use crate::datagen::{Generator, GeneratorConfig};
+pub use crate::exec::delta::{execute_delta, refresh_view_delta, split_appends, DeltaMap};
 pub use crate::exec::{
     execute, execute_with, execute_with_context, materialize_view, materialize_view_with,
     selection_mask, selection_mask_full, selection_mask_with, ExecContext, ExecError, JoinAlgo,

@@ -3,6 +3,7 @@
 //! member databases, materialized views are refreshed per period, and
 //! queries (designed-for or ad hoc) are answered through the views.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -11,8 +12,8 @@ use mvdesign_algebra::{parse_query_with, Expr, ParseError, Value};
 use mvdesign_catalog::{Catalog, RelName};
 use mvdesign_core::{DesignResult, ViewCatalog};
 use mvdesign_engine::{
-    execute_with_context, materialize_view_with, BufferPool, Database, ExecContext, ExecError,
-    JoinAlgo, Table, DEFAULT_PAGE_ROWS,
+    execute_with_context, refresh_view_delta, split_appends, BufferPool, Column, Database,
+    ExecContext, ExecError, JoinAlgo, Table, DEFAULT_PAGE_ROWS,
 };
 
 /// Errors raised by [`Warehouse`] operations.
@@ -25,6 +26,14 @@ pub enum WarehouseError {
     Exec(ExecError),
     /// Rows were appended to a relation the database does not hold.
     UnknownRelation(RelName),
+    /// Appended rows do not fit the relation's schema (wrong arity or a
+    /// value whose type mismatches the column it lands in).
+    BadRows {
+        /// The relation the rows were appended to.
+        relation: RelName,
+        /// What was wrong with the first offending row.
+        reason: String,
+    },
 }
 
 impl fmt::Display for WarehouseError {
@@ -33,6 +42,9 @@ impl fmt::Display for WarehouseError {
             WarehouseError::Parse(e) => write!(f, "parse error: {e}"),
             WarehouseError::Exec(e) => write!(f, "execution error: {e}"),
             WarehouseError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            WarehouseError::BadRows { relation, reason } => {
+                write!(f, "bad rows for `{relation}`: {reason}")
+            }
         }
     }
 }
@@ -74,12 +86,51 @@ pub struct Warehouse {
     catalog: Catalog,
     db: Database,
     views: ViewCatalog,
-    stale: bool,
+    /// Views whose inputs changed since they were last (re)built.
+    stale: BTreeSet<RelName>,
+    /// Per-base-relation row counts at the last refresh — the appends since
+    /// then are exactly the suffix past these marks (append-only capture).
+    base_rows: BTreeMap<RelName, usize>,
     refreshes: u64,
+    /// How stale views are brought up to date (default: [`RefreshPolicy::Delta`]).
+    policy: RefreshPolicy,
+    /// Per-view overrides of the warehouse-wide policy.
+    view_policies: BTreeMap<RelName, RefreshPolicy>,
+    /// What the last refresh pass did per view.
+    last_refresh: RefreshReport,
     /// Execution knobs for serve and refresh (default: single-threaded).
     exec: ExecContext,
+    /// Join kernel for serve and refresh (default: nested loop). Answers
+    /// and stored views are bag-identical under every algorithm — only row
+    /// order and wall-clock change.
+    join_algo: JoinAlgo,
     /// Buffer pool backing paged tables when a memory budget is set.
     pool: Option<Arc<BufferPool>>,
+}
+
+/// How [`Warehouse::refresh`] brings a stale view up to date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshPolicy {
+    /// Re-evaluate the view definition over the full base data (the paper's
+    /// recomputation maintenance).
+    Recompute,
+    /// Fold only the appended deltas into the stored view
+    /// ([`refresh_view_delta`]), falling back to recomputation whenever the
+    /// delta algebra declines the plan. Results are bit-identical to
+    /// [`RefreshPolicy::Recompute`] up to row order and always bag-equal.
+    #[default]
+    Delta,
+}
+
+/// What one [`Warehouse::refresh`] pass did, per view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefreshReport {
+    /// Views rebuilt from scratch (policy choice or delta fallback).
+    pub recomputed: usize,
+    /// Views maintained incrementally from append deltas.
+    pub folded: usize,
+    /// Views left untouched because none of their inputs changed.
+    pub skipped: usize,
 }
 
 impl Warehouse {
@@ -95,14 +146,37 @@ impl Warehouse {
         db: Database,
         design: &DesignResult,
     ) -> Result<Self, WarehouseError> {
+        Self::new_with_join_algo(catalog, db, design, JoinAlgo::NestedLoop)
+    }
+
+    /// Like [`Warehouse::new`], but the given join kernel already serves
+    /// the initial materialization (where [`Warehouse::with_join_algo`]
+    /// would only apply from the *next* refresh on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WarehouseError::Exec`] when a view definition cannot be
+    /// evaluated over `db`.
+    pub fn new_with_join_algo(
+        catalog: Catalog,
+        db: Database,
+        design: &DesignResult,
+        join_algo: JoinAlgo,
+    ) -> Result<Self, WarehouseError> {
         let views = ViewCatalog::from_design(design);
+        let stale = views.views().iter().map(|(n, _)| n.clone()).collect();
         let mut warehouse = Self {
             catalog,
             db,
             views,
-            stale: true,
+            stale,
+            base_rows: BTreeMap::new(),
             refreshes: 0,
+            policy: RefreshPolicy::default(),
+            view_policies: BTreeMap::new(),
+            last_refresh: RefreshReport::default(),
             exec: ExecContext::default(),
+            join_algo,
             pool: None,
         };
         warehouse.refresh()?;
@@ -123,6 +197,26 @@ impl Warehouse {
     /// [`Warehouse::with_exec_context`]).
     pub fn set_exec_context(&mut self, exec: ExecContext) {
         self.exec = exec;
+    }
+
+    /// Picks the join kernel used for every later serve and refresh (delta
+    /// folds and recomputes alike), returning the warehouse for chaining.
+    /// Answers and stored views stay bag-identical under every algorithm —
+    /// only row order and wall-clock change.
+    #[must_use]
+    pub fn with_join_algo(mut self, algo: JoinAlgo) -> Self {
+        self.join_algo = algo;
+        self
+    }
+
+    /// Sets the join kernel in place (see [`Warehouse::with_join_algo`]).
+    pub fn set_join_algo(&mut self, algo: JoinAlgo) {
+        self.join_algo = algo;
+    }
+
+    /// The join kernel serving queries and refreshes.
+    pub fn join_algo(&self) -> JoinAlgo {
+        self.join_algo
     }
 
     /// The execution knobs serve and refresh currently run under.
@@ -180,9 +274,15 @@ impl Warehouse {
         &self.views
     }
 
-    /// Whether base updates have arrived since the last refresh.
+    /// Whether any view's inputs changed since it was last (re)built.
     pub fn is_stale(&self) -> bool {
-        self.stale
+        !self.stale.is_empty()
+    }
+
+    /// The views whose inputs changed since the last refresh — exactly the
+    /// ones the next [`Warehouse::refresh`] will touch.
+    pub fn stale_views(&self) -> impl Iterator<Item = &RelName> {
+        self.stale.iter()
     }
 
     /// How many refresh passes have run.
@@ -190,15 +290,61 @@ impl Warehouse {
         self.refreshes
     }
 
-    /// Appends rows to a base relation (a member-database load). Views go
-    /// stale until [`Warehouse::refresh`] runs — the paper's once-per-period
-    /// update model. Appends go straight into the table's column storage
+    /// Sets the warehouse-wide maintenance policy, returning the warehouse
+    /// for chaining. Stored views and answers are bag-equal under every
+    /// policy — only refresh work changes.
+    #[must_use]
+    pub fn with_refresh_policy(mut self, policy: RefreshPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the warehouse-wide maintenance policy (see
+    /// [`Warehouse::with_refresh_policy`]).
+    pub fn set_refresh_policy(&mut self, policy: RefreshPolicy) {
+        self.policy = policy;
+    }
+
+    /// Overrides the maintenance policy for one view — how the design
+    /// layer's per-view `MaintenancePolicy` choice is carried into the
+    /// runtime. `None` returns the view to the warehouse-wide policy.
+    pub fn set_view_refresh_policy(
+        &mut self,
+        view: impl Into<RelName>,
+        policy: Option<RefreshPolicy>,
+    ) {
+        let view = view.into();
+        match policy {
+            Some(p) => {
+                self.view_policies.insert(view, p);
+            }
+            None => {
+                self.view_policies.remove(&view);
+            }
+        }
+    }
+
+    /// The policy [`Warehouse::refresh`] will use for `view`.
+    pub fn refresh_policy(&self, view: &RelName) -> RefreshPolicy {
+        self.view_policies.get(view).copied().unwrap_or(self.policy)
+    }
+
+    /// What the most recent refresh pass did, per view.
+    pub fn last_refresh(&self) -> RefreshReport {
+        self.last_refresh
+    }
+
+    /// Appends rows to a base relation (a member-database load). Views
+    /// reading the relation go stale until [`Warehouse::refresh`] runs —
+    /// the paper's once-per-period update model; views over other relations
+    /// stay fresh. Appends go straight into the table's column storage
     /// ([`Table::extend_rows`]) — no rebuild of the existing data.
     ///
     /// # Errors
     ///
     /// Returns [`WarehouseError::UnknownRelation`] when the relation has no
-    /// table, and panics via [`Table::extend_rows`] if row arity mismatches.
+    /// table and [`WarehouseError::BadRows`] when a row's arity or a
+    /// value's type mismatches the table schema (nothing is appended).
     pub fn append(
         &mut self,
         relation: impl Into<RelName>,
@@ -209,25 +355,71 @@ impl Warehouse {
             .db
             .table_mut(relation.as_str())
             .ok_or_else(|| WarehouseError::UnknownRelation(relation.clone()))?;
+        if let Some(reason) = reject_rows(existing, &rows) {
+            return Err(WarehouseError::BadRows { relation, reason });
+        }
+        if rows.is_empty() {
+            return Ok(());
+        }
         existing.extend_rows(rows);
-        self.stale = true;
+        for (name, definition) in self.views.views() {
+            if definition.base_relations().contains(&relation) {
+                self.stale.insert(name.clone());
+            }
+        }
         Ok(())
     }
 
-    /// Recomputes every materialized view (the paper's recomputation
-    /// maintenance).
+    /// Brings every stale view up to date and snapshots the base state the
+    /// views now reflect. Fresh views are skipped outright; stale ones are
+    /// maintained per their [`RefreshPolicy`] — incrementally folding the
+    /// appended deltas where the delta algebra allows, recomputing
+    /// otherwise. Reports what happened per view.
     ///
     /// Views keep the engine's columnar layout: dictionary-encoded text
     /// columns move by `Arc` clone, so a materialized view shares its value
     /// tables with the base tables it was computed from — refreshing copies
-    /// codes, never strings.
+    /// codes, never strings. Delta folds rebuild only the touched view.
     ///
     /// # Errors
     ///
     /// Returns [`WarehouseError::Exec`] when a view definition fails.
-    pub fn refresh(&mut self) -> Result<(), WarehouseError> {
+    pub fn refresh(&mut self) -> Result<RefreshReport, WarehouseError> {
+        let mut report = RefreshReport::default();
+        let (old, deltas) = split_appends(&self.db, &self.base_rows);
         for (name, definition) in self.views.views().to_vec() {
-            materialize_view_with(name, &definition, &mut self.db, &self.exec)?;
+            if !self.stale.contains(&name) && self.db.table(name.as_str()).is_some() {
+                report.skipped += 1;
+                continue;
+            }
+            let stored = match self.refresh_policy(&name) {
+                RefreshPolicy::Delta => old.table(name.as_str()),
+                RefreshPolicy::Recompute => None,
+            };
+            let folded = match stored {
+                Some(table) => refresh_view_delta(
+                    table.batch(),
+                    &definition,
+                    &old,
+                    &deltas,
+                    self.join_algo,
+                    &self.exec,
+                )?,
+                None => None,
+            };
+            match folded {
+                Some(batch) => {
+                    self.db.insert_table(Table::from_batch(name.clone(), batch));
+                    report.folded += 1;
+                }
+                None => {
+                    let result =
+                        execute_with_context(&definition, &self.db, self.join_algo, &self.exec)?;
+                    self.db
+                        .insert_table(Table::from_batch(name.clone(), result.into_batch()));
+                    report.recomputed += 1;
+                }
+            }
         }
         if let Some(pool) = &self.pool {
             // Freshly materialized views (and appended-to base tables) are
@@ -235,9 +427,23 @@ impl Warehouse {
             // their existing pages.
             self.db.page_out_resident(pool, DEFAULT_PAGE_ROWS);
         }
-        self.stale = false;
+        self.snapshot_base_rows();
+        self.stale.clear();
         self.refreshes += 1;
-        Ok(())
+        self.last_refresh = report;
+        Ok(report)
+    }
+
+    /// Records the per-relation row counts the views now reflect; the next
+    /// refresh treats anything past these marks as the append delta.
+    fn snapshot_base_rows(&mut self) {
+        let views: BTreeSet<&RelName> = self.views.views().iter().map(|(n, _)| n).collect();
+        self.base_rows = self
+            .db
+            .iter()
+            .filter(|(name, _)| !views.contains(name))
+            .map(|(name, table)| (name.clone(), table.len()))
+            .collect();
     }
 
     /// Answers a SQL query, routing it through the materialized views when
@@ -262,10 +468,49 @@ impl Warehouse {
         Ok(execute_with_context(
             &routed,
             &self.db,
-            JoinAlgo::NestedLoop,
+            self.join_algo,
             &self.exec,
         )?)
     }
+}
+
+/// Checks appended rows against a table's schema before any mutation:
+/// every row must match the header arity, and every value must fit the
+/// column it lands in (typed columns accept their own variant; `Mixed` and
+/// empty columns accept anything, like [`Column::push`] does). Returns a
+/// description of the first offence, `None` when the rows are clean.
+fn reject_rows(table: &Table, rows: &[Vec<Value>]) -> Option<String> {
+    let attrs = table.attrs();
+    let empty = table.is_empty();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != attrs.len() {
+            return Some(format!(
+                "row {i} has arity {} but `{}` has {} attributes",
+                row.len(),
+                table.name(),
+                attrs.len()
+            ));
+        }
+        if empty {
+            continue;
+        }
+        for (j, value) in row.iter().enumerate() {
+            let fits = match (table.batch().column(j), value) {
+                (Column::Int(_), Value::Int(_))
+                | (Column::Text(_) | Column::Dict { .. }, Value::Text(_))
+                | (Column::Date(_), Value::Date(_))
+                | (Column::Mixed(_), _) => true,
+                (col, _) => col.is_empty(),
+            };
+            if !fits {
+                return Some(format!(
+                    "row {i} value {value:?} does not fit column `{}`",
+                    attrs[j]
+                ));
+            }
+        }
+    }
+    None
 }
 
 /// Measured cost of one operating period: every workload query executed
@@ -544,6 +789,150 @@ mod tests {
             w.append("Ghost", vec![]),
             Err(WarehouseError::UnknownRelation(_))
         ));
+    }
+
+    #[test]
+    fn bad_arity_append_is_rejected_without_mutating() {
+        let mut w = warehouse();
+        let before = w.database().table("Customer").expect("exists").len();
+        let err = w
+            .append("Customer", vec![vec![Value::Int(1)]])
+            .expect_err("short row rejected");
+        assert!(matches!(err, WarehouseError::BadRows { .. }), "{err}");
+        assert!(err.to_string().contains("arity"), "{err}");
+        assert_eq!(
+            w.database().table("Customer").expect("exists").len(),
+            before,
+            "rejected rows must not land"
+        );
+        assert!(!w.is_stale(), "rejected appends leave views fresh");
+    }
+
+    #[test]
+    fn bad_type_append_is_rejected_without_mutating() {
+        let mut w = warehouse();
+        let arity = w
+            .database()
+            .table("Customer")
+            .expect("exists")
+            .attrs()
+            .len();
+        // Cid is an integer column; a text value must not degrade it.
+        let row: Vec<Value> = (0..arity).map(|_| Value::text("oops")).collect();
+        let err = w
+            .append("Customer", vec![row])
+            .expect_err("mistyped row rejected");
+        assert!(matches!(err, WarehouseError::BadRows { .. }), "{err}");
+        assert!(!w.is_stale());
+    }
+
+    #[test]
+    fn empty_append_is_a_fresh_no_op() {
+        let mut w = warehouse();
+        w.append("Customer", vec![]).expect("empty append ok");
+        assert!(!w.is_stale(), "no rows, no staleness");
+    }
+
+    #[test]
+    fn staleness_is_per_view_and_refresh_skips_fresh_views() {
+        let mut w = warehouse();
+        let customer_views: Vec<RelName> = w
+            .views()
+            .views()
+            .iter()
+            .filter(|(_, d)| d.base_relations().contains(&RelName::new("Customer")))
+            .map(|(n, _)| n.clone())
+            .collect();
+        let total_views = w.views().views().len();
+        assert!(
+            !customer_views.is_empty() && customer_views.len() < total_views,
+            "fixture needs a view over Customer and one not over it"
+        );
+        let row = customer_row(&w);
+        w.append("Customer", vec![row]).expect("appends");
+        let stale: Vec<RelName> = w.stale_views().cloned().collect();
+        assert_eq!(stale, customer_views, "only Customer-fed views go stale");
+        let report = w.refresh().expect("refreshes");
+        assert_eq!(
+            report.skipped,
+            total_views - customer_views.len(),
+            "fresh views are not touched"
+        );
+        assert_eq!(report.folded + report.recomputed, customer_views.len());
+        assert!(!w.is_stale());
+    }
+
+    #[test]
+    fn delta_refresh_folds_appends_and_matches_recompute() {
+        let mut delta = warehouse();
+        let mut recompute = warehouse().with_refresh_policy(RefreshPolicy::Recompute);
+        let rows: Vec<Vec<Value>> = (0..5).map(|_| customer_row(&delta)).collect();
+        delta.append("Customer", rows.clone()).expect("appends");
+        recompute.append("Customer", rows).expect("appends");
+        let dr = delta.refresh().expect("delta refresh");
+        let rr = recompute.refresh().expect("recompute refresh");
+        assert!(
+            dr.folded > 0,
+            "SPJ view over Customer folds its delta: {dr:?}"
+        );
+        assert_eq!(rr.folded, 0, "Recompute policy never folds: {rr:?}");
+        for (name, _) in delta.views().views() {
+            let a = delta
+                .database()
+                .table(name.as_str())
+                .expect("view stored")
+                .canonicalized();
+            let b = recompute
+                .database()
+                .table(name.as_str())
+                .expect("view stored")
+                .canonicalized();
+            assert_eq!(a.rows(), b.rows(), "view {name} differs across policies");
+        }
+        let scenario = paper_example();
+        for q in scenario.workload.queries() {
+            let a = delta.query_expr(q.root()).expect("delta").canonicalized();
+            let b = recompute
+                .query_expr(q.root())
+                .expect("recompute")
+                .canonicalized();
+            assert_eq!(a.rows(), b.rows(), "{} differs across policies", q.name());
+        }
+    }
+
+    #[test]
+    fn per_view_policy_override_forces_recompute() {
+        let mut w = warehouse();
+        let names: Vec<RelName> = w.views().views().iter().map(|(n, _)| n.clone()).collect();
+        for name in &names {
+            w.set_view_refresh_policy(name.clone(), Some(RefreshPolicy::Recompute));
+            assert_eq!(w.refresh_policy(name), RefreshPolicy::Recompute);
+        }
+        w.append("Customer", vec![customer_row(&w)])
+            .expect("appends");
+        let report = w.refresh().expect("refreshes");
+        assert_eq!(
+            report.folded, 0,
+            "overrides force recomputation: {report:?}"
+        );
+        for name in &names {
+            w.set_view_refresh_policy(name.clone(), None);
+            assert_eq!(w.refresh_policy(name), RefreshPolicy::Delta);
+        }
+    }
+
+    /// A fresh Customer row matching the generated schema.
+    fn customer_row(w: &Warehouse) -> Vec<Value> {
+        w.database()
+            .table("Customer")
+            .expect("customer exists")
+            .attrs()
+            .iter()
+            .map(|a| match a.attr.as_str() {
+                "Cid" => Value::Int(1_000_000),
+                _ => Value::text("fresh"),
+            })
+            .collect()
     }
 
     #[test]

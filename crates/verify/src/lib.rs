@@ -14,7 +14,12 @@
 //!   `engine`-generated data. The original plan runs on the preserved
 //!   tuple-at-a-time engine (`mvdesign_engine::row_reference`) while the
 //!   merged and rewritten plans run on the columnar batch engine, so the
-//!   check doubles as a batch ≡ row differential test on every audit.
+//!   check doubles as a batch ≡ row differential test on every audit;
+//! - **delta maintenance** ([`check_delta_refresh`]): folding captured
+//!   append deltas into a stored view
+//!   ([`mvdesign_engine::refresh_view_delta`]) must reproduce, bag-exactly,
+//!   a full recompute of the view on the grown database — across several
+//!   rounds of deterministic appends of varying size, including empty ones.
 //!
 //! [`audit_scenario`] bundles everything (structural validation, rewrite
 //! coverage, the three-way cost differential over deterministic random
@@ -39,7 +44,10 @@ use mvdesign_core::{
 };
 use mvdesign_cost::{CostEstimator, EstimationMode, PaperCostModel};
 use mvdesign_distributed::{DistributedEvaluator, FilterShipping, Placement, Topology};
-use mvdesign_engine::{execute, materialize_view, Generator, GeneratorConfig};
+use mvdesign_engine::{
+    execute, materialize_view, refresh_view_delta, split_appends, ExecContext, Generator,
+    GeneratorConfig, JoinAlgo, Table,
+};
 use mvdesign_optimizer::Planner;
 use mvdesign_workload::{
     degenerate_scenarios, paper_example, tpch_lite, Scenario, StarSchema, StarSchemaConfig,
@@ -246,6 +254,96 @@ pub fn check_semantics(
     report
 }
 
+/// Differential oracle for incremental view maintenance: folding captured
+/// append deltas into each stored view must reproduce, bag-exactly, a full
+/// recompute of the view on the grown database.
+///
+/// Appends are synthesized deterministically by re-running the data
+/// generator with a round-derived seed and taking a prefix of each
+/// relation's twin rows, so arbitrary scenario schemas (int, date and
+/// dictionary-encoded text columns) are exercised without hand-written
+/// fixtures. Rounds chain: round `r` appends on top of round `r-1`'s
+/// database and folds into the view state round `r-1` left behind, with the
+/// per-relation append size cycling through zero (a no-op delta) up to the
+/// whole twin table. Views whose maintenance plan falls back to recompute
+/// (deletions through joins, non-foldable aggregates) are rebuilt and keep
+/// participating in later rounds.
+pub fn check_delta_refresh(
+    catalog: &Catalog,
+    views: &ViewCatalog,
+    gen_config: GeneratorConfig,
+    rounds: usize,
+) -> AuditReport {
+    let mut report = AuditReport::new();
+    let mut db = Generator::with_config(gen_config).database(catalog);
+    let mut stored = Vec::new();
+    for (name, definition) in views.views() {
+        match execute(definition, &db) {
+            Ok(t) => stored.push((name.clone(), definition, t.into_batch())),
+            Err(e) => {
+                report.push("delta-refresh", format!("view {name} fails to build: {e}"));
+                return report;
+            }
+        }
+    }
+    let base_names: Vec<_> = db.iter().map(|(n, _)| n.clone()).collect();
+    let ctx = ExecContext::default();
+
+    for round in 0..rounds {
+        let snapshot: std::collections::BTreeMap<_, _> =
+            db.iter().map(|(n, t)| (n.clone(), t.len())).collect();
+        let twin = Generator::with_config(GeneratorConfig {
+            seed: gen_config.seed ^ (0xD5 + round as u64),
+            ..gen_config
+        })
+        .database(catalog);
+        for (i, name) in base_names.iter().enumerate() {
+            let Some(src) = twin.table(name.as_str()) else {
+                continue;
+            };
+            let take = src.len() * ((round + i) % 4) / 3;
+            if take == 0 {
+                continue;
+            }
+            let rows = src.rows()[..take.min(src.len())].to_vec();
+            db.table_mut(name.as_str())
+                .expect("base table exists")
+                .extend_rows(rows);
+        }
+
+        let (old, deltas) = split_appends(&db, &snapshot);
+        for (name, definition, batch) in stored.iter_mut() {
+            let recomputed = match execute(definition, &db) {
+                Ok(t) => t.canonicalized(),
+                Err(e) => {
+                    report.push("delta-refresh", format!("{name} recompute fails: {e}"));
+                    continue;
+                }
+            };
+            match refresh_view_delta(batch, definition, &old, &deltas, JoinAlgo::Hash, &ctx) {
+                Ok(Some(fresh)) => {
+                    let folded = Table::from_batch(name.clone(), fresh.clone()).canonicalized();
+                    if folded.rows() != recomputed.rows() {
+                        report.push(
+                            "delta-refresh",
+                            format!(
+                                "{name}: round {round} fold has {} row(s), recompute {}, \
+                                 and they differ",
+                                folded.len(),
+                                recomputed.len()
+                            ),
+                        );
+                    }
+                    *batch = fresh;
+                }
+                Ok(None) => *batch = recomputed.into_batch(),
+                Err(e) => report.push("delta-refresh", format!("{name} fold fails: {e}")),
+            }
+        }
+    }
+    report
+}
+
 /// Configuration for one full audit pass.
 #[derive(Debug, Clone, Copy)]
 pub struct AuditConfig {
@@ -277,8 +375,9 @@ impl Default for AuditConfig {
 /// Runs every oracle over one scenario: for each candidate MVPP, structural
 /// and schema validation, per-query rewrite coverage, the greedy replay, the
 /// three-way in-core cost differential, the distributed differential at zero
-/// link cost, prune safety, and the executable semantics oracle (with and
-/// without the greedy design's materialized views).
+/// link cost, prune safety, the executable semantics oracle (with and
+/// without the greedy design's materialized views), and the delta-refresh
+/// oracle over the greedy design's views.
 pub fn audit_scenario(scenario: &Scenario, config: &AuditConfig) -> AuditReport {
     let mut report = AuditReport::new();
     let est = CostEstimator::new(
@@ -333,6 +432,12 @@ pub fn audit_scenario(scenario: &Scenario, config: &AuditConfig) -> AuditReport 
             &a,
             Some(&views),
             config.generator,
+        ));
+        report.merge(check_delta_refresh(
+            &scenario.catalog,
+            &views,
+            config.generator,
+            3,
         ));
     }
     report

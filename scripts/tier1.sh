@@ -27,6 +27,8 @@ cargo test -q --workspace
 echo "== tier-1: low-memory batteries (forced eviction + spill) =="
 MVDESIGN_MEM_BUDGET=256 cargo test -q --release -p mvdesign --test engine_morsel
 MVDESIGN_MEM_BUDGET=256 cargo test -q --release -p mvdesign --test engine_paged
+MVDESIGN_MEM_BUDGET=256 cargo test -q --release -p mvdesign --test engine_delta
+MVDESIGN_MEM_BUDGET=256 cargo test -q --release -p mvdesign --test maintain
 
 echo "== tier-1: bench smoke (--test mode) =="
 cargo bench -p mvdesign-bench --bench selection_scaling -- --test
