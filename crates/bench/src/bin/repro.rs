@@ -15,15 +15,21 @@
 //! the tuple-at-a-time reference on star-schema scan/join/aggregate
 //! microbenchmarks; writes `BENCH_engine.json`), `perf-maintain`
 //! (delta-fold refresh vs full recompute across append fractions, plus the
-//! joint policy-selection flip; writes `BENCH_maintain.json`), `audit` (the
-//! correctness battery: structural invariants, differential cost oracles,
-//! executable semantics over the paper/star/TPC-H/degenerate scenarios).
+//! joint policy-selection flip; writes `BENCH_maintain.json`), `perf-serve`
+//! (the async serving layer under thousands of simulated clients over a
+//! mixed query/maintenance load, QPS and p50/p95/p99 latency; writes
+//! `BENCH_serve.json`), `audit` (the correctness battery: structural
+//! invariants, differential cost oracles, executable semantics over the
+//! paper/star/TPC-H/degenerate scenarios).
 //!
-//! `perf`, `perf-engine` and `perf-maintain` take an optional label (`repro perf <label>`,
-//! default `working-tree`); re-running a label replaces that entry in the
-//! artifact instead of appending a duplicate. `perf-engine` additionally
-//! accepts `--threads N` to add an explicit thread count to its morsel
-//! scaling section (default: 1, 2 and all host cores).
+//! `perf`, `perf-engine`, `perf-maintain` and `perf-serve` take an optional
+//! label (`repro perf <label>`, default `working-tree`); re-running a label
+//! replaces that entry in the artifact instead of appending a duplicate.
+//! `perf-engine` additionally accepts `--threads N` to add an explicit
+//! thread count to its morsel scaling section (default: 1, 2 and all host
+//! cores). `perf-serve` accepts `--clients N`, `--duration-ms D`,
+//! `--append-fraction F` and `--no-write` (run without touching the
+//! artifact, for CI smokes).
 
 use std::collections::BTreeSet;
 
@@ -107,6 +113,9 @@ fn main() {
     }
     if want("perf-maintain") {
         perf_maintain();
+    }
+    if want("perf-serve") {
+        perf_serve();
     }
     if want("audit") {
         audit();
@@ -997,13 +1006,26 @@ fn perf() {
 /// Upserts one labelled run into a `BENCH_*.json` artifact: existing runs
 /// survive, a re-run label replaces its previous entry (exact match — no
 /// unbounded duplicate growth), and the file is rewritten whole.
+///
+/// A label that repeats an existing run's stem under a different `rev`
+/// prefix (say `pr8-paged` next to an existing `pr7-paged`) draws a
+/// warning but still writes: such near-duplicates usually mean the new
+/// label was meant to *replace* the old trajectory point, not fork it.
 fn write_bench_artifact(path: &str, label: &str, cores: usize, rows: &[String]) {
     let run = format!(
         "    {{\n      \"rev\": \"{label}\",\n      \"results\": [\n{}\n      ]\n    }}",
         rows.join(",\n")
     );
     let mem = mvdesign_bench::host_mem_bytes();
-    let runs = mvdesign_bench::upsert_run(mvdesign_bench::load_runs(path), label, run);
+    let existing = mvdesign_bench::load_runs(path);
+    for shadow in mvdesign_bench::shadowed_labels(&existing, label) {
+        eprintln!(
+            "warning: {path} run \"{label}\" shadows existing run \"{shadow}\" \
+             (same stem, different prefix); re-use the old label to replace it, \
+             or keep both on purpose"
+        );
+    }
+    let runs = mvdesign_bench::upsert_run(existing, label, run);
     let json = mvdesign_bench::render_bench_file(cores, mem, &runs);
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("\nwrote {path} run \"{label}\" ({cores} core(s), {mem} bytes RAM)");
@@ -1191,6 +1213,421 @@ fn perf_maintain() {
     ));
 
     write_bench_artifact("BENCH_maintain.json", &label, cores, &rows);
+}
+
+/// Throughput/latency trajectory of the async serving layer
+/// (`mvdesign-serve`): thousands of simulated client sessions over a mixed
+/// query/maintenance load against the paper warehouse, run twice — fully
+/// resident, then under a memory budget of half the base data (paged
+/// tables, spilling operators, concurrent eviction). Before anything is
+/// timed, a fixed concurrent schedule is pushed through the server and its
+/// version-tagged answers are asserted bag-equal to a sequential
+/// `Warehouse` replay of the same events, so the numbers only exist if
+/// snapshot isolation held on this exact build. Latency quantiles are
+/// exact (per-answer submission→completion durations, merged and sorted),
+/// not the serve-side histogram estimate. Writes `BENCH_serve.json`
+/// (`repro perf-serve <label> [--clients N] [--duration-ms D]
+/// [--append-fraction F] [--no-write]`; defaults `working-tree`, 1200
+/// clients, 2000 ms, 0.02 — refreshes run at half the append fraction).
+fn perf_serve() {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use mvdesign::algebra::{parse_query_with, Expr};
+    use mvdesign::engine::{batch_bytes, Generator, GeneratorConfig, JoinAlgo};
+    use mvdesign::prelude::Designer;
+    use mvdesign::warehouse::Warehouse;
+    use mvdesign_serve::{ServeConfig, Server};
+
+    section("Perf: async serving layer under concurrent mixed load");
+    let cores = mvdesign_bench::host_cores();
+    let mut label = "working-tree".to_string();
+    let mut clients = 1200usize;
+    let mut duration_ms = 2000u64;
+    let mut append_fraction = 0.02f64;
+    let mut write_artifact = true;
+    let mut argv = std::env::args().skip(2);
+    while let Some(arg) = argv.next() {
+        if arg == "--clients" {
+            let n: usize = argv
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--clients takes a positive integer");
+            clients = n.max(1);
+        } else if arg == "--duration-ms" {
+            duration_ms = argv
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--duration-ms takes a positive integer");
+        } else if arg == "--append-fraction" {
+            append_fraction = argv
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--append-fraction takes a number in [0, 1]");
+            assert!(
+                (0.0..=0.5).contains(&append_fraction),
+                "--append-fraction must be in [0, 0.5]"
+            );
+        } else if arg == "--no-write" {
+            write_artifact = false;
+        } else {
+            label = arg;
+        }
+    }
+
+    /// The shared per-thread RNG: one multiplicative step of PCG's LCG,
+    /// top bits returned — deterministic per seed, no crate needed.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    let scenario = paper_example();
+    let design = Designer::new()
+        .design(&scenario.catalog, &scenario.workload)
+        .expect("paper example designs");
+    let gen = GeneratorConfig {
+        seed: 0x5e2e,
+        scale: 1.0,
+        max_rows: 10_000,
+    };
+    let base = Generator::with_config(gen).database(&scenario.catalog);
+    let twin = Generator::with_config(GeneratorConfig {
+        seed: gen.seed ^ 0xA99E,
+        ..gen
+    })
+    .database(&scenario.catalog);
+    let rel_names: Vec<String> = base.iter().map(|(n, _)| n.to_string()).collect();
+    let twin_rows: Vec<_> = rel_names
+        .iter()
+        .map(|n| twin.table(n).expect("twin relation").rows().to_vec())
+        .collect::<Vec<_>>();
+    let data_bytes: usize = base.iter().map(|(_, t)| batch_bytes(t.batch())).sum();
+
+    // The queries clients draw from: the four workload queries
+    // (view-routed) plus ad hoc scans the design never saw.
+    let mut pool: Vec<Arc<Expr>> = scenario
+        .workload
+        .queries()
+        .iter()
+        .map(|q| Arc::clone(q.root()))
+        .collect();
+    for sql in [
+        "SELECT name FROM Customer",
+        "SELECT name FROM Customer WHERE city = 'v0'",
+    ] {
+        pool.push(parse_query_with(sql, &scenario.catalog).expect("ad hoc SQL parses"));
+    }
+
+    let build = || {
+        Warehouse::new_with_join_algo(
+            scenario.catalog.clone(),
+            base.clone(),
+            &design,
+            JoinAlgo::Hash,
+        )
+        .expect("warehouse builds")
+    };
+
+    // ----- Correctness gate: concurrent history ≡ sequential replay -----
+    // A fixed schedule (decoded once, so the replay sees the same events)
+    // is served concurrently; every answer carries the snapshot version it
+    // was answered at, every applied write the version it produced. The
+    // replay applies writes in version order and re-answers each query at
+    // its version — bag equality or the bench refuses to time anything.
+    #[derive(Clone, Copy)]
+    enum GateOp {
+        Query(usize),
+        Append { rel: usize, at: usize, n: usize },
+        Refresh,
+    }
+    struct QueryRec {
+        version: u64,
+        pool: usize,
+        rows: Vec<Vec<mvdesign::algebra::Value>>,
+    }
+    enum WriteRec {
+        Append {
+            version: u64,
+            rel: usize,
+            at: usize,
+            n: usize,
+        },
+        Refresh {
+            version: u64,
+        },
+    }
+    fn write_version(w: &WriteRec) -> u64 {
+        match w {
+            WriteRec::Append { version, .. } | WriteRec::Refresh { version } => *version,
+        }
+    }
+
+    let gate_sessions = clients.min(64);
+    let scripts: Vec<Vec<GateOp>> = (0..gate_sessions)
+        .map(|s| {
+            let mut state = 0x5EED ^ (s as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            (0..4)
+                .map(|_| {
+                    let roll = lcg(&mut state) % 100;
+                    if roll < 60 {
+                        GateOp::Query((lcg(&mut state) as usize) % pool.len())
+                    } else if roll < 85 {
+                        let rel = (lcg(&mut state) as usize) % rel_names.len();
+                        let n = 1 + roll as usize % 3;
+                        let at = (lcg(&mut state) as usize)
+                            % twin_rows[rel].len().saturating_sub(n).max(1);
+                        GateOp::Append { rel, at, n }
+                    } else {
+                        GateOp::Refresh
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let server = Server::start(build(), ServeConfig { readers: 0 });
+    let per_session: Vec<(Vec<QueryRec>, Vec<WriteRec>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| {
+                let h = server.handle();
+                let (pool, rel_names, twin_rows) = (&pool, &rel_names, &twin_rows);
+                s.spawn(move || {
+                    let mut queries = Vec::new();
+                    let mut writes = Vec::new();
+                    for op in script {
+                        match *op {
+                            GateOp::Query(p) => {
+                                let a = h.query_expr(&pool[p]).wait().expect("gate query answers");
+                                queries.push(QueryRec {
+                                    version: a.version,
+                                    pool: p,
+                                    rows: a.table.canonicalized().into_rows(),
+                                });
+                            }
+                            GateOp::Append { rel, at, n } => {
+                                let applied = h
+                                    .append(
+                                        rel_names[rel].clone(),
+                                        twin_rows[rel][at..at + n].to_vec(),
+                                    )
+                                    .wait()
+                                    .expect("gate append applies");
+                                writes.push(WriteRec::Append {
+                                    version: applied.version,
+                                    rel,
+                                    at,
+                                    n,
+                                });
+                            }
+                            GateOp::Refresh => {
+                                let applied = h.refresh().wait().expect("gate refresh applies");
+                                writes.push(WriteRec::Refresh {
+                                    version: applied.version,
+                                });
+                            }
+                        }
+                    }
+                    (queries, writes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("gate session panicked"))
+            .collect()
+    });
+    drop(server.shutdown());
+
+    let mut queries: Vec<QueryRec> = Vec::new();
+    let mut writes: Vec<WriteRec> = Vec::new();
+    for (q, w) in per_session {
+        queries.extend(q);
+        writes.extend(w);
+    }
+    writes.sort_by_key(write_version);
+    for (i, w) in writes.iter().enumerate() {
+        assert_eq!(
+            write_version(w),
+            i as u64 + 1,
+            "publish versions must be contiguous"
+        );
+    }
+    let mut by_version: BTreeMap<u64, Vec<QueryRec>> = BTreeMap::new();
+    for q in queries {
+        by_version.entry(q.version).or_default().push(q);
+    }
+    let served_queries: usize = by_version.values().map(Vec::len).sum();
+    let mut reference = build();
+    let answer_at = |reference: &Warehouse, recs: &[QueryRec]| {
+        for rec in recs {
+            let want = reference
+                .query_expr(&pool[rec.pool])
+                .expect("replay answers")
+                .canonicalized()
+                .into_rows();
+            assert_eq!(
+                rec.rows, want,
+                "served answer for pool[{}] at version {} diverges from the sequential replay",
+                rec.pool, rec.version
+            );
+        }
+    };
+    if let Some(recs) = by_version.get(&0) {
+        answer_at(&reference, recs);
+    }
+    for w in &writes {
+        match w {
+            WriteRec::Append { rel, at, n, .. } => reference
+                .append(
+                    rel_names[*rel].clone(),
+                    twin_rows[*rel][*at..at + n].to_vec(),
+                )
+                .expect("replay append applies"),
+            WriteRec::Refresh { .. } => {
+                reference.refresh().expect("replay refresh applies");
+            }
+        }
+        if let Some(recs) = by_version.get(&write_version(w)) {
+            answer_at(&reference, recs);
+        }
+    }
+    println!(
+        "gate: {gate_sessions} concurrent sessions, {served_queries} answers, {} writes — \
+         history ≡ sequential replay",
+        writes.len()
+    );
+
+    // ----- Timed runs: resident, then paged at half the data ------------
+    let budget = (data_bytes / 2).max(1);
+    println!(
+        "\n{} clients for {duration_ms} ms, append fraction {append_fraction} \
+         (refresh at half that); base data {data_bytes} bytes",
+        clients
+    );
+    println!(
+        "{:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9} {:>10} {:>10}",
+        "mode",
+        "queries",
+        "qps",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "max ms",
+        "maint",
+        "snapshots",
+        "stale ans"
+    );
+    let mut rows: Vec<String> = Vec::new();
+    for (mode, mem_budget) in [("resident", None), ("paged", Some(budget))] {
+        let mut warehouse = build();
+        if let Some(b) = mem_budget {
+            warehouse = warehouse.with_mem_budget(Some(b));
+        }
+        let server = Server::start(warehouse, ServeConfig { readers: 0 });
+        let drivers = cores.clamp(1, 8).min(clients);
+        let deadline = Instant::now() + Duration::from_millis(duration_ms);
+        let t0 = Instant::now();
+        let latencies: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..drivers)
+                .map(|d| {
+                    let h = server.handle();
+                    let (pool, rel_names, twin_rows) = (&pool, &rel_names, &twin_rows);
+                    // Balanced split of the simulated sessions over driver
+                    // threads: each in-flight ticket is one client waiting.
+                    let sessions = clients / drivers + usize::from(d < clients % drivers);
+                    s.spawn(move || {
+                        let mut state = 0xD05EED ^ (d as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                        let mut lat: Vec<u64> = Vec::new();
+                        while Instant::now() < deadline {
+                            let tickets: Vec<_> = (0..sessions)
+                                .map(|_| {
+                                    let roll = (lcg(&mut state) % 1_000_000) as f64 / 1e6;
+                                    if roll < append_fraction {
+                                        let rel = (lcg(&mut state) as usize) % rel_names.len();
+                                        let at = (lcg(&mut state) as usize)
+                                            % twin_rows[rel].len().saturating_sub(2).max(1);
+                                        drop(h.append(
+                                            rel_names[rel].clone(),
+                                            twin_rows[rel][at..at + 2].to_vec(),
+                                        ));
+                                        None
+                                    } else if roll < append_fraction * 1.5 {
+                                        drop(h.refresh());
+                                        None
+                                    } else {
+                                        let p = (lcg(&mut state) as usize) % pool.len();
+                                        Some(h.query_expr(&pool[p]))
+                                    }
+                                })
+                                .collect();
+                            for t in tickets.into_iter().flatten() {
+                                let a = t.wait().expect("bench query answers");
+                                lat.push(a.elapsed.as_nanos() as u64);
+                            }
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("driver panicked"))
+                .collect()
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = server.handle().stats();
+        drop(server.shutdown());
+        assert_eq!(
+            stats.snapshots_published,
+            stats.appends + stats.refreshes,
+            "every applied write publishes exactly one snapshot"
+        );
+
+        let mut lat: Vec<u64> = latencies.into_iter().flatten().collect();
+        lat.sort_unstable();
+        let quantile = |p: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            let rank = ((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+            lat[rank - 1] as f64 / 1e6
+        };
+        let served = lat.len() as u64;
+        let qps = served as f64 / wall.max(1e-9);
+        let (p50, p95, p99) = (quantile(0.50), quantile(0.95), quantile(0.99));
+        let max_ms = lat.last().map_or(0.0, |&n| n as f64 / 1e6);
+        let maintenance = stats.appends + stats.refreshes;
+        println!(
+            "{mode:>9} {served:>9} {qps:>9.0} {p50:>9.3} {p95:>9.3} {p99:>9.3} {max_ms:>8.1} \
+             {maintenance:>9} {:>10} {:>10}",
+            stats.snapshots_published, stats.stale_answers
+        );
+        rows.push(format!(
+            "    {{\"mode\": \"{mode}\", \"clients\": {clients}, \"duration_ms\": {duration_ms}, \
+             \"append_fraction\": {append_fraction}, \"mem_budget_bytes\": {}, \
+             \"queries\": {served}, \"qps\": {qps:.1}, \"p50_ms\": {p50:.3}, \
+             \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}, \"max_ms\": {max_ms:.3}, \
+             \"appends\": {}, \"refreshes\": {}, \"snapshots_published\": {}, \
+             \"stale_answers\": {}, \"max_staleness_rows\": {}}}",
+            mem_budget.map_or("null".to_string(), |b| b.to_string()),
+            stats.appends,
+            stats.refreshes,
+            stats.snapshots_published,
+            stats.stale_answers,
+            stats.max_staleness_rows
+        ));
+    }
+
+    if write_artifact {
+        write_bench_artifact("BENCH_serve.json", &label, cores, &rows);
+    } else {
+        println!("\n--no-write: BENCH_serve.json left untouched");
+    }
 }
 
 /// Wall-clock comparison of the columnar batch engine against the preserved

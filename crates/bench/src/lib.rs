@@ -171,6 +171,30 @@ pub fn upsert_run(mut runs: Vec<String>, label: &str, run: String) -> Vec<String
     runs
 }
 
+/// Existing run labels a new run labelled `label` would *shadow*: same run
+/// name (the part after the first `-`) under a different `rev` prefix.
+///
+/// BENCH labels are persistent artifact keys (`repro perf-* <label>`), and
+/// prefixes conventionally track PR numbers — but the two can drift (the
+/// paged-storage run is labelled `pr7-paged` although its entry became
+/// PR 8; see EXPERIMENTS.md). Re-using a run name under a new prefix does
+/// not *replace* the old entry — it silently forks the trajectory. The
+/// `repro perf-*` writers warn (never fail) on this so the drift is a
+/// conscious choice.
+pub fn shadowed_labels(runs: &[String], label: &str) -> Vec<String> {
+    let Some((prefix, stem)) = label.split_once('-') else {
+        return Vec::new();
+    };
+    runs.iter()
+        .filter_map(|r| run_label(r))
+        .filter(|l| {
+            l.split_once('-')
+                .is_some_and(|(p, s)| s == stem && p != prefix)
+        })
+        .map(str::to_string)
+        .collect()
+}
+
 /// The runs already recorded in the artifact at `path` (empty when the file
 /// does not exist yet).
 pub fn load_runs(path: &str) -> Vec<String> {
@@ -240,6 +264,22 @@ mod tests {
         let runs = upsert_run(Vec::new(), "first", run_object("first", "        {}"));
         let runs = upsert_run(runs, "second", run_object("second", "        {}"));
         assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn shadowed_labels_flags_same_stem_under_a_different_prefix() {
+        let runs = vec![
+            run_object("pr7-paged", "        {\"x\": 1}"),
+            run_object("pr6-morsel", "        {\"x\": 2}"),
+        ];
+        // The label drift trap: writing "pr8-paged" while "pr7-paged"
+        // exists forks the paged trajectory.
+        assert_eq!(shadowed_labels(&runs, "pr8-paged"), vec!["pr7-paged"]);
+        // Re-running the exact same label replaces, never shadows.
+        assert!(shadowed_labels(&runs, "pr7-paged").is_empty());
+        // Different run names don't collide, nor do prefix-less labels.
+        assert!(shadowed_labels(&runs, "pr8-serve").is_empty());
+        assert!(shadowed_labels(&runs, "baseline").is_empty());
     }
 
     #[test]

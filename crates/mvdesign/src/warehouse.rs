@@ -83,9 +83,9 @@ impl From<ExecError> for WarehouseError {
 /// ```
 #[derive(Debug)]
 pub struct Warehouse {
-    catalog: Catalog,
+    catalog: Arc<Catalog>,
     db: Database,
-    views: ViewCatalog,
+    views: Arc<ViewCatalog>,
     /// Views whose inputs changed since they were last (re)built.
     stale: BTreeSet<RelName>,
     /// Per-base-relation row counts at the last refresh — the appends since
@@ -166,9 +166,9 @@ impl Warehouse {
         let views = ViewCatalog::from_design(design);
         let stale = views.views().iter().map(|(n, _)| n.clone()).collect();
         let mut warehouse = Self {
-            catalog,
+            catalog: Arc::new(catalog),
             db,
-            views,
+            views: Arc::new(views),
             stale,
             base_rows: BTreeMap::new(),
             refreshes: 0,
@@ -269,9 +269,54 @@ impl Warehouse {
         &self.db
     }
 
+    /// The catalog queries are parsed against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
     /// The view registry.
     pub fn views(&self) -> &ViewCatalog {
         &self.views
+    }
+
+    /// Rows appended to base relations since the last refresh — the data
+    /// the stale views do not yet reflect.
+    pub fn pending_rows(&self) -> usize {
+        self.base_rows
+            .iter()
+            .map(|(name, mark)| {
+                self.db
+                    .table(name.as_str())
+                    .map_or(0, |t| t.len().saturating_sub(*mark))
+            })
+            .sum()
+    }
+
+    /// An immutable, shareable picture of the warehouse's serve state:
+    /// catalog, base-plus-views database and view registry, all behind
+    /// `Arc`s. Taking a snapshot copies *no* table data — columns,
+    /// dictionary value tables and page handles are `Arc`-shared with the
+    /// live warehouse — so publishing one is a handful of pointer clones
+    /// (O(tables), not O(rows)). A snapshot answers queries exactly like
+    /// the warehouse did at the moment it was taken, no matter what the
+    /// warehouse does afterwards: appends and refreshes replace tables in
+    /// the live [`Database`] map but never mutate the shared columns.
+    ///
+    /// This is what the serving layer (`mvdesign-serve`) publishes to its
+    /// reader tasks after every write — snapshot isolation for free out of
+    /// the engine's copy-on-write column layout.
+    pub fn snapshot(&self) -> WarehouseSnapshot {
+        WarehouseSnapshot {
+            catalog: Arc::clone(&self.catalog),
+            db: Arc::new(self.db.clone()),
+            views: Arc::clone(&self.views),
+            exec: self.exec,
+            join_algo: self.join_algo,
+            version: 0,
+            refreshes: self.refreshes,
+            stale_views: self.stale.len(),
+            pending_rows: self.pending_rows(),
+        }
     }
 
     /// Whether any view's inputs changed since it was last (re)built.
@@ -464,15 +509,140 @@ impl Warehouse {
     ///
     /// Returns [`WarehouseError::Exec`] for execution failures.
     pub fn query_expr(&self, expr: &Arc<Expr>) -> Result<Table, WarehouseError> {
-        let routed = self.views.rewrite(expr);
-        Ok(execute_with_context(
-            &routed,
-            &self.db,
-            self.join_algo,
-            &self.exec,
-        )?)
+        route_and_execute(&self.views, &self.db, self.join_algo, &self.exec, expr)
     }
 }
+
+/// The one query path both [`Warehouse`] and [`WarehouseSnapshot`] serve
+/// through: route the expression through the materialized views, then run
+/// the batch engine under the configured join kernel and execution knobs.
+fn route_and_execute(
+    views: &ViewCatalog,
+    db: &Database,
+    join_algo: JoinAlgo,
+    exec: &ExecContext,
+    expr: &Arc<Expr>,
+) -> Result<Table, WarehouseError> {
+    let routed = views.rewrite(expr);
+    Ok(execute_with_context(&routed, db, join_algo, exec)?)
+}
+
+/// An immutable picture of a warehouse's serve state, produced by
+/// [`Warehouse::snapshot`].
+///
+/// A snapshot owns nothing but `Arc`s: the catalog, the base-plus-views
+/// [`Database`] and the [`ViewCatalog`] are all shared with the warehouse
+/// that produced it (and with every other snapshot), so clones and
+/// publishes are pointer work. It answers queries with the same routing,
+/// join kernel and execution knobs as the source warehouse — and keeps
+/// answering from *its* state forever, however the source moves on.
+///
+/// The `version` field is a publish sequence number for whoever manages a
+/// chain of snapshots (the serving layer tags each published snapshot with
+/// a monotonically increasing version; [`Warehouse::snapshot`] itself
+/// always returns version 0).
+#[derive(Debug, Clone)]
+pub struct WarehouseSnapshot {
+    catalog: Arc<Catalog>,
+    db: Arc<Database>,
+    views: Arc<ViewCatalog>,
+    exec: ExecContext,
+    join_algo: JoinAlgo,
+    version: u64,
+    refreshes: u64,
+    stale_views: usize,
+    pending_rows: usize,
+}
+
+impl WarehouseSnapshot {
+    /// Answers a SQL query against the snapshot's state, routing through
+    /// the materialized views exactly like [`Warehouse::query`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WarehouseError::Parse`] for bad SQL and
+    /// [`WarehouseError::Exec`] for execution failures.
+    pub fn query(&self, sql: &str) -> Result<Table, WarehouseError> {
+        let expr = parse_query_with(sql, &self.catalog)?;
+        self.query_expr(&expr)
+    }
+
+    /// Answers an already-built expression against the snapshot's state
+    /// (see [`Warehouse::query_expr`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WarehouseError::Exec`] for execution failures.
+    pub fn query_expr(&self, expr: &Arc<Expr>) -> Result<Table, WarehouseError> {
+        route_and_execute(&self.views, &self.db, self.join_algo, &self.exec, expr)
+    }
+
+    /// The snapshot's (frozen) base-plus-views database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The catalog queries are parsed against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The view registry routing queries.
+    pub fn views(&self) -> &ViewCatalog {
+        &self.views
+    }
+
+    /// The publish sequence number assigned by the layer that published
+    /// this snapshot (0 straight out of [`Warehouse::snapshot`]).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Tags the snapshot with a publish sequence number (the serving
+    /// layer's linearization point), returning it for chaining.
+    #[must_use]
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// How many refresh passes the source warehouse had run.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// How many views were stale (inputs changed, not yet refreshed) when
+    /// the snapshot was taken.
+    pub fn stale_views(&self) -> usize {
+        self.stale_views
+    }
+
+    /// Rows appended to base relations but not yet folded into the views
+    /// when the snapshot was taken — the answer-visible staleness of
+    /// view-routed queries served from this snapshot.
+    pub fn pending_rows(&self) -> usize {
+        self.pending_rows
+    }
+
+    /// Whether any view's inputs had changed since its last rebuild.
+    pub fn is_stale(&self) -> bool {
+        self.stale_views > 0
+    }
+}
+
+// The serving layer shares snapshots (and the types inside them) across
+// reader threads; catch a future non-`Send`/`Sync` field at the PR that
+// introduces it, not in the async layer.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<WarehouseSnapshot>();
+    assert_send_sync::<Database>();
+    assert_send_sync::<Table>();
+    assert_send_sync::<BufferPool>();
+    assert_send_sync::<Catalog>();
+    assert_send_sync::<ViewCatalog>();
+    assert_send_sync::<Warehouse>();
+};
 
 /// Checks appended rows against a table's schema before any mutation:
 /// every row must match the header arity, and every value must fit the
@@ -942,5 +1112,56 @@ mod tests {
             w.query("SELEC oops"),
             Err(WarehouseError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_answers_like_the_warehouse_and_shares_columns() {
+        let w = warehouse();
+        let snap = w.snapshot();
+        assert_eq!(snap.version(), 0);
+        assert_eq!(snap.refreshes(), w.refreshes());
+        assert!(!snap.is_stale());
+        assert_eq!(snap.pending_rows(), 0);
+        let scenario = paper_example();
+        for q in scenario.workload.queries() {
+            let a = w.query_expr(q.root()).expect("warehouse answers");
+            let b = snap.query_expr(q.root()).expect("snapshot answers");
+            assert_eq!(a.batch(), b.batch(), "{} differs", q.name());
+        }
+        // Zero-copy: every snapshot column is the warehouse's column, by
+        // pointer — publishing a snapshot moves no data.
+        for (name, t) in w.database().iter() {
+            let s = snap.database().table(name.as_str()).expect("table shared");
+            for (a, b) in t.batch().columns().iter().zip(s.batch().columns()) {
+                assert!(Arc::ptr_eq(a, b), "{name} copied a column");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_appends_and_refreshes() {
+        let mut w = warehouse();
+        let before = w.snapshot().with_version(7);
+        assert_eq!(before.version(), 7);
+        let count_sql = "SELECT name FROM Customer";
+        let count_at_snap = before.query(count_sql).expect("counts").len();
+        w.append("Customer", vec![customer_row(&w)])
+            .expect("appends");
+        assert_eq!(w.pending_rows(), 1);
+        assert_eq!(w.snapshot().stale_views(), w.stale_views().count());
+        w.refresh().expect("refreshes");
+        assert_eq!(w.pending_rows(), 0);
+        // The held snapshot still answers from the old state…
+        assert_eq!(
+            before.query(count_sql).expect("counts").len(),
+            count_at_snap,
+            "snapshot must not see the append"
+        );
+        // …while the live warehouse (and any new snapshot) see the row.
+        assert_eq!(w.query(count_sql).expect("counts").len(), count_at_snap + 1);
+        assert_eq!(
+            w.snapshot().query(count_sql).expect("counts").len(),
+            count_at_snap + 1
+        );
     }
 }

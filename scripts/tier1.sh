@@ -29,6 +29,11 @@ MVDESIGN_MEM_BUDGET=256 cargo test -q --release -p mvdesign --test engine_morsel
 MVDESIGN_MEM_BUDGET=256 cargo test -q --release -p mvdesign --test engine_paged
 MVDESIGN_MEM_BUDGET=256 cargo test -q --release -p mvdesign --test engine_delta
 MVDESIGN_MEM_BUDGET=256 cargo test -q --release -p mvdesign --test maintain
+MVDESIGN_MEM_BUDGET=256 cargo test -q --release -p mvdesign-serve --test serve
+
+echo "== tier-1: serve smoke (64 clients, correctness gate + timing, no artifact) =="
+cargo run --release -p mvdesign-bench --bin repro -- perf-serve smoke \
+  --clients 64 --duration-ms 500 --no-write > /dev/null
 
 echo "== tier-1: bench smoke (--test mode) =="
 cargo bench -p mvdesign-bench --bench selection_scaling -- --test
